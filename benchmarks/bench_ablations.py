@@ -1,0 +1,162 @@
+"""Ablations of SMAT's design choices (DESIGN.md's candidate list).
+
+Not a paper table — these quantify the design arguments the paper makes in
+prose: ruleset over tree, rule tailoring, the confidence threshold, lazy
+two-step feature extraction, the extra NTdiags_ratio/var_RD features, and
+C5.0-style boosting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import REP_SIZE, emit
+from repro.collection import representatives
+from repro.features.parameters import FEATURE_NAMES
+from repro.learning import (
+    TreeLearner,
+    extract_rules,
+    tailor_rules,
+    train_boosted,
+    train_model,
+)
+from repro.tuner import SMAT, SmatConfig
+
+
+@pytest.fixture(scope="module")
+def splits(labelled_db):
+    dataset = labelled_db.to_dataset()
+    return dataset.split(0.14, seed=5)
+
+
+def test_ablation_ruleset_vs_tree(splits, report_dir, capsys, benchmark):
+    train, test = splits
+    tree = TreeLearner(min_leaf=8, max_depth=10).fit(train)
+    ruleset = extract_rules(tree, train)
+    model = train_model(train, min_leaf=8, max_depth=10)
+    lines = [
+        "Ablation 1: prediction artifact",
+        f"  raw decision tree : {tree.accuracy(test):.3f} held-out accuracy",
+        f"  full ruleset      : {ruleset.accuracy(test):.3f}",
+        f"  tailored + grouped: {model.accuracy(test):.3f} "
+        f"({len(model.tailored_ruleset)} of {len(model.full_ruleset)} rules)",
+    ]
+    emit(capsys, report_dir, "ablation1_ruleset_vs_tree", "\n".join(lines))
+    assert model.accuracy(test) >= tree.accuracy(test) - 0.03
+    benchmark(lambda: model.accuracy(test))
+
+
+def test_ablation_tailoring(splits, report_dir, capsys, benchmark):
+    train, test = splits
+    tree = TreeLearner(min_leaf=8, max_depth=10).fit(train)
+    full = extract_rules(tree, train)
+    lines = ["Ablation 2: rule tailoring (accuracy gap tolerance sweep)"]
+    for gap in (0.0, 0.01, 0.03, 0.10):
+        tailored = tailor_rules(full, train, accuracy_gap=gap)
+        lines.append(
+            f"  gap {gap:4.2f}: {len(tailored):3d}/{len(full)} rules, "
+            f"train {tailored.accuracy(train):.3f}, "
+            f"test {tailored.accuracy(test):.3f}"
+        )
+    emit(capsys, report_dir, "ablation2_tailoring", "\n".join(lines))
+    one_pct = tailor_rules(full, train, accuracy_gap=0.01)
+    assert len(one_pct) <= len(full)
+    assert one_pct.accuracy(train) >= full.accuracy(train) - 0.011
+    benchmark(lambda: tailor_rules(full, train, accuracy_gap=0.01))
+
+
+def test_ablation_confidence_threshold(
+    smat, report_dir, capsys, benchmark
+):
+    reps = representatives(size_scale=REP_SIZE)
+    lines = [
+        "Ablation 3: confidence threshold vs fallback rate and overhead"
+    ]
+    rows = []
+    for threshold in (0.0, 0.9, 0.96, 0.99, 1.0):
+        config = SmatConfig(confidence_threshold=threshold)
+        tuner = SMAT(smat.model, smat.kernels, smat.backend, config)
+        decisions = [tuner.decide(m) for _, m in reps]
+        fallbacks = sum(d.used_fallback for d in decisions)
+        overhead = np.mean([d.overhead_units for d in decisions])
+        rows.append((threshold, fallbacks, overhead))
+        lines.append(
+            f"  TH={threshold:4.2f}: {fallbacks:2d}/16 fallbacks, "
+            f"avg overhead {overhead:5.1f} CSR-SpMVs"
+        )
+    emit(capsys, report_dir, "ablation3_threshold", "\n".join(lines))
+    # Overhead grows monotonically-ish with the threshold.
+    assert rows[0][1] <= rows[-1][1]
+    assert rows[0][2] <= rows[-1][2] + 1e-9
+
+    matrix = reps[0][1]
+    benchmark(lambda: smat.decide(matrix))
+
+
+def test_ablation_lazy_extraction(smat, report_dir, capsys, benchmark):
+    reps = representatives(size_scale=REP_SIZE)
+    lazy_units = []
+    eager_units = []
+    from repro.features.incremental import (
+        POWERLAW_COST_SPMV_UNITS,
+        STRUCTURE_COST_SPMV_UNITS,
+    )
+
+    eager_cost = STRUCTURE_COST_SPMV_UNITS + POWERLAW_COST_SPMV_UNITS
+    for _, matrix in reps:
+        decision = smat.decide(matrix)
+        lazy_units.append(decision.extraction_units)
+        eager_units.append(eager_cost)
+    lines = [
+        "Ablation 5: two-step lazy feature extraction",
+        f"  lazy (group-ordered) avg: {np.mean(lazy_units):.2f} CSR-SpMVs",
+        f"  eager (always fit R) avg: {np.mean(eager_units):.2f}",
+        f"  saving: {100 * (1 - np.mean(lazy_units) / np.mean(eager_units)):.0f}%",
+    ]
+    emit(capsys, report_dir, "ablation5_lazy_extraction", "\n".join(lines))
+    assert np.mean(lazy_units) < np.mean(eager_units)
+
+    matrix = reps[0][1]
+    from repro.features import LazyFeatures
+
+    benchmark(lambda: LazyFeatures(matrix).get("ndiags"))
+
+
+def test_ablation_extra_features(splits, report_dir, capsys, benchmark):
+    train, test = splits
+    full_model = train_model(train, min_leaf=8, max_depth=10)
+    reduced_attrs = tuple(
+        a for a in FEATURE_NAMES if a not in ("ntdiags_ratio", "var_rd")
+    )
+    reduced_tree = TreeLearner(
+        min_leaf=8, max_depth=10, attributes=reduced_attrs
+    ).fit(train)
+    lines = [
+        "Ablation 6: dropping NTdiags_ratio and var_RD (Section 4's "
+        "added parameters)",
+        f"  full feature set   : {full_model.accuracy(test):.3f}",
+        f"  without the two    : {reduced_tree.accuracy(test):.3f}",
+    ]
+    emit(capsys, report_dir, "ablation6_features", "\n".join(lines))
+    assert full_model.accuracy(test) >= reduced_tree.accuracy(test) - 0.02
+    benchmark(
+        lambda: TreeLearner(
+            min_leaf=8, max_depth=10, attributes=reduced_attrs
+        ).fit(train)
+    )
+
+
+def test_ablation_boosting(splits, report_dir, capsys, benchmark):
+    train, test = splits
+    single = train_model(train, min_leaf=8, max_depth=10)
+    boosted = train_boosted(train, rounds=8, min_leaf=8, max_depth=10, seed=1)
+    lines = [
+        "Ablation 7: C5.0-style boosting (the paper's extension point)",
+        f"  single ruleset model: {single.accuracy(test):.3f}",
+        f"  boosted (8 rounds)  : {boosted.accuracy(test):.3f} "
+        f"({len(boosted.trees)} trees)",
+    ]
+    emit(capsys, report_dir, "ablation7_boosting", "\n".join(lines))
+    assert boosted.accuracy(test) >= single.accuracy(test) - 0.05
+    benchmark(lambda: boosted.predict(test.records[0]))

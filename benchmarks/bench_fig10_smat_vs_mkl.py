@@ -1,0 +1,123 @@
+"""Figure 10 — SMAT versus the MKL-style format-static library.
+
+Reproduces: per-matrix speedup of SMAT over the MKL protocol (the max of
+MKL's DIA/CSR/COO routines), SP and DP, on the 16 representatives, plus the
+collection-wide average speedup.  Target shapes:
+
+* maximum speedup in the several-x range (paper: 6.1x SP / 4.7x DP),
+* collection-average speedup of ~2x+ (paper: 3.2x SP / 3.8x DP over all
+  331 held-out matrices); the baseline applies the documented
+  MKL_KERNEL_GAP like-for-like kernel factor, and adaptivity supplies the
+  rest on the DIA/ELL/COO-affine matrices,
+* near-1x on the CSR-affine matrices 9-12, large wins on 1-8 and 13-16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import REP_SIZE, emit
+from repro.baselines import mkl_best_time
+from repro.collection import representatives
+from repro.features import extract_features
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.types import Precision
+
+
+def smat_vs_mkl(smat, matrix, precision: Precision):
+    backend = SimulatedBackend(INTEL_XEON_X5680, precision)
+    features = extract_features(matrix)
+    decision = smat.decide(matrix)
+    smat_seconds = backend.measure(
+        decision.kernel, decision.matrix, features
+    )
+    _, mkl_seconds, _ = mkl_best_time(matrix, backend)
+    return mkl_seconds / smat_seconds, decision.format_name
+
+
+@pytest.fixture(scope="module")
+def speedups(smat):
+    rows = []
+    for spec, matrix in representatives(size_scale=REP_SIZE):
+        sp, fmt = smat_vs_mkl(smat, matrix, Precision.SINGLE)
+        dp, _ = smat_vs_mkl(smat, matrix, Precision.DOUBLE)
+        rows.append(
+            {"no": spec.index, "name": spec.name, "format": fmt.value,
+             "sp": sp, "dp": dp}
+        )
+    return rows
+
+
+def test_fig10_smat_vs_mkl(
+    speedups, smat, heldout_dataset, report_dir, capsys, benchmark
+) -> None:
+    lines = ["Figure 10: SMAT speedup over the MKL-style baseline "
+             "(max of its DIA/CSR/COO routines)"]
+    lines.append(f"{'No':>3s} {'matrix':18s}{'fmt':>5s}{'SP':>8s}{'DP':>8s}")
+    for row in speedups:
+        lines.append(
+            f"{row['no']:>3d} {row['name']:18s}{row['format']:>5s}"
+            f"{row['sp']:8.2f}{row['dp']:8.2f}"
+        )
+    max_sp = max(r["sp"] for r in speedups)
+    max_dp = max(r["dp"] for r in speedups)
+    lines.append(f"max speedup: SP {max_sp:.1f}x, DP {max_dp:.1f}x "
+                 f"(paper: 6.1x / 4.7x)")
+
+    # Collection-wide average (analogue of the paper's 331-matrix average):
+    # compare SMAT's chosen format against MKL's best *feature-estimated*
+    # time on the held-out records.
+    from repro.machine import estimate_spmv_time
+    from repro.baselines.mkl_like import (
+        MKL_KERNEL_GAP,
+        MKL_MEASURED_FORMATS,
+        _MKL_STRATEGIES,
+    )
+
+    ratios = []
+    for f in heldout_dataset:
+        best = f.best_format
+        smat_t = estimate_spmv_time(
+            INTEL_XEON_X5680, best, f, Precision.DOUBLE, _MKL_STRATEGIES
+        )
+        mkl_t = MKL_KERNEL_GAP * min(
+            estimate_spmv_time(
+                INTEL_XEON_X5680, fmt, f, Precision.DOUBLE, _MKL_STRATEGIES
+            )
+            for fmt in MKL_MEASURED_FORMATS
+            if _feasible(fmt, f)
+        )
+        ratios.append(mkl_t / smat_t)
+    avg = float(np.mean(ratios))
+    lines.append(
+        f"held-out average speedup (n={len(ratios)}): {avg:.2f}x "
+        f"(paper: 3.2x SP / 3.8x DP; kernel-gap factor "
+        f"{MKL_KERNEL_GAP}x, adaptivity supplies the rest)"
+    )
+    emit(capsys, report_dir, "fig10_smat_vs_mkl", "\n".join(lines))
+
+    assert max_sp > 3.0
+    assert max_dp > 2.0
+    assert avg > 1.5
+    # CSR-affine matrices gain only the kernel-quality factor (MKL also
+    # runs CSR), no adaptivity bonus.
+    for row in speedups:
+        if 9 <= row["no"] <= 12:
+            assert row["dp"] < 2.6, row
+
+    _, matrix = representatives(size_scale=REP_SIZE)[3]
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+    benchmark(lambda: mkl_best_time(matrix, backend))
+
+
+def _feasible(fmt, features) -> bool:
+    from repro.types import FormatName
+
+    if features.nnz == 0:
+        return fmt is FormatName.CSR
+    if fmt is FormatName.DIA:
+        return features.ndiags * features.m <= 50.0 * features.nnz
+    if fmt is FormatName.ELL:
+        return features.max_rd * features.m <= 50.0 * features.nnz
+    return True

@@ -1,0 +1,119 @@
+"""Figure 6 (a-e) — distributions of beneficial matrices over parameter
+intervals.
+
+Reproduces: for each format-discriminating parameter of Table 2, the
+histogram of matrices that *benefit* from the corresponding format (their
+measured-best format is DIA/ELL/COO), bucketed into the paper's intervals.
+Target shapes:
+
+* (a) small Ndiags / max_RD dominate the DIA / ELL populations,
+* (b) high ER_DIA / ER_ELL dominate (ER_DIA less sharply — the exception
+  the paper uses to motivate NTdiags_ratio),
+* (c) NTdiags_ratio separates DIA more cleanly than ER_DIA,
+* (d) small var_RD dominates ELL,
+* (e) COO's power-law exponent concentrates in [1, 4].
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.types import FormatName
+from repro.util.stats import interval_histogram
+
+
+def beneficial(labelled_db, fmt: FormatName):
+    return [
+        r.features for r in labelled_db if r.features.best_format is fmt
+    ]
+
+
+@pytest.fixture(scope="module")
+def populations(labelled_db):
+    return {
+        fmt: beneficial(labelled_db, fmt)
+        for fmt in (FormatName.DIA, FormatName.ELL, FormatName.COO)
+    }
+
+
+def render(title: str, histogram) -> str:
+    lines = [title]
+    for label, fraction in zip(histogram.labels, histogram.fractions):
+        bar = "#" * int(round(fraction * 40))
+        lines.append(f"  {label:>14s} {100 * fraction:5.1f}% {bar}")
+    return "\n".join(lines)
+
+
+def test_fig6_parameter_distributions(
+    populations, report_dir, capsys, benchmark
+) -> None:
+    dia = populations[FormatName.DIA]
+    ell = populations[FormatName.ELL]
+    coo = populations[FormatName.COO]
+    blocks = []
+
+    # (a) Ndiags for DIA, max_RD for ELL.
+    h_ndiags = interval_histogram(
+        [f.ndiags for f in dia], edges=[0, 10, 30, 100, 1000]
+    )
+    blocks.append(render("(a1) DIA-beneficial matrices by Ndiags", h_ndiags))
+    h_maxrd = interval_histogram(
+        [f.max_rd for f in ell], edges=[0, 4, 8, 16, 64]
+    )
+    blocks.append(render("(a2) ELL-beneficial matrices by max_RD", h_maxrd))
+
+    # (b) Fill ratios.
+    ratio_edges = [0.0, 0.25, 0.5, 0.75, 0.9]
+    h_erdia = interval_histogram([f.er_dia for f in dia], ratio_edges)
+    blocks.append(render("(b1) DIA-beneficial matrices by ER_DIA", h_erdia))
+    h_erell = interval_histogram([f.er_ell for f in ell], ratio_edges)
+    blocks.append(render("(b2) ELL-beneficial matrices by ER_ELL", h_erell))
+
+    # (c) NTdiags_ratio.
+    h_nt = interval_histogram([f.ntdiags_ratio for f in dia], ratio_edges)
+    blocks.append(
+        render("(c)  DIA-beneficial matrices by NTdiags_ratio", h_nt)
+    )
+
+    # (d) var_RD.
+    h_var = interval_histogram(
+        [f.var_rd for f in ell], edges=[0.0, 0.5, 2.0, 10.0, 100.0]
+    )
+    blocks.append(render("(d)  ELL-beneficial matrices by var_RD", h_var))
+
+    # (e) power-law R for COO ('inf' = no power law).
+    finite_r = [f.r for f in coo if math.isfinite(f.r)]
+    h_r = interval_histogram(finite_r, edges=[0.0, 1.0, 2.0, 3.0, 4.0])
+    blocks.append(
+        render(
+            f"(e)  COO-beneficial matrices by R "
+            f"({len(finite_r)}/{len(coo)} scale-free)",
+            h_r,
+        )
+    )
+
+    emit(
+        capsys, report_dir, "fig6_parameter_distributions",
+        "Figure 6: beneficial-matrix distributions\n" + "\n".join(blocks),
+    )
+
+    # Shape assertions (the paper's stated trends).
+    assert sum(h_ndiags.fractions[:2]) > 0.6  # small Ndiags favours DIA
+    assert sum(h_maxrd.fractions[:2]) > 0.6  # small max_RD favours ELL
+    assert h_erell.fractions[-1] > 0.5  # high fill favours ELL
+    assert h_nt.fractions[-1] > 0.5  # true diagonals favour DIA
+    assert sum(h_var.fractions[:2]) > 0.6  # low variance favours ELL
+    # (c) vs (b1): NTdiags_ratio separates DIA more sharply than ER_DIA.
+    assert h_nt.fractions[-1] >= h_erdia.fractions[-1]
+    # (e): the COO population that is scale-free sits in R within [1, 4].
+    if finite_r:
+        in_band = sum(1 for r in finite_r if 1.0 <= r <= 4.0)
+        assert in_band / len(finite_r) > 0.8
+
+    benchmark(
+        lambda: interval_histogram([f.ndiags for f in dia],
+                                   [0, 10, 30, 100, 1000])
+    )

@@ -1,0 +1,114 @@
+"""Shared bench fixtures: the trained tuner, the labelled collection, and
+report writing.
+
+Heavy artifacts (the labelled feature database and the trained model) are
+built once and cached under ``benchmarks/_cache`` so re-runs are fast.
+Scales are controlled by environment variables:
+
+* ``REPRO_BENCH_SCALE``   — fraction of the 2376-matrix collection used for
+  training (default 0.5; 1.0 reproduces the paper's full set).
+* ``REPRO_BENCH_SIZE``    — matrix size multiplier (default 0.5).
+* ``REPRO_REP_SIZE``      — representative-matrix size multiplier
+  (default 0.1 of the paper's dimensions).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.collection import generate_collection
+from repro.features import extract_features
+from repro.io import FeatureDatabase, FeatureRecord
+from repro.machine import (
+    AMD_OPTERON_6168,
+    INTEL_XEON_X5680,
+    SimulatedBackend,
+)
+from repro.tuner import SMAT, search_kernels
+from repro.tuner.smat import label_matrix
+from repro.types import Precision
+
+CACHE_DIR = Path(__file__).parent / "_cache"
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+BENCH_SIZE = float(os.environ.get("REPRO_BENCH_SIZE", "0.5"))
+REP_SIZE = float(os.environ.get("REPRO_REP_SIZE", "0.1"))
+
+#: Cache version: bump when the cost model or collection changes.
+CACHE_TAG = f"v1_s{BENCH_SCALE}_z{BENCH_SIZE}"
+
+
+@pytest.fixture(scope="session")
+def intel_backend() -> SimulatedBackend:
+    return SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+
+
+@pytest.fixture(scope="session")
+def amd_backend() -> SimulatedBackend:
+    return SimulatedBackend(AMD_OPTERON_6168, Precision.DOUBLE)
+
+
+@pytest.fixture(scope="session")
+def kernels(intel_backend):
+    return search_kernels(intel_backend)
+
+
+@pytest.fixture(scope="session")
+def labelled_db(intel_backend, kernels) -> FeatureDatabase:
+    """The labelled synthetic collection (with domain info), disk-cached."""
+    CACHE_DIR.mkdir(exist_ok=True)
+    path = CACHE_DIR / f"features_{CACHE_TAG}.jsonl"
+    db = FeatureDatabase(path)
+    if path.exists():
+        return db
+    records = []
+    for spec, matrix in generate_collection(
+        scale=BENCH_SCALE, size_scale=BENCH_SIZE, seed=2013
+    ):
+        features = extract_features(matrix)
+        label = label_matrix(matrix, features, kernels, intel_backend)
+        records.append(
+            FeatureRecord(
+                name=spec.name,
+                domain=spec.domain,
+                features=features.with_label(label),
+            )
+        )
+    db.write_all(records)
+    return db
+
+
+@pytest.fixture(scope="session")
+def smat(labelled_db, kernels, intel_backend) -> SMAT:
+    """The trained tuner (trained on a held-in split of the collection)."""
+    dataset = labelled_db.to_dataset()
+    train, _ = dataset.split(0.14, seed=5)
+    from repro.learning import train_model
+
+    model = train_model(train, min_leaf=8, max_depth=10)
+    return SMAT(model=model, kernels=kernels, backend=intel_backend)
+
+
+@pytest.fixture(scope="session")
+def heldout_dataset(labelled_db):
+    """The evaluation split (the paper's 331 held-out matrices)."""
+    dataset = labelled_db.to_dataset()
+    _, test = dataset.split(0.14, seed=5)
+    return test
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(capsys, report_dir: Path, name: str, text: str) -> None:
+    """Print a bench table to the live terminal and save it to disk."""
+    (report_dir / f"{name}.txt").write_text(text + "\n")
+    with capsys.disabled():
+        print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Calibrate the cost model to THIS machine and cross-check it.
+
+The paper's portability claim (Section 3) is that SMAT re-tunes per
+architecture. This example runs the calibration probes on the local host,
+builds a simulated backend from the fitted parameters, and compares the
+model's per-format predictions against actual wall-clock measurements of
+the NumPy kernels — the ordering should agree even though the absolute
+numbers are rough.
+
+Run:  python examples/host_calibration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collection import banded, graphs
+from repro.features import extract_features
+from repro.formats.convert import convert
+from repro.kernels import Strategy, find_kernel, strategy_set
+from repro.machine import WallClockBackend, calibrate_host, gflops
+from repro.machine.costmodel import estimate_spmv_time
+from repro.types import BASIC_FORMATS, FormatName, Precision
+
+
+def main() -> None:
+    print("Calibrating the cost model to this host (two DIA probes)...")
+    result = calibrate_host(repeats=3)
+    print(" ", result.describe())
+
+    wall = WallClockBackend(repeats=3, warmup=1)
+    strategies = strategy_set(Strategy.VECTORIZE)
+    inputs = [
+        ("banded 9-diag", banded.banded_matrix(50_000, 9, seed=1)),
+        ("uniform degree-4", graphs.uniform_bipartite(50_000, 50_000, 4,
+                                                      seed=2)),
+    ]
+    for name, matrix in inputs:
+        features = extract_features(matrix)
+        x = np.ones(matrix.n_cols)
+        print(f"\n{name} ({matrix.n_rows} rows, {matrix.nnz} nnz):")
+        print(f"  {'format':>6s} {'model GFLOPS':>14s} {'wall GFLOPS':>13s}")
+        rows = []
+        for fmt in BASIC_FORMATS:
+            try:
+                converted, _ = convert(matrix, fmt, fill_budget=50.0)
+            except Exception:
+                continue
+            kernel = (
+                find_kernel(fmt, strategies | {Strategy.ROW_BLOCK})
+                if fmt in (FormatName.DIA, FormatName.ELL)
+                else find_kernel(fmt, strategies)
+            )
+            model_s = estimate_spmv_time(
+                result.architecture, fmt, features,
+                Precision.DOUBLE, kernel.strategies,
+            )
+            wall_s = wall.measure(kernel, converted, features, x)
+            rows.append((fmt, model_s, wall_s))
+            print(f"  {fmt.value:>6s} {gflops(matrix.nnz, model_s):>14.2f} "
+                  f"{gflops(matrix.nnz, wall_s):>13.2f}")
+        model_best = min(rows, key=lambda r: r[1])[0]
+        wall_best = min(rows, key=lambda r: r[2])[0]
+        agreement = "agree" if model_best is wall_best else "disagree"
+        print(f"  fastest: model says {model_best.value}, "
+              f"wall clock says {wall_best.value} ({agreement})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""PageRank over a power-law web graph with a tuned SpMV backend.
+
+The intro's data-intensive motivation: graph analytics spend their time in
+SpMV over scale-free adjacency matrices, exactly where CSR does worst and
+COO shines.  This example runs the same power iteration with the plain CSR
+kernel and with the SMAT-prepared operator and compares the simulated
+per-iteration cost.
+
+Run:  python examples/pagerank_graph.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import pagerank
+from repro.apps.pagerank import build_transition_transpose
+from repro.collection import generate_collection, graphs
+from repro.features import extract_features
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend, gflops
+from repro.tuner import SMAT
+from repro.types import Precision
+
+
+def main() -> None:
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+    print("Training SMAT (offline)...")
+    smat = SMAT.train(
+        generate_collection(scale=0.08, size_scale=0.4, seed=42),
+        backend=backend,
+    )
+
+    print("\nBuilding a 20k-node power-law web graph...")
+    graph = graphs.power_law_graph(20_000, exponent=2.1, seed=11)
+    transition = build_transition_transpose(graph)
+    features = extract_features(transition)
+    print(f"  {graph.n_rows} nodes, {graph.nnz} edges, "
+          f"power-law exponent R = {features.r:.2f}")
+
+    # Plain CSR backend (what a CSR-only library would do).
+    result_csr = pagerank(graph, tol=1e-10)
+
+    # SMAT-prepared backend: decide once, reuse across iterations.
+    prepared = smat.prepare(transition)
+    result_smat = pagerank(graph, tol=1e-10, spmv=prepared)
+    decision = prepared.decision
+
+    print(f"\nSMAT chose {decision.format_name.value} "
+          f"(kernel {decision.kernel.name}) for the transition matrix.")
+    print(f"  converged in {result_smat.iterations} iterations "
+          f"(CSR run: {result_csr.iterations})")
+    top = np.argsort(result_smat.ranks)[::-1][:5]
+    print(f"  top-5 hub nodes: {top.tolist()}")
+
+    # Per-iteration simulated cost comparison.
+    from repro.kernels import Strategy, find_kernel, strategy_set
+    from repro.types import FormatName
+
+    csr_kernel = find_kernel(
+        FormatName.CSR, strategy_set(Strategy.VECTORIZE, Strategy.PARALLEL)
+    )
+    csr_time = backend.measure(csr_kernel, transition, features)
+    smat_time = backend.measure(decision.kernel, decision.matrix, features)
+    print(f"\nSimulated per-iteration SpMV:")
+    print(f"  CSR : {csr_time * 1e6:8.1f} us "
+          f"({gflops(transition.nnz, csr_time):5.2f} GFLOPS)")
+    print(f"  SMAT: {smat_time * 1e6:8.1f} us "
+          f"({gflops(transition.nnz, smat_time):5.2f} GFLOPS)")
+    print(f"  speedup: {csr_time / smat_time:.2f}x")
+
+    np.testing.assert_allclose(
+        result_csr.ranks, result_smat.ranks, atol=1e-8
+    )
+    print("\nRank vectors from both backends agree.")
+
+
+if __name__ == "__main__":
+    main()

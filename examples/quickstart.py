@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: the unified CSR interface end to end.
+
+Trains a small SMAT instance offline (reduced synthetic collection,
+simulated Intel Xeon X5680 backend), then feeds it matrices with very
+different structures and shows the format + kernel it picks for each —
+the paper's headline behaviour: one interface, input-adaptive execution.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collection import banded, generate_collection, graphs, grids
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend, gflops
+from repro.tuner import SMAT
+from repro.types import Precision
+
+
+def main() -> None:
+    print("=== SMAT quickstart ===")
+    print("Offline stage: kernel search + training on a synthetic")
+    print("collection (~190 matrices, simulated Intel Xeon X5680)...")
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+    smat = SMAT.train(
+        generate_collection(scale=0.08, size_scale=0.4, seed=42),
+        backend=backend,
+    )
+    print(f"  learned {len(smat.model.tailored_ruleset)} rules "
+          f"(training accuracy {smat.model.training_accuracy:.1%})")
+    for group in smat.model.grouped.groups:
+        print(f"  {group.format_name.value:4s} group: "
+              f"{len(group.rules)} rules, "
+              f"confidence {group.format_confidence:.2f}")
+
+    print("\nOnline stage: one interface, four very different matrices.")
+    inputs = [
+        ("2-D Poisson operator (banded)", grids.laplacian_5pt(60)),
+        ("finite-element band matrix", banded.banded_matrix(4000, 9, seed=1)),
+        ("uniform-degree incidence", graphs.uniform_bipartite(5000, 5000, 3, seed=2)),
+        ("power-law web graph", graphs.power_law_graph(6000, exponent=2.2, seed=3)),
+    ]
+    for name, matrix in inputs:
+        x = np.ones(matrix.n_cols)
+        y, decision = smat.spmv(matrix, x)
+        path = "execute-and-measure" if decision.used_fallback else "model"
+        est = backend.measure(decision.kernel, decision.matrix,
+                              _features(matrix))
+        print(f"  {name:32s} -> {decision.format_name.value:4s} "
+              f"({decision.kernel.name}), via {path}, "
+              f"confidence {decision.confidence:.2f}, "
+              f"{gflops(matrix.nnz, est):5.1f} simulated GFLOPS")
+        reference = matrix.spmv(x)
+        assert np.allclose(y, reference, atol=1e-9), "SpMV mismatch!"
+
+    print("\nEvery product was verified against the reference CSR kernel.")
+
+
+def _features(matrix):
+    from repro.features import extract_features
+
+    return extract_features(matrix)
+
+
+if __name__ == "__main__":
+    main()

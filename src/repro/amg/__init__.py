@@ -1,0 +1,34 @@
+"""Algebraic multigrid substrate — the Hypre substitute (Section 7.4)."""
+
+from repro.amg.coarsen import COARSENERS, cljp_coarsen, coarsen, ruge_stueben_coarsen
+from repro.amg.engine import CsrEngine, PreparedOperator, SmatEngine, SpmvEngine
+from repro.amg.hierarchy import Hierarchy, Level, setup_hierarchy
+from repro.amg.interpolation import direct_interpolation
+from repro.amg.krylov import CGReport, amg_preconditioner, conjugate_gradient
+from repro.amg.relaxation import chebyshev, gauss_seidel, jacobi
+from repro.amg.solver import AMGSolver, SolveReport
+from repro.amg.strength import strength_graph
+
+__all__ = [
+    "AMGSolver",
+    "CGReport",
+    "COARSENERS",
+    "CsrEngine",
+    "amg_preconditioner",
+    "chebyshev",
+    "conjugate_gradient",
+    "Hierarchy",
+    "Level",
+    "PreparedOperator",
+    "SmatEngine",
+    "SolveReport",
+    "SpmvEngine",
+    "cljp_coarsen",
+    "coarsen",
+    "direct_interpolation",
+    "gauss_seidel",
+    "jacobi",
+    "ruge_stueben_coarsen",
+    "setup_hierarchy",
+    "strength_graph",
+]

@@ -1,0 +1,129 @@
+"""AMG hierarchy setup: levels of grid and transfer operators (Figure 11).
+
+The setup process builds operators ``A_0 ... A_{N-1}`` and transfers
+``P_0 ... P_{N-2}`` by repeated strength/coarsen/interpolate/Galerkin steps
+— the "series of different sparse matrices" whose drifting structure
+motivates SMAT's per-level format selection (Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.amg.coarsen import coarsen
+from repro.amg.engine import CsrEngine, PreparedOperator, SpmvEngine
+from repro.amg.interpolation import direct_interpolation
+from repro.amg.strength import DEFAULT_THETA, strength_graph
+from repro.errors import SolverError
+from repro.formats.csr import CSRMatrix
+from repro.formats.ops import matmul, transpose
+from repro.util.rng import SeedLike
+
+
+@dataclass
+class Level:
+    """One grid level: its operator, transfers, and prepared kernels."""
+
+    matrix: CSRMatrix
+    a_op: PreparedOperator
+    #: Prolongation to this level from the next-coarser one (None on the
+    #: coarsest level).
+    p: Optional[CSRMatrix] = None
+    p_op: Optional[PreparedOperator] = None
+    r: Optional[CSRMatrix] = None
+    r_op: Optional[PreparedOperator] = None
+    diag: Optional[np.ndarray] = None
+
+
+@dataclass
+class Hierarchy:
+    """The assembled multigrid hierarchy."""
+
+    levels: List[Level]
+    coarsen_method: str
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def operator_complexity(self) -> float:
+        """sum(nnz of all A) / nnz(A_0) — the standard AMG quality metric."""
+        fine_nnz = self.levels[0].matrix.nnz
+        return sum(level.matrix.nnz for level in self.levels) / fine_nnz
+
+    def simulated_seconds(self) -> float:
+        """Total simulated SpMV time across all prepared operators."""
+        total = 0.0
+        for level in self.levels:
+            total += level.a_op.simulated_seconds
+            if level.p_op is not None:
+                total += level.p_op.simulated_seconds
+            if level.r_op is not None:
+                total += level.r_op.simulated_seconds
+        return total
+
+    def format_by_level(self) -> List[dict]:
+        """Per-level chosen formats — the Figure 1 story."""
+        rows = []
+        for i, level in enumerate(self.levels):
+            rows.append(
+                {
+                    "level": i,
+                    "rows": level.matrix.n_rows,
+                    "nnz": level.matrix.nnz,
+                    "a_format": level.a_op.format_name.value,
+                    "p_format": (
+                        level.p_op.format_name.value if level.p_op else None
+                    ),
+                }
+            )
+        return rows
+
+
+def setup_hierarchy(
+    matrix: CSRMatrix,
+    engine: Optional[SpmvEngine] = None,
+    coarsen_method: str = "rugeL",
+    theta: float = DEFAULT_THETA,
+    max_levels: int = 12,
+    min_coarse: int = 40,
+    seed: SeedLike = 0,
+) -> Hierarchy:
+    """Build the multigrid hierarchy for ``matrix``."""
+    if matrix.n_rows != matrix.n_cols:
+        raise SolverError(f"AMG needs a square operator, got {matrix.shape}")
+    engine = engine or CsrEngine()
+
+    from repro.formats.ops import diagonal as diag_of
+
+    levels: List[Level] = []
+    current = matrix
+    while True:
+        level = Level(
+            matrix=current,
+            a_op=engine.prepare(current),
+            diag=diag_of(current),
+        )
+        levels.append(level)
+        if len(levels) >= max_levels or current.n_rows <= min_coarse:
+            break
+
+        strength = strength_graph(current, theta=theta)
+        coarse_mask = coarsen(strength, method=coarsen_method, seed=seed)
+        n_coarse = int(coarse_mask.sum())
+        if n_coarse == 0 or n_coarse >= current.n_rows:
+            break  # coarsening stalled; stop here
+        p = direct_interpolation(current, strength, coarse_mask)
+        r = transpose(p)
+        level.p = p
+        level.p_op = engine.prepare(p)
+        level.r = r
+        level.r_op = engine.prepare(r)
+        current = matmul(r, matmul(current, p))
+        if current.n_rows >= level.matrix.n_rows:
+            break
+
+    return Hierarchy(levels=levels, coarsen_method=coarsen_method)

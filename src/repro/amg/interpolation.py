@@ -1,0 +1,107 @@
+"""Direct interpolation (classical AMG prolongation).
+
+Coarse points interpolate themselves (identity rows); each fine point
+interpolates from its strong coarse neighbours with the classical direct
+weights ``w_ij = -beta_i * a_ij / a_ii`` where ``beta_i`` rescales so the
+full row sum is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.formats.csr import CSRMatrix
+from repro.formats.ops import diagonal
+from repro.types import INDEX_DTYPE
+
+
+def direct_interpolation(
+    matrix: CSRMatrix, strength: CSRMatrix, coarse_mask: np.ndarray
+) -> CSRMatrix:
+    """Build the prolongation ``P`` (n_fine+n_coarse x n_coarse)."""
+    n = matrix.n_rows
+    coarse_mask = np.asarray(coarse_mask, dtype=bool)
+    if coarse_mask.shape[0] != n:
+        raise SolverError(
+            f"coarse mask needs {n} entries, got {coarse_mask.shape[0]}"
+        )
+    n_coarse = int(coarse_mask.sum())
+    if n_coarse == 0:
+        raise SolverError("coarsening selected no coarse points")
+    coarse_id = np.full(n, -1, dtype=INDEX_DTYPE)
+    coarse_id[coarse_mask] = np.arange(n_coarse, dtype=INDEX_DTYPE)
+
+    diag = diagonal(matrix)
+    if np.any(diag == 0.0):
+        raise SolverError("matrix has zero diagonal entries")
+
+    degrees = matrix.row_degrees()
+    rows = np.repeat(np.arange(n, dtype=INDEX_DTYPE), degrees)
+    cols = matrix.indices
+    vals = matrix.data
+    off_diag = rows != cols
+
+    # Strong C-neighbour flags per stored entry: an entry (i, j) interpolates
+    # when j is coarse and (i, j) is a strong connection.
+    strong = _entry_strength_mask(matrix, strength)
+    interp_entry = off_diag & strong & coarse_mask[cols] & ~coarse_mask[rows]
+
+    # beta_i = (sum of all off-diagonal a_ik) / (sum over interp entries).
+    row_sum = np.zeros(n)
+    np.add.at(row_sum, rows[off_diag], vals[off_diag])
+    interp_sum = np.zeros(n)
+    np.add.at(interp_sum, rows[interp_entry], vals[interp_entry])
+
+    fine_mask = ~coarse_mask
+    no_anchor = fine_mask & (interp_sum == 0.0)
+    if np.any(no_anchor):
+        # Fine points with no strong coarse neighbour cannot interpolate;
+        # promote them (standard second-pass fix-up).
+        coarse_mask = coarse_mask | no_anchor
+        return direct_interpolation(matrix, strength, coarse_mask)
+
+    beta = np.zeros(n)
+    beta[fine_mask] = row_sum[fine_mask] / interp_sum[fine_mask]
+
+    p_rows = [np.nonzero(coarse_mask)[0].astype(INDEX_DTYPE)]
+    p_cols = [coarse_id[coarse_mask]]
+    p_vals = [np.ones(n_coarse, dtype=matrix.dtype)]
+
+    fr = rows[interp_entry]
+    p_rows.append(fr)
+    p_cols.append(coarse_id[cols[interp_entry]])
+    p_vals.append(
+        (-beta[fr] * vals[interp_entry] / diag[fr]).astype(matrix.dtype)
+    )
+
+    return CSRMatrix.from_triplets(
+        np.concatenate(p_rows),
+        np.concatenate(p_cols),
+        np.concatenate(p_vals),
+        (n, n_coarse),
+    )
+
+
+def _entry_strength_mask(
+    matrix: CSRMatrix, strength: CSRMatrix
+) -> np.ndarray:
+    """Boolean per-stored-entry: is (row, col) a strong connection?
+
+    Both matrices have canonically sorted rows, so a merged key comparison
+    (row * n_cols + col) with ``np.isin``-style search stays vectorized.
+    """
+    n_cols = matrix.n_cols
+    m_rows = np.repeat(
+        np.arange(matrix.n_rows, dtype=INDEX_DTYPE), matrix.row_degrees()
+    )
+    s_rows = np.repeat(
+        np.arange(strength.n_rows, dtype=INDEX_DTYPE), strength.row_degrees()
+    )
+    m_keys = m_rows * n_cols + matrix.indices
+    s_keys = s_rows * n_cols + strength.indices
+    positions = np.searchsorted(s_keys, m_keys)
+    positions = np.minimum(positions, max(s_keys.shape[0] - 1, 0))
+    if s_keys.shape[0] == 0:
+        return np.zeros(m_keys.shape[0], dtype=bool)
+    return s_keys[positions] == m_keys

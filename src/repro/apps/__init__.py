@@ -1,0 +1,6 @@
+"""Application workloads built on the tuned SpMV (the intro's motivation)."""
+
+from repro.apps.hits import HITSResult, hits
+from repro.apps.pagerank import PageRankResult, pagerank
+
+__all__ = ["HITSResult", "PageRankResult", "hits", "pagerank"]

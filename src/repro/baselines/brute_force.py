@@ -1,0 +1,70 @@
+"""Brute-force search baseline (Section 7.3's overhead comparison).
+
+"As a straightforward way to search for the optimal result, one option is
+to run SpMV kernels for all formats one by one" — paying full conversion
+plus execution cost for every candidate.  The paper charges this simple
+search ~45 CSR-SpMVs against SMAT's ~2-16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConversionError
+from repro.features.extract import extract_features
+from repro.formats.convert import convert
+from repro.formats.csr import CSRMatrix
+from repro.kernels.base import find_kernel
+from repro.kernels.strategies import Strategy, strategy_set
+from repro.machine.measure import MeasurementBackend
+from repro.types import BASIC_FORMATS, FormatName
+
+_STRATEGIES = strategy_set(Strategy.VECTORIZE, Strategy.PARALLEL)
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Outcome and cost accounting of the exhaustive search."""
+
+    best_format: FormatName
+    times: Dict[FormatName, float]
+    #: Total search cost in CSR-SpMV units (conversion + execution).
+    overhead_units: float
+
+
+def brute_force_search(
+    matrix: CSRMatrix,
+    backend: MeasurementBackend,
+    repeats: int = 1,
+    formats: Tuple[FormatName, ...] = BASIC_FORMATS,
+) -> BruteForceResult:
+    """Convert to every format, run each, keep the fastest.
+
+    ``repeats`` mirrors how many timed executions the search spends per
+    candidate.  Conversion blow-ups (e.g. a power-law matrix to DIA) are
+    still *attempted* — that is the point of the baseline — but capped at a
+    generous fill budget so the search terminates.
+    """
+    features = extract_features(matrix)
+    csr_unit = backend.measure(
+        find_kernel(FormatName.CSR, _STRATEGIES), matrix, features
+    )
+
+    times: Dict[FormatName, float] = {}
+    overhead = 0.0
+    for fmt in formats:
+        try:
+            converted, cost = convert(matrix, fmt, fill_budget=100.0)
+        except ConversionError:
+            continue
+        overhead += cost.csr_spmv_units()
+        kernel = find_kernel(fmt, _STRATEGIES)
+        seconds = backend.measure(kernel, converted, features)
+        times[fmt] = seconds
+        overhead += repeats * seconds / csr_unit
+
+    best = min(times, key=lambda f: times[f])
+    return BruteForceResult(
+        best_format=best, times=times, overhead_units=overhead
+    )

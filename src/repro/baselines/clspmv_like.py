@@ -1,0 +1,61 @@
+"""clSpMV-style baseline (Section 8's "Prediction Model" comparison).
+
+clSpMV decides the format using *offline maximum GFLOPS per format*: in the
+online stage it estimates each format's performance from the best number
+that format ever achieved during offline benchmarking, rather than from the
+input matrix's own features.  The paper argues this is "not representative
+enough" — a format's ceiling says little about how it treats *this* matrix.
+Reproducing the baseline lets the ablation bench quantify that argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.features.extract import extract_features
+from repro.features.parameters import FeatureVector
+from repro.formats.csr import CSRMatrix
+from repro.machine.measure import MeasurementBackend, gflops
+from repro.tuner.search import KernelSearchResult
+from repro.types import BASIC_FORMATS, FormatName
+
+
+@dataclass
+class ClSpmvModel:
+    """Offline max-GFLOPS table plus the format ceilings decision rule."""
+
+    max_gflops: Dict[FormatName, float]
+
+    def predict(self, features: FeatureVector) -> FormatName:
+        """Pick the format with the best *offline ceiling*, discounted by
+        the matrix's storage blow-up (clSpMV's only input sensitivity)."""
+        scores: Dict[FormatName, float] = {}
+        for fmt, ceiling in self.max_gflops.items():
+            efficiency = 1.0
+            if fmt is FormatName.DIA:
+                efficiency = features.er_dia
+            elif fmt is FormatName.ELL:
+                efficiency = features.er_ell
+            scores[fmt] = ceiling * efficiency
+        return max(scores, key=lambda f: (scores[f], f.value))
+
+
+def train_clspmv(
+    collection: Iterable,
+    kernels: KernelSearchResult,
+    backend: MeasurementBackend,
+    formats: Tuple[FormatName, ...] = BASIC_FORMATS,
+) -> ClSpmvModel:
+    """Offline stage: record the maximum GFLOPS each format reaches."""
+    ceilings = {fmt: 0.0 for fmt in formats}
+    for _, matrix in collection:
+        features = extract_features(matrix)
+        for fmt in formats:
+            seconds = backend.measure(
+                kernels.kernel_for(fmt), None, features
+            )
+            ceilings[fmt] = max(
+                ceilings[fmt], gflops(features.nnz, seconds)
+            )
+    return ClSpmvModel(max_gflops=ceilings)

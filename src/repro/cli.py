@@ -1,0 +1,227 @@
+"""Command-line interface: the offline pipeline and quick predictions.
+
+``python -m repro <command>``:
+
+* ``build-db``   — generate + label the synthetic collection into a JSONL
+  feature database (the expensive offline measurement step),
+* ``train``      — train the ruleset model from a feature database and save
+  the reusable SMAT artifacts (model.json + kernels.json),
+* ``predict``    — decide the format for a Matrix Market file (or a built-in
+  demo matrix) with a saved model,
+* ``evaluate``   — confusion matrix / per-class report of a saved model on
+  a feature database,
+* ``stats``      — domain and format-affinity distribution of a database.
+
+Every command prints what it did and where artifacts landed; all
+randomness is seeded, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.types import Precision
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMAT sparse SpMV auto-tuner (PLDI 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    db = sub.add_parser("build-db", help="generate + label the collection")
+    db.add_argument("--out", type=Path, required=True,
+                    help="output JSONL feature database")
+    db.add_argument("--scale", type=float, default=0.1,
+                    help="fraction of the 2376-matrix collection (default 0.1)")
+    db.add_argument("--size-scale", type=float, default=0.5,
+                    help="matrix size multiplier (default 0.5)")
+    db.add_argument("--platform", default="intel", choices=["intel", "amd"])
+    db.add_argument("--precision", default="double",
+                    choices=["single", "double"])
+    db.add_argument("--seed", type=int, default=2013)
+
+    train = sub.add_parser("train", help="train a model from a database")
+    train.add_argument("--db", type=Path, required=True)
+    train.add_argument("--out", type=Path, required=True,
+                       help="output directory for model.json/kernels.json")
+    train.add_argument("--platform", default="intel",
+                       choices=["intel", "amd"])
+    train.add_argument("--min-leaf", type=int, default=8)
+    train.add_argument("--max-depth", type=int, default=10)
+    train.add_argument("--show-rules", action="store_true")
+
+    predict = sub.add_parser("predict", help="decide a matrix's format")
+    predict.add_argument("--model", type=Path, required=True)
+    source = predict.add_mutually_exclusive_group(required=True)
+    source.add_argument("--mtx", type=Path, help="Matrix Market file")
+    source.add_argument(
+        "--demo",
+        choices=["banded", "uniform", "powerlaw", "random"],
+        help="synthesize a demo matrix instead of reading one",
+    )
+    predict.add_argument("--platform", default="intel",
+                         choices=["intel", "amd"])
+
+    evaluate = sub.add_parser("evaluate", help="report model accuracy")
+    evaluate.add_argument("--model", type=Path, required=True)
+    evaluate.add_argument("--db", type=Path, required=True)
+
+    stats = sub.add_parser("stats", help="database distribution summary")
+    stats.add_argument("--db", type=Path, required=True)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "build-db": _cmd_build_db,
+        "train": _cmd_train,
+        "predict": _cmd_predict,
+        "evaluate": _cmd_evaluate,
+        "stats": _cmd_stats,
+    }[args.command]
+    return handler(args)
+
+
+# ---------------------------------------------------------------------------
+
+def _backend(platform_name: str, precision_name: str = "double"):
+    from repro.machine import SimulatedBackend, platform
+
+    return SimulatedBackend(
+        platform(platform_name), Precision(precision_name)
+    )
+
+
+def _cmd_build_db(args: argparse.Namespace) -> int:
+    from repro.collection import generate_collection
+    from repro.features import extract_features
+    from repro.io import FeatureDatabase, FeatureRecord
+    from repro.tuner import search_kernels
+    from repro.tuner.smat import label_matrix
+
+    backend = _backend(args.platform, args.precision)
+    kernels = search_kernels(backend)
+    records = []
+    for spec, matrix in generate_collection(
+        seed=args.seed, scale=args.scale, size_scale=args.size_scale
+    ):
+        features = extract_features(matrix)
+        label = label_matrix(matrix, features, kernels, backend)
+        records.append(
+            FeatureRecord(spec.name, spec.domain, features.with_label(label))
+        )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    FeatureDatabase(args.out).write_all(records)
+    print(f"labelled {len(records)} matrices -> {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.io import FeatureDatabase
+    from repro.tuner import SMAT
+
+    dataset = FeatureDatabase(args.db).to_dataset()
+    if len(dataset) == 0:
+        print(f"error: empty feature database {args.db}", file=sys.stderr)
+        return 1
+    backend = _backend(args.platform)
+    smat = SMAT.from_dataset(
+        dataset, backend=backend,
+        min_leaf=args.min_leaf, max_depth=args.max_depth,
+    )
+    smat.save(args.out)
+    print(
+        f"trained on {len(dataset)} records "
+        f"(training accuracy {smat.model.training_accuracy:.1%}); "
+        f"saved to {args.out}"
+    )
+    if args.show_rules:
+        print(smat.model.grouped.describe())
+    return 0
+
+
+def _demo_matrix(kind: str):
+    from repro.collection import banded, graphs, random_sparse
+
+    if kind == "banded":
+        return banded.banded_matrix(4000, 7, seed=1)
+    if kind == "uniform":
+        return graphs.uniform_bipartite(5000, 5000, 3, seed=2)
+    if kind == "powerlaw":
+        return graphs.power_law_graph(6000, exponent=2.2, seed=3)
+    return random_sparse.uniform_random(4000, 4000, 10.0, seed=4)
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.io import read_matrix_market
+    from repro.tuner import SMAT
+
+    backend = _backend(args.platform)
+    smat = SMAT.load(args.model, backend=backend)
+    if args.mtx is not None:
+        matrix = read_matrix_market(args.mtx)
+        source = str(args.mtx)
+    else:
+        matrix = _demo_matrix(args.demo)
+        source = f"demo:{args.demo}"
+    decision = smat.decide(matrix)
+    path = "execute-and-measure" if decision.used_fallback else "model"
+    print(f"matrix     : {source} ({matrix.n_rows}x{matrix.n_cols}, "
+          f"{matrix.nnz} nnz)")
+    print(f"prediction : {decision.predicted_format.value} "
+          f"(confidence {decision.confidence:.2f}, via {path})")
+    print(f"chosen     : {decision.format_name.value} "
+          f"[{decision.kernel.name}]")
+    print(f"overhead   : {decision.overhead_units:.1f} CSR-SpMVs")
+    if decision.matched_rule is not None:
+        print(f"rule       : {decision.matched_rule}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.io import FeatureDatabase
+    from repro.learning.model import LearningModel
+    from repro.learning.report import evaluate
+
+    model = LearningModel.load(Path(args.model) / "model.json")
+    dataset = FeatureDatabase(args.db).to_dataset()
+    if len(dataset) == 0:
+        print(f"error: empty feature database {args.db}", file=sys.stderr)
+        return 1
+    report = evaluate(model.predict_format, dataset)
+    print(report.describe())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.io import FeatureDatabase
+
+    db = FeatureDatabase(args.db)
+    records = list(db)
+    if not records:
+        print(f"error: empty feature database {args.db}", file=sys.stderr)
+        return 1
+    formats = Counter(r.features.best_format.value for r in records)
+    domains = Counter(r.domain for r in records)
+    total = len(records)
+    print(f"{total} records")
+    print("format affinity:")
+    for fmt, count in formats.most_common():
+        print(f"  {fmt:5s} {count:5d} ({100 * count / total:.0f}%)")
+    print("top domains:")
+    for domain, count in domains.most_common(8):
+        print(f"  {domain:35s} {count:5d}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Synthetic matrix collection — the UF-collection substitute (DESIGN.md)."""
+
+from repro.collection.collection import (
+    MatrixSpec,
+    collection_size,
+    generate_collection,
+    representatives,
+)
+from repro.collection.domains import (
+    DOMAIN_PROFILES,
+    TOTAL_COLLECTION_SIZE,
+    DomainProfile,
+    domain,
+)
+
+__all__ = [
+    "DOMAIN_PROFILES",
+    "DomainProfile",
+    "MatrixSpec",
+    "TOTAL_COLLECTION_SIZE",
+    "collection_size",
+    "domain",
+    "generate_collection",
+    "representatives",
+]

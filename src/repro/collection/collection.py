@@ -1,0 +1,144 @@
+"""The synthetic matrix collection and the 16 representative matrices.
+
+``generate_collection`` streams (spec, matrix) pairs covering the paper's
+23 application areas with Table 1's area proportions; ``representatives``
+rebuilds synthetic stand-ins for the 16 matrices of Figure 8.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.collection import banded, blocks, graphs, grids, random_sparse
+from repro.collection.domains import DOMAIN_PROFILES, TOTAL_COLLECTION_SIZE
+from repro.formats.csr import CSRMatrix
+from repro.util.rng import SeedLike, derive_rng, make_rng
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Identity of one collection matrix."""
+
+    index: int
+    name: str
+    domain: str
+
+
+def generate_collection(
+    seed: SeedLike = 2013,
+    scale: float = 1.0,
+    size_scale: float = 1.0,
+    max_matrices: Optional[int] = None,
+) -> Iterator[Tuple[MatrixSpec, CSRMatrix]]:
+    """Stream the synthetic UF-collection substitute.
+
+    ``scale`` shrinks the *number* of matrices proportionally per domain
+    (scale=1.0 reproduces all 2386); ``size_scale`` shrinks matrix sizes
+    for fast test runs.  Streaming keeps memory flat — the full collection
+    is never resident at once, just like the paper's training pipeline.
+    """
+    rng = make_rng(seed)
+    index = 0
+    for profile in DOMAIN_PROFILES:
+        count = max(1, round(profile.count * scale))
+        # zlib.crc32, NOT hash(): string hashing is randomized per process
+        # and would make the "same" collection differ run to run.
+        domain_salt = zlib.crc32(profile.name.encode()) & 0xFFFF
+        domain_rng = derive_rng(rng, domain_salt)
+        for i in range(count):
+            if max_matrices is not None and index >= max_matrices:
+                return
+            matrix = profile.sample(domain_rng, size_scale)
+            spec = MatrixSpec(
+                index=index,
+                name=f"{profile.name.replace(' ', '_')}_{i:04d}",
+                domain=profile.name,
+            )
+            yield spec, matrix
+            index += 1
+
+
+def collection_size(scale: float = 1.0) -> int:
+    """Number of matrices ``generate_collection`` will yield for ``scale``."""
+    return sum(max(1, round(p.count * scale)) for p in DOMAIN_PROFILES)
+
+
+# ---------------------------------------------------------------------------
+# The 16 representative matrices of Figure 8.
+# ---------------------------------------------------------------------------
+
+def representatives(
+    seed: SeedLike = 8, size_scale: float = 1.0
+) -> List[Tuple[MatrixSpec, CSRMatrix]]:
+    """Synthetic stand-ins for the paper's 16 representative matrices.
+
+    Names, application areas and the DIA/ELL/CSR/COO affinity grouping
+    follow Figure 8 (No.1-4 DIA, No.5-8 ELL, No.9-12 CSR, No.13-16 COO).
+    Dimensions are scaled down (``size_scale=1.0`` targets ~10-50k rows)
+    so the whole suite regenerates in seconds; the *feature vectors* sit in
+    the same regions as the originals, which is what drives every figure.
+    """
+    rng = make_rng(seed)
+    s = size_scale
+
+    def sz(value: int) -> int:
+        return max(100, int(value * s))
+
+    builders: List[Tuple[str, str, Callable[[], CSRMatrix]]] = [
+        # -- DIA affine (Figure 8 No.1-4) --
+        ("pcrystk02", "duplicate materials problem",
+         lambda: banded.fem_like_matrix(sz(14_000), 17, seed=derive_rng(rng, 1))),
+        ("denormal", "counter-example problem",
+         lambda: banded.banded_matrix(sz(89_000), 7, seed=derive_rng(rng, 2))),
+        ("cryg10000", "materials problem",
+         lambda: banded.banded_matrix(sz(10_000), 5, seed=derive_rng(rng, 3))),
+        ("apache1", "structural problem",
+         lambda: grids.laplacian_5pt(*grids.grid_shape_for_rows(sz(81_000), 2))),
+        # -- ELL affine (No.5-8) --
+        ("bfly", "undirected graph sequence",
+         lambda: graphs.uniform_bipartite(
+             sz(49_000), sz(49_000), 2, seed=derive_rng(rng, 5))),
+        ("whitaker3_dual", "2D/3D problem",
+         lambda: graphs.uniform_bipartite(
+             sz(19_000), sz(19_000), 3, seed=derive_rng(rng, 6))),
+        ("ch7-9-b3", "combinatorial problem",
+         lambda: graphs.uniform_bipartite(
+             sz(106_000), sz(18_000), 4, seed=derive_rng(rng, 7))),
+        ("shar_te2-b2", "combinatorial problem",
+         lambda: graphs.uniform_bipartite(
+             sz(200_000), sz(17_000), 3, seed=derive_rng(rng, 8))),
+        # -- CSR affine (No.9-12): sized to exceed the 12 MiB LLC even at
+        # size_scale=0.1, as the paper's multi-million-nnz originals do --
+        ("pkustk14", "structural problem",
+         lambda: blocks.block_structured(
+             sz(152_000), block_size=6, blocks_per_row=16,
+             seed=derive_rng(rng, 9))),
+        ("crankseg_2", "structural problem",
+         lambda: blocks.wide_row_matrix(
+             sz(64_000), aver_degree=200, seed=derive_rng(rng, 10))),
+        ("Ga3As3H12", "theoretical/quantum chemistry",
+         lambda: blocks.wide_row_matrix(
+             sz(122_000), aver_degree=97, seed=derive_rng(rng, 11))),
+        ("HV15R", "computational fluid dynamics",
+         lambda: blocks.wide_row_matrix(
+             sz(400_000), aver_degree=140, seed=derive_rng(rng, 12))),
+        # -- COO affine (No.13-16) --
+        ("europe_osm", "undirected graph",
+         lambda: graphs.road_network(sz(400_000), seed=derive_rng(rng, 13))),
+        ("D6-6", "combinatorial problem",
+         lambda: graphs.power_law_graph(
+             sz(121_000), exponent=2.0, seed=derive_rng(rng, 14))),
+        ("dictionary28", "undirected graph",
+         lambda: graphs.power_law_graph(
+             sz(53_000), exponent=2.2, seed=derive_rng(rng, 15))),
+        ("roadNet-CA", "undirected graph",
+         lambda: graphs.power_law_graph(
+             sz(200_000), exponent=2.4, seed=derive_rng(rng, 16))),
+    ]
+
+    result = []
+    for index, (name, domain_name, build) in enumerate(builders, start=1):
+        result.append((MatrixSpec(index, name, domain_name), build()))
+    return result

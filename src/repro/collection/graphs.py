@@ -1,0 +1,143 @@
+"""Graph adjacency matrix generators.
+
+Stand-ins for the UF collection's graph, circuit and web matrices: power-law
+(scale-free) degree distributions for the COO-affine cases, near-uniform
+low-degree meshes (road networks, combinatorial incidence matrices) for the
+ELL-affine cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.types import INDEX_DTYPE
+from repro.util.rng import SeedLike, make_rng
+
+
+def power_law_graph(
+    n: int,
+    exponent: float = 2.2,
+    max_degree: int = 0,
+    seed: SeedLike = None,
+    dtype: np.dtype = np.float64,
+) -> CSRMatrix:
+    """Adjacency matrix whose row degrees follow ``P(k) ~ k^-exponent``.
+
+    Built with a configuration-model-style sampler: degrees are drawn from
+    the discrete power law, then each row's neighbours are sampled with a
+    preferential bias so column access is also skewed (hub columns), as in
+    real web/social graphs.
+    """
+    rng = make_rng(seed)
+    max_degree = max_degree or max(16, n // 20)
+    ks = np.arange(1, max_degree + 1, dtype=np.float64)
+    probs = ks ** -float(exponent)
+    probs /= probs.sum()
+    degrees = rng.choice(
+        np.arange(1, max_degree + 1), size=n, p=probs
+    ).astype(INDEX_DTYPE)
+
+    rows = np.repeat(np.arange(n, dtype=INDEX_DTYPE), degrees)
+    # Preferential column choice: square a uniform draw to bias toward
+    # low-numbered "hub" vertices.
+    cols = (rng.random(rows.shape[0]) ** 2 * n).astype(INDEX_DTYPE)
+    cols = np.minimum(cols, n - 1)
+    vals = np.ones(rows.shape[0], dtype=dtype)
+    return CSRMatrix.from_triplets(rows, cols, vals, (n, n))
+
+
+def road_network(
+    n: int,
+    seed: SeedLike = None,
+    dtype: np.dtype = np.float64,
+) -> CSRMatrix:
+    """A planar-ish mesh with degrees concentrated on {1, 2, 3, 4} —
+    roadNet-CA / europe_osm style.  Low average degree with *bounded* skew:
+    power-law enough for COO, nothing like a hub-dominated web graph."""
+    rng = make_rng(seed)
+    degrees = rng.choice(
+        [1, 2, 3, 4, 5], size=n, p=[0.30, 0.34, 0.22, 0.10, 0.04]
+    ).astype(INDEX_DTYPE)
+    rows = np.repeat(np.arange(n, dtype=INDEX_DTYPE), degrees)
+    # Local connectivity: neighbours within a window around the row.
+    span = max(8, n // 100)
+    jitter = rng.integers(-span, span + 1, rows.shape[0])
+    cols = np.clip(rows + jitter, 0, n - 1).astype(INDEX_DTYPE)
+    vals = np.ones(rows.shape[0], dtype=dtype)
+    return CSRMatrix.from_triplets(rows, cols, vals, (n, n))
+
+
+def uniform_bipartite(
+    n_rows: int,
+    n_cols: int,
+    row_degree: int,
+    seed: SeedLike = None,
+    dtype: np.dtype = np.float64,
+) -> CSRMatrix:
+    """Incidence-style matrix with *exactly* ``row_degree`` entries per row
+    (ch7-9-b3 / shar_te2-b2 style) — var_RD = 0, the ELL sweet spot."""
+    rng = make_rng(seed)
+    row_degree = min(row_degree, n_cols)
+    # Strided column pattern: start + j*step (mod n_cols) gives exactly
+    # ``row_degree`` distinct columns per row without per-row sampling.
+    starts = rng.integers(0, n_cols, n_rows).astype(INDEX_DTYPE)
+    max_step = max(2, n_cols // max(row_degree, 1))
+    steps = rng.integers(1, max_step, n_rows).astype(INDEX_DTYPE)
+    j = np.arange(row_degree, dtype=INDEX_DTYPE)
+    cols = (starts[:, None] + steps[:, None] * j[None, :]) % n_cols
+    rows = np.repeat(np.arange(n_rows, dtype=INDEX_DTYPE), row_degree)
+    vals = np.ones(rows.shape[0], dtype=dtype)
+    return CSRMatrix.from_triplets(
+        rows, cols.reshape(-1), vals, (n_rows, n_cols)
+    )
+
+
+def small_world_graph(
+    n: int,
+    base_degree: int = 4,
+    rewire_fraction: float = 0.2,
+    seed: SeedLike = None,
+    dtype: np.dtype = np.float64,
+) -> CSRMatrix:
+    """Watts-Strogatz-style ring lattice with rewired long-range edges.
+
+    Mild degree variance plus a few long-range columns: sits between the
+    ELL and COO regions — useful training diversity near the boundary.
+    """
+    rng = make_rng(seed)
+    half = max(1, base_degree // 2)
+    rows_list = []
+    cols_list = []
+    for k in range(1, half + 1):
+        rr = np.arange(n, dtype=INDEX_DTYPE)
+        rows_list.extend([rr, rr])
+        cols_list.extend([(rr + k) % n, (rr - k) % n])
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list).astype(INDEX_DTYPE)
+    rewire = rng.random(rows.shape[0]) < rewire_fraction
+    cols[rewire] = rng.integers(0, n, int(rewire.sum()))
+    vals = np.ones(rows.shape[0], dtype=dtype)
+    return CSRMatrix.from_triplets(rows, cols, vals, (n, n))
+
+
+def circuit_matrix(
+    n: int,
+    seed: SeedLike = None,
+    dtype: np.dtype = np.float64,
+) -> CSRMatrix:
+    """Circuit-simulation style: a sparse diagonal spine plus a skewed tail
+    of couplings (a few dense rows for supply nets).  Circuit matrices split
+    CSR/COO in Table 1; this generator straddles that boundary."""
+    rng = make_rng(seed)
+    spine_rows = np.arange(n, dtype=INDEX_DTYPE)
+    tail_degrees = rng.geometric(0.5, size=n).astype(INDEX_DTYPE)
+    n_hubs = max(1, n // 200)
+    hub_ids = rng.choice(n, size=n_hubs, replace=False)
+    tail_degrees[hub_ids] += rng.integers(20, max(30, n // 20), n_hubs)
+    tail_rows = np.repeat(spine_rows, tail_degrees)
+    tail_cols = rng.integers(0, n, tail_rows.shape[0]).astype(INDEX_DTYPE)
+    rows = np.concatenate([spine_rows, tail_rows])
+    cols = np.concatenate([spine_rows, tail_cols])
+    vals = rng.uniform(0.5, 1.5, rows.shape[0]).astype(dtype)
+    return CSRMatrix.from_triplets(rows, cols, vals, (n, n))

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the SMAT reproduction.
+
+All library-raised exceptions derive from :class:`SmatError` so callers can
+catch everything coming out of the tuner with a single ``except`` clause while
+still being able to distinguish failure classes.
+"""
+
+from __future__ import annotations
+
+
+class SmatError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FormatError(SmatError):
+    """A sparse-matrix storage format was constructed from inconsistent data.
+
+    Examples: a CSR row pointer that is not monotonically non-decreasing, a
+    column index outside ``[0, n_cols)``, or mismatched array lengths.
+    """
+
+
+class ConversionError(SmatError):
+    """A format conversion is impossible or would be pathological.
+
+    DIA and ELL conversions raise this when the zero-fill explosion exceeds
+    the configured budget (e.g. converting a random matrix with a million
+    distinct diagonals to DIA).
+    """
+
+
+class KernelError(SmatError):
+    """No kernel implementation matches the requested format/strategy set."""
+
+
+class LearningError(SmatError):
+    """The learning subsystem received unusable training data.
+
+    Raised for empty datasets, single-class datasets where a tree is
+    requested with ``min_leaf`` larger than the dataset, or malformed
+    serialized models.
+    """
+
+
+class TuningError(SmatError):
+    """The tuner could not produce a decision.
+
+    This indicates a configuration problem (no trained model and fallback
+    disabled), never a property of the input matrix: any CSR matrix can at
+    minimum run the reference CSR kernel.
+    """
+
+
+class SolverError(SmatError):
+    """The AMG solver failed to set up a hierarchy or did not converge."""

@@ -1,0 +1,22 @@
+"""Sparse-structure feature extraction (Section 4, Table 2)."""
+
+from repro.features.extract import (
+    TRUE_DIAGONAL_THRESHOLD,
+    extract_features,
+    extract_powerlaw_feature,
+    extract_structure_features,
+)
+from repro.features.incremental import LazyFeatures
+from repro.features.parameters import FEATURE_NAMES, FeatureVector
+from repro.features.powerlaw import estimate_power_law_exponent
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FeatureVector",
+    "LazyFeatures",
+    "TRUE_DIAGONAL_THRESHOLD",
+    "estimate_power_law_exponent",
+    "extract_features",
+    "extract_powerlaw_feature",
+    "extract_structure_features",
+]

@@ -1,0 +1,105 @@
+"""The feature vector of Table 2.
+
+Eleven parameters abstract a sparse matrix's structure:
+
+==============  =====================================================
+paper name      meaning
+==============  =====================================================
+M               number of rows
+N               number of columns
+Ndiags          number of occupied diagonals
+NTdiags_ratio   "true" (mostly-dense) diagonals / Ndiags
+NNZ             number of non-zeros
+aver_RD         NNZ / M (average row degree)
+max_RD          maximum row degree
+var_RD          population variance of row degrees
+ER_DIA          NNZ / (Ndiags * M)   — DIA fill ratio
+ER_ELL          NNZ / (max_RD * M)   — ELL fill ratio
+R               power-law exponent of the row-degree distribution
+==============  =====================================================
+
+``R`` is ``inf`` when the matrix has no scale-free structure, matching the
+paper's t2d_q9 example record ``{..., inf, DIA}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+from repro.types import FormatName
+
+#: Attribute order used for training records and model serialization.
+FEATURE_NAMES = (
+    "m",
+    "n",
+    "ndiags",
+    "ntdiags_ratio",
+    "nnz",
+    "aver_rd",
+    "max_rd",
+    "var_rd",
+    "er_dia",
+    "er_ell",
+    "r",
+)
+
+#: Mapping from our attribute names to the paper's parameter names.
+PAPER_NAMES = {
+    "m": "M",
+    "n": "N",
+    "ndiags": "Ndiags",
+    "ntdiags_ratio": "NTdiags_ratio",
+    "nnz": "NNZ",
+    "aver_rd": "aver_RD",
+    "max_rd": "max_RD",
+    "var_rd": "var_RD",
+    "er_dia": "ER_DIA",
+    "er_ell": "ER_ELL",
+    "r": "R",
+}
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """One matrix's feature record; ``best_format`` is the target attribute
+    present only on training records."""
+
+    m: int
+    n: int
+    ndiags: int
+    ntdiags_ratio: float
+    nnz: int
+    aver_rd: float
+    max_rd: int
+    var_rd: float
+    er_dia: float
+    er_ell: float
+    r: float
+    best_format: Optional[FormatName] = None
+
+    def value(self, name: str) -> float:
+        """Numeric value of one attribute (used by the decision tree)."""
+        return float(getattr(self, name))
+
+    def as_dict(self, paper_names: bool = False) -> Dict[str, float]:
+        """The 11 numeric attributes as a dict (no target)."""
+        if paper_names:
+            return {PAPER_NAMES[name]: self.value(name) for name in FEATURE_NAMES}
+        return {name: self.value(name) for name in FEATURE_NAMES}
+
+    def with_label(self, best_format: FormatName) -> "FeatureVector":
+        """A copy carrying the training label."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values["best_format"] = best_format
+        return FeatureVector(**values)
+
+    def is_finite(self, name: str) -> bool:
+        """Whether attribute ``name`` has a usable (finite) value.
+
+        ``R = inf`` encodes "no power-law structure"; C5.0 treats such
+        records as having a missing value for that attribute, and our tree
+        does the same.
+        """
+        return math.isfinite(self.value(name))

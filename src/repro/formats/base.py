@@ -1,0 +1,128 @@
+"""Abstract base class and registry for sparse-matrix storage formats."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.types import FormatName, Precision
+
+_FORMAT_REGISTRY: Dict[FormatName, Type["SparseMatrix"]] = {}
+
+
+def register_format(name: FormatName):
+    """Class decorator registering a concrete format under ``name``.
+
+    The registry is what makes SMAT "extension-free" (Section 3): a new
+    format plugs in by registering its class and its kernels; the tuner
+    discovers both through lookups rather than hard-coded dispatch.
+    """
+
+    def wrap(cls: Type["SparseMatrix"]) -> Type["SparseMatrix"]:
+        _FORMAT_REGISTRY[name] = cls
+        cls.format_name = name
+        return cls
+
+    return wrap
+
+
+def resolve_format(name: FormatName) -> Type["SparseMatrix"]:
+    """Return the class registered for ``name``."""
+    try:
+        return _FORMAT_REGISTRY[name]
+    except KeyError:
+        raise FormatError(f"no format registered under {name}") from None
+
+
+class SparseMatrix(abc.ABC):
+    """Common interface of all storage formats.
+
+    Concrete formats store their arrays in the layout of the paper's
+    Figure 2 and expose:
+
+    * ``shape``, ``nnz`` — logical dimensions and stored non-zeros,
+    * ``to_dense()`` — reference densification used by tests,
+    * ``spmv(x)`` — the *reference* (clarity-first) kernel; optimized
+      kernels live in :mod:`repro.kernels` and are selected by the tuner,
+    * ``memory_bytes()`` — storage footprint including padding, feeding
+      the cost model.
+    """
+
+    format_name: FormatName  # injected by @register_format
+
+    def __init__(self, shape: Tuple[int, int], dtype: np.dtype) -> None:
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows <= 0 or n_cols <= 0:
+            raise FormatError(f"matrix shape must be positive, got {shape}")
+        self._shape = (n_rows, n_cols)
+        self._dtype = np.dtype(dtype)
+        # Validates that the dtype is a supported precision.
+        Precision.from_dtype(self._dtype)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(rows, columns) of the logical matrix."""
+        return self._shape
+
+    @property
+    def n_rows(self) -> int:
+        return self._shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self._shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype (float32 or float64)."""
+        return self._dtype
+
+    @property
+    def precision(self) -> Precision:
+        return Precision.from_dtype(self._dtype)
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of explicitly stored non-zero elements (excluding padding)."""
+
+    @abc.abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full dense matrix (tests and small examples only)."""
+
+    @abc.abstractmethod
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference y = A @ x in this format's natural traversal order."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Bytes of all stored arrays, including any zero padding."""
+
+    def check_operand(self, x: np.ndarray) -> np.ndarray:
+        """Validate and canonicalise an SpMV input vector."""
+        x = np.asarray(x)
+        if x.ndim != 1:
+            raise FormatError(f"x must be a vector, got shape {x.shape}")
+        if x.shape[0] != self.n_cols:
+            raise FormatError(
+                f"dimension mismatch: matrix is {self.shape}, x has {x.shape[0]}"
+            )
+        return x.astype(self._dtype, copy=False)
+
+    def flop_count(self) -> int:
+        """Floating point operations of one SpMV (2 per stored non-zero).
+
+        This is the numerator of every GFLOPS figure in the paper: useless
+        multiplies on DIA/ELL padding are *not* counted, which is exactly why
+        heavy padding shows up as low GFLOPS.
+        """
+        return 2 * self.nnz
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz}, "
+            f"dtype={self.dtype.name})"
+        )

@@ -1,0 +1,119 @@
+"""BCSR (Block Compressed Sparse Row) — register-blocking extension format.
+
+The paper lists BCSR among the "blocking variants" derivable from the basic
+four (Section 2.1) and cites OSKI/SPARSITY, which tune its block size.  It is
+included here to exercise SMAT's extensibility path: a fifth format with its
+own kernels and conversion, registered without touching the tuner core.
+
+Layout: the matrix is tiled into ``r x c`` blocks aligned to the block grid;
+any block containing at least one non-zero is stored densely.  ``block_ptr``
+and ``block_cols`` form a CSR over block rows; ``blocks[k]`` is the dense
+``r x c`` payload of the ``k``-th stored block.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseMatrix, register_format
+from repro.types import INDEX_DTYPE, FormatName
+
+
+@register_format(FormatName.BCSR)
+class BCSRMatrix(SparseMatrix):
+    """Block-CSR sparse matrix with fixed ``r x c`` dense blocks."""
+
+    def __init__(
+        self,
+        block_ptr: np.ndarray,
+        block_cols: np.ndarray,
+        blocks: np.ndarray,
+        shape: Tuple[int, int],
+        nnz: int,
+    ) -> None:
+        blocks = np.asarray(blocks)
+        super().__init__(shape, blocks.dtype)
+        block_ptr = np.asarray(block_ptr, dtype=INDEX_DTYPE)
+        block_cols = np.asarray(block_cols, dtype=INDEX_DTYPE)
+        if blocks.ndim != 3:
+            raise FormatError(
+                f"blocks must be (nblocks, r, c), got shape {blocks.shape}"
+            )
+        r, c = int(blocks.shape[1]), int(blocks.shape[2])
+        if r <= 0 or c <= 0:
+            raise FormatError(f"block dims must be positive, got ({r}, {c})")
+        n_block_rows = -(-self.n_rows // r)
+        n_block_cols = -(-self.n_cols // c)
+        if block_ptr.shape[0] != n_block_rows + 1:
+            raise FormatError(
+                f"block_ptr must have {n_block_rows + 1} entries, "
+                f"got {block_ptr.shape[0]}"
+            )
+        if block_cols.shape[0] != blocks.shape[0]:
+            raise FormatError("block_cols length must match number of blocks")
+        if block_cols.size and (
+            block_cols.min() < 0 or block_cols.max() >= n_block_cols
+        ):
+            raise FormatError("block column indices out of range")
+        if not 0 <= int(nnz) <= blocks.size:
+            raise FormatError(f"nnz={nnz} inconsistent with block storage")
+        self.block_ptr = block_ptr
+        self.block_cols = block_cols
+        self.blocks = blocks
+        self.block_shape = (r, c)
+        self._nnz = int(nnz)
+
+    @property
+    def n_block_rows(self) -> int:
+        return int(self.block_ptr.shape[0]) - 1
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.blocks.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    def fill_ratio(self) -> float:
+        """Fraction of stored block slots that are true non-zeros."""
+        if self.blocks.size == 0:
+            return 1.0
+        return self.nnz / self.blocks.size
+
+    def to_dense(self) -> np.ndarray:
+        r, c = self.block_shape
+        padded = np.zeros(
+            (self.n_block_rows * r, -(-self.n_cols // c) * c), dtype=self.dtype
+        )
+        for brow in range(self.n_block_rows):
+            start, end = int(self.block_ptr[brow]), int(self.block_ptr[brow + 1])
+            for k in range(start, end):
+                bcol = int(self.block_cols[k])
+                padded[brow * r : (brow + 1) * r, bcol * c : (bcol + 1) * c] = (
+                    self.blocks[k]
+                )
+        return padded[: self.n_rows, : self.n_cols]
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference block-row SpMV: one small dense GEMV per block."""
+        x = self.check_operand(x)
+        r, c = self.block_shape
+        x_padded = np.zeros(-(-self.n_cols // c) * c, dtype=self.dtype)
+        x_padded[: self.n_cols] = x
+        y = np.zeros(self.n_block_rows * r, dtype=self.dtype)
+        for brow in range(self.n_block_rows):
+            start, end = int(self.block_ptr[brow]), int(self.block_ptr[brow + 1])
+            acc = y[brow * r : (brow + 1) * r]
+            for k in range(start, end):
+                bcol = int(self.block_cols[k])
+                acc += self.blocks[k] @ x_padded[bcol * c : (bcol + 1) * c]
+        return y[: self.n_rows]
+
+    def memory_bytes(self) -> int:
+        return int(
+            self.block_ptr.nbytes + self.block_cols.nbytes + self.blocks.nbytes
+        )

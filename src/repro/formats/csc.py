@@ -1,0 +1,117 @@
+"""CSC (Compressed Sparse Column) — MKL's ``mkl_xcscmv`` format.
+
+Figure 5 lists six MKL per-format routines; CSC is one of them.  The layout
+mirrors CSR with the roles of rows and columns swapped: ``ptr[j]:ptr[j+1]``
+delimits column ``j``, ``indices`` holds row indices, and ``data`` the
+values in column-major order.
+
+CSC SpMV is a *scatter* (y[i] += a_ij * x_j, accumulating into many rows
+per column), the opposite data-flow of CSR's gather — good when the input
+vector is sparse or reused column-wise, rarely optimal for plain dense-x
+SpMV, which is why SMAT's basic candidate set omits it and it ships as an
+extension format.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseMatrix, register_format
+from repro.types import INDEX_DTYPE, FormatName
+from repro.util.validation import (
+    check_1d,
+    check_index_range,
+    check_same_length,
+    check_sorted_within_rows,
+)
+
+
+@register_format(FormatName.CSC)
+class CSCMatrix(SparseMatrix):
+    """Compressed sparse column matrix."""
+
+    def __init__(
+        self,
+        ptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        data = np.asarray(data)
+        super().__init__(shape, data.dtype)
+        ptr = check_1d("ptr", np.asarray(ptr, dtype=INDEX_DTYPE))
+        indices = check_1d("indices", np.asarray(indices, dtype=INDEX_DTYPE))
+        data = check_1d("data", data)
+        check_same_length(("indices", "data"), (indices, data))
+
+        if ptr.shape[0] != self.n_cols + 1:
+            raise FormatError(
+                f"CSC ptr must have n_cols+1 = {self.n_cols + 1} entries, "
+                f"got {ptr.shape[0]}"
+            )
+        if int(ptr[0]) != 0 or int(ptr[-1]) != indices.shape[0]:
+            raise FormatError(
+                f"ptr must start at 0 and end at nnz={indices.shape[0]}"
+            )
+        if np.any(np.diff(ptr) < 0):
+            raise FormatError("ptr must be monotonically non-decreasing")
+        check_index_range("indices", indices, self.n_rows)
+        if not check_sorted_within_rows(ptr, indices):
+            raise FormatError(
+                "CSC row indices must be strictly increasing within each "
+                "column; build through CSCMatrix.from_csr for arbitrary input"
+            )
+
+        self.ptr = ptr
+        self.indices = indices
+        self.data = data
+
+    @classmethod
+    def from_csr(cls, csr) -> "CSCMatrix":
+        """Build from a CSR matrix (one transpose-style resort)."""
+        rows = np.repeat(
+            np.arange(csr.n_rows, dtype=INDEX_DTYPE), csr.row_degrees()
+        )
+        order = np.lexsort((rows, csr.indices))
+        cols_sorted = csr.indices[order]
+        ptr = np.zeros(csr.n_cols + 1, dtype=INDEX_DTYPE)
+        np.add.at(ptr, cols_sorted + 1, 1)
+        np.cumsum(ptr, out=ptr)
+        return cls(ptr, rows[order], csr.data[order], csr.shape)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        from repro.formats.csr import CSRMatrix
+
+        return cls.from_csr(CSRMatrix.from_dense(dense))
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    def column_degrees(self) -> np.ndarray:
+        """Stored entries per column."""
+        return np.diff(self.ptr)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.dtype)
+        for col in range(self.n_cols):
+            start, end = int(self.ptr[col]), int(self.ptr[col + 1])
+            np.add.at(dense[:, col], self.indices[start:end], self.data[start:end])
+        return dense
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference column-loop SpMV: one AXPY-style scatter per column."""
+        x = self.check_operand(x)
+        y = np.zeros(self.n_rows, dtype=self.dtype)
+        for j in range(self.n_cols):
+            start, end = int(self.ptr[j]), int(self.ptr[j + 1])
+            if end > start and x[j] != 0:
+                y[self.indices[start:end]] += self.data[start:end] * x[j]
+        return y
+
+    def memory_bytes(self) -> int:
+        return int(self.ptr.nbytes + self.indices.nbytes + self.data.nbytes)

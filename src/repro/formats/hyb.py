@@ -1,0 +1,67 @@
+"""HYB (hybrid ELL + COO) — the CuSparse-style extension format.
+
+Section 8 discusses HYB as a statically-split hybrid: the regular part of
+every row (up to a width threshold) goes into ELL, overflow entries go into
+COO.  Included to demonstrate SMAT extensibility and to serve as a baseline
+in the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseMatrix, register_format
+from repro.formats.coo import COOMatrix
+from repro.formats.ell import ELLMatrix
+from repro.types import FormatName
+
+
+@register_format(FormatName.HYB)
+class HYBMatrix(SparseMatrix):
+    """Hybrid matrix: ``ell_part`` holds the regular width, ``coo_part``
+    the overflow.  Both parts share the logical shape of the whole matrix."""
+
+    def __init__(self, ell_part: ELLMatrix, coo_part: COOMatrix) -> None:
+        if ell_part.shape != coo_part.shape:
+            raise FormatError(
+                f"HYB parts disagree on shape: ELL {ell_part.shape} vs "
+                f"COO {coo_part.shape}"
+            )
+        if ell_part.dtype != coo_part.dtype:
+            raise FormatError(
+                f"HYB parts disagree on dtype: {ell_part.dtype} vs "
+                f"{coo_part.dtype}"
+            )
+        super().__init__(ell_part.shape, ell_part.dtype)
+        self.ell_part = ell_part
+        self.coo_part = coo_part
+
+    @property
+    def nnz(self) -> int:
+        return self.ell_part.nnz + self.coo_part.nnz
+
+    @property
+    def ell_width(self) -> int:
+        """The split threshold: rows wider than this overflow into COO."""
+        return self.ell_part.max_row_degree
+
+    def to_dense(self) -> np.ndarray:
+        return self.ell_part.to_dense() + self.coo_part.to_dense()
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference SpMV: ELL pass then COO scatter for the overflow."""
+        x = self.check_operand(x)
+        return self.ell_part.spmv(x) + self.coo_part.spmv(x)
+
+    def memory_bytes(self) -> int:
+        return self.ell_part.memory_bytes() + self.coo_part.memory_bytes()
+
+    def split_fractions(self) -> Tuple[float, float]:
+        """(fraction of nnz in ELL, fraction in COO)."""
+        total = self.nnz
+        if total == 0:
+            return (1.0, 0.0)
+        return (self.ell_part.nnz / total, self.coo_part.nnz / total)

@@ -1,0 +1,134 @@
+"""Sparse linear-algebra operations on CSR matrices.
+
+The AMG substrate needs more than SpMV: transposes for the restriction
+operator, sparse-times-sparse for the Galerkin product ``P^T A P``, and a
+few element-wise helpers.  Everything here is vectorized — these run on
+operators with 10^5+ rows inside the Table 4 bench.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.csr import CSRMatrix
+from repro.types import INDEX_DTYPE
+
+
+def transpose(matrix: CSRMatrix) -> CSRMatrix:
+    """``A^T`` as a new CSR matrix."""
+    rows = np.repeat(
+        np.arange(matrix.n_rows, dtype=INDEX_DTYPE), matrix.row_degrees()
+    )
+    return CSRMatrix.from_triplets(
+        matrix.indices, rows, matrix.data, (matrix.n_cols, matrix.n_rows)
+    )
+
+
+def matmul(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """``A @ B`` for CSR operands.
+
+    One fully-vectorized expansion pass: every stored ``A[i, k]`` spawns the
+    whole row ``B[k, :]`` scaled by the entry; :class:`CSRMatrix`'s
+    canonicalising constructor merges the duplicates.  Memory is
+    proportional to the number of *partial* products — fine for the
+    short-row operators AMG produces.
+    """
+    if a.n_cols != b.n_rows:
+        raise FormatError(
+            f"matmul dimension mismatch: {a.shape} @ {b.shape}"
+        )
+    if a.nnz == 0 or b.nnz == 0:
+        return CSRMatrix(
+            np.zeros(a.n_rows + 1, dtype=INDEX_DTYPE),
+            np.zeros(0, dtype=INDEX_DTYPE),
+            np.zeros(0, dtype=a.dtype),
+            (a.n_rows, b.n_cols),
+        )
+
+    b_degrees = np.diff(b.ptr)
+    counts = b_degrees[a.indices]  # expansion width per A entry
+    total = int(counts.sum())
+    if total == 0:
+        return CSRMatrix(
+            np.zeros(a.n_rows + 1, dtype=INDEX_DTYPE),
+            np.zeros(0, dtype=INDEX_DTYPE),
+            np.zeros(0, dtype=a.dtype),
+            (a.n_rows, b.n_cols),
+        )
+
+    a_rows = np.repeat(
+        np.arange(a.n_rows, dtype=INDEX_DTYPE), a.row_degrees()
+    )
+    out_rows = np.repeat(a_rows, counts)
+    # Flat positions into B's arrays for every partial product.
+    starts = b.ptr[a.indices]
+    base = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])),
+                     counts)
+    flat = base + np.arange(total, dtype=INDEX_DTYPE)
+    out_cols = b.indices[flat]
+    out_vals = np.repeat(a.data, counts) * b.data[flat]
+    return CSRMatrix.from_triplets(
+        out_rows, out_cols, out_vals, (a.n_rows, b.n_cols)
+    )
+
+
+def triple_product(p: CSRMatrix, a: CSRMatrix) -> CSRMatrix:
+    """The Galerkin coarse operator ``P^T A P``."""
+    return matmul(transpose(p), matmul(a, p))
+
+
+def diagonal(matrix: CSRMatrix) -> np.ndarray:
+    """The main diagonal as a dense vector (zeros where unset)."""
+    diag = np.zeros(min(matrix.shape), dtype=matrix.dtype)
+    rows = np.repeat(
+        np.arange(matrix.n_rows, dtype=INDEX_DTYPE), matrix.row_degrees()
+    )
+    mask = rows == matrix.indices
+    diag_rows = rows[mask]
+    keep = diag_rows < diag.shape[0]
+    diag[diag_rows[keep]] = matrix.data[mask][keep]
+    return diag
+
+
+def scale_rows(matrix: CSRMatrix, factors: np.ndarray) -> CSRMatrix:
+    """``diag(factors) @ A`` — used by interpolation weight normalisation."""
+    factors = np.asarray(factors, dtype=matrix.dtype)
+    if factors.shape[0] != matrix.n_rows:
+        raise FormatError(
+            f"row scale needs {matrix.n_rows} factors, got {factors.shape[0]}"
+        )
+    data = matrix.data * np.repeat(factors, matrix.row_degrees())
+    return CSRMatrix(matrix.ptr.copy(), matrix.indices.copy(), data,
+                     matrix.shape)
+
+
+def extract_columns(
+    matrix: CSRMatrix, keep: np.ndarray
+) -> Tuple[CSRMatrix, np.ndarray]:
+    """Restrict to the columns flagged in boolean mask ``keep``.
+
+    Returns the restricted matrix (with columns renumbered densely) and the
+    old-index -> new-index map (-1 for dropped columns).  Used to build
+    tentative interpolation from the coarse-point selection.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    if keep.shape[0] != matrix.n_cols:
+        raise FormatError(
+            f"column mask needs {matrix.n_cols} entries, got {keep.shape[0]}"
+        )
+    col_map = np.full(matrix.n_cols, -1, dtype=INDEX_DTYPE)
+    col_map[keep] = np.arange(int(keep.sum()), dtype=INDEX_DTYPE)
+
+    entry_keep = keep[matrix.indices]
+    rows = np.repeat(
+        np.arange(matrix.n_rows, dtype=INDEX_DTYPE), matrix.row_degrees()
+    )[entry_keep]
+    cols = col_map[matrix.indices[entry_keep]]
+    vals = matrix.data[entry_keep]
+    restricted = CSRMatrix.from_triplets(
+        rows, cols, vals, (matrix.n_rows, int(keep.sum()))
+    )
+    return restricted, col_map

@@ -1,0 +1,151 @@
+"""SKY (skyline) format — MKL's ``mkl_xskymv`` format.
+
+Skyline storage keeps, for each row, the dense segment from the row's first
+non-zero up to the diagonal (the "profile" of a factorized banded matrix).
+It is the storage of choice for direct solvers on reordered FEM matrices;
+as an SpMV format it pays for every zero inside the profile, so it only
+competes on matrices whose profile is nearly full.
+
+This implementation stores the *lower* profile including the diagonal plus
+a strict-upper CSR remainder, so general (non-triangular) matrices round-
+trip exactly.  MKL's skyline routine handles triangular operands; for those
+the remainder is empty and the layout matches MKL's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseMatrix, register_format
+from repro.types import INDEX_DTYPE, FormatName
+
+
+@register_format(FormatName.SKY)
+class SKYMatrix(SparseMatrix):
+    """Skyline matrix: per-row dense lower profile + upper remainder."""
+
+    def __init__(
+        self,
+        pointers: np.ndarray,
+        profile: np.ndarray,
+        shape: Tuple[int, int],
+        upper: Optional[object] = None,
+        nnz: int = 0,
+    ) -> None:
+        profile = np.asarray(profile)
+        super().__init__(shape, profile.dtype)
+        if self.n_rows != self.n_cols:
+            raise FormatError(
+                f"skyline storage needs a square matrix, got {shape}"
+            )
+        pointers = np.asarray(pointers, dtype=INDEX_DTYPE)
+        if pointers.shape[0] != self.n_rows + 1:
+            raise FormatError(
+                f"pointers must have n_rows+1 entries, got {pointers.shape[0]}"
+            )
+        if int(pointers[0]) != 0 or int(pointers[-1]) != profile.shape[0]:
+            raise FormatError("pointers must span the profile array")
+        widths = np.diff(pointers)
+        if np.any(widths < 1) or np.any(widths > np.arange(1, self.n_rows + 1)):
+            raise FormatError(
+                "each row's profile must cover at least the diagonal and "
+                "reach no further left than column 0"
+            )
+        if upper is not None and upper.shape != shape:
+            raise FormatError("upper remainder shape mismatch")
+        self.pointers = pointers
+        self.profile = profile
+        self.upper = upper
+        self._nnz = int(nnz)
+
+    @classmethod
+    def from_csr(cls, csr) -> "SKYMatrix":
+        """Build from CSR, splitting into lower profile + upper remainder."""
+        from repro.formats.csr import CSRMatrix
+
+        if csr.n_rows != csr.n_cols:
+            raise FormatError(
+                f"skyline storage needs a square matrix, got {csr.shape}"
+            )
+        n = csr.n_rows
+        rows = np.repeat(
+            np.arange(n, dtype=INDEX_DTYPE), csr.row_degrees()
+        )
+        lower_mask = csr.indices <= rows
+
+        # Profile width per row: diagonal minus the leftmost lower entry.
+        first_col = np.arange(n, dtype=INDEX_DTYPE).copy()
+        lrows = rows[lower_mask]
+        lcols = csr.indices[lower_mask]
+        np.minimum.at(first_col, lrows, lcols)
+        widths = np.arange(n, dtype=INDEX_DTYPE) - first_col + 1
+        pointers = np.zeros(n + 1, dtype=INDEX_DTYPE)
+        np.cumsum(widths, out=pointers[1:])
+
+        profile = np.zeros(int(pointers[-1]), dtype=csr.dtype)
+        slots = pointers[lrows] + (lcols - first_col[lrows])
+        profile[slots] = csr.data[lower_mask]
+
+        upper_mask = ~lower_mask
+        if np.any(upper_mask):
+            upper = CSRMatrix.from_triplets(
+                rows[upper_mask],
+                csr.indices[upper_mask],
+                csr.data[upper_mask],
+                csr.shape,
+            )
+        else:
+            upper = None
+        return cls(pointers, profile, csr.shape, upper=upper, nnz=csr.nnz)
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def profile_size(self) -> int:
+        """Stored lower-profile slots including in-profile zeros."""
+        return int(self.profile.shape[0])
+
+    def fill_ratio(self) -> float:
+        """True non-zeros per stored slot (profile + upper remainder)."""
+        stored = self.profile_size + (self.upper.nnz if self.upper else 0)
+        if stored == 0:
+            return 1.0
+        return self.nnz / stored
+
+    def first_columns(self) -> np.ndarray:
+        """Leftmost profile column of each row."""
+        widths = np.diff(self.pointers)
+        return np.arange(self.n_rows, dtype=INDEX_DTYPE) - widths + 1
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.dtype)
+        first = self.first_columns()
+        for i in range(self.n_rows):
+            start, end = int(self.pointers[i]), int(self.pointers[i + 1])
+            dense[i, first[i] : i + 1] = self.profile[start:end]
+        if self.upper is not None:
+            dense += self.upper.to_dense()
+        return dense
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference profile-row loop plus the upper remainder."""
+        x = self.check_operand(x)
+        y = np.zeros(self.n_rows, dtype=self.dtype)
+        first = self.first_columns()
+        for i in range(self.n_rows):
+            start, end = int(self.pointers[i]), int(self.pointers[i + 1])
+            y[i] = np.dot(self.profile[start:end], x[first[i] : i + 1])
+        if self.upper is not None:
+            y += self.upper.spmv(x)
+        return y
+
+    def memory_bytes(self) -> int:
+        total = int(self.pointers.nbytes + self.profile.nbytes)
+        if self.upper is not None:
+            total += self.upper.memory_bytes()
+        return total

@@ -1,0 +1,13 @@
+"""I/O: Matrix Market files, the feature database, ruleset export."""
+
+from repro.io.feature_db import FeatureDatabase, FeatureRecord
+from repro.io.matrix_market import read_matrix_market, write_matrix_market
+from repro.io.ruleset_export import export_ruleset_c
+
+__all__ = [
+    "FeatureDatabase",
+    "FeatureRecord",
+    "export_ruleset_c",
+    "read_matrix_market",
+    "write_matrix_market",
+]

@@ -1,0 +1,87 @@
+"""The feature database on disk (Figure 4's "Feature Database" box).
+
+A thin layer over :class:`repro.learning.TrainingDataset`'s JSONL format
+adding collection metadata (matrix name, application domain), so the
+offline stage can be resumed and audited — the "reusable training" of the
+paper's contribution list.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+from repro.features.parameters import FEATURE_NAMES, FeatureVector
+from repro.types import FormatName
+
+
+@dataclass(frozen=True)
+class FeatureRecord:
+    """One database row: identity + features + label."""
+
+    name: str
+    domain: str
+    features: FeatureVector
+
+    def to_json(self) -> str:
+        row = {"name": self.name, "domain": self.domain}
+        for key, value in self.features.as_dict().items():
+            row[key] = "inf" if math.isinf(value) else value
+        assert self.features.best_format is not None
+        row["best_format"] = self.features.best_format.value
+        return json.dumps(row)
+
+    @classmethod
+    def from_json(cls, line: str) -> "FeatureRecord":
+        row = json.loads(line)
+        values = {}
+        for key in FEATURE_NAMES:
+            raw = row[key]
+            values[key] = math.inf if raw == "inf" else float(raw)
+        for int_key in ("m", "n", "nnz", "ndiags", "max_rd"):
+            values[int_key] = int(values[int_key])
+        features = FeatureVector(
+            best_format=FormatName(row["best_format"]), **values
+        )
+        return cls(name=row["name"], domain=row["domain"], features=features)
+
+
+class FeatureDatabase:
+    """Append-friendly JSONL store of labelled feature records."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+
+    def append(self, record: FeatureRecord) -> None:
+        with self.path.open("a") as fh:
+            fh.write(record.to_json() + "\n")
+
+    def write_all(self, records: List[FeatureRecord]) -> None:
+        with self.path.open("w") as fh:
+            for record in records:
+                fh.write(record.to_json() + "\n")
+
+    def __iter__(self) -> Iterator[FeatureRecord]:
+        if not self.path.exists():
+            return
+        with self.path.open() as fh:
+            for line in fh:
+                if line.strip():
+                    yield FeatureRecord.from_json(line)
+
+    def to_dataset(self):
+        """The records as a :class:`repro.learning.TrainingDataset`."""
+        from repro.learning.dataset import TrainingDataset
+
+        return TrainingDataset(
+            tuple(record.features for record in self)
+        )
+
+    def domain_counts(self) -> dict:
+        counts: dict = {}
+        for record in self:
+            counts[record.domain] = counts.get(record.domain, 0) + 1
+        return counts

@@ -1,0 +1,42 @@
+"""The SpMV kernel library (Figure 4).
+
+Importing this package registers every implementation.  The tuner's kernel
+search (:mod:`repro.tuner.search`) measures them all once per architecture
+and scores the strategies with the scoreboard algorithm.
+"""
+
+# Importing the kernel modules runs their @register_kernel decorators.
+from repro.kernels import bdia_kernels  # noqa: F401
+from repro.kernels import blocked_kernels  # noqa: F401
+from repro.kernels import csc_sky_kernels  # noqa: F401
+from repro.kernels import coo_kernels  # noqa: F401
+from repro.kernels import csr_kernels  # noqa: F401
+from repro.kernels import dia_kernels  # noqa: F401
+from repro.kernels import ell_kernels  # noqa: F401
+from repro.kernels.base import (
+    Kernel,
+    find_kernel,
+    kernels_for,
+    register_kernel,
+    total_kernel_count,
+)
+from repro.kernels.strategies import (
+    BASELINE,
+    Strategy,
+    StrategySet,
+    describe,
+    strategy_set,
+)
+
+__all__ = [
+    "BASELINE",
+    "Kernel",
+    "Strategy",
+    "StrategySet",
+    "describe",
+    "find_kernel",
+    "kernels_for",
+    "register_kernel",
+    "strategy_set",
+    "total_kernel_count",
+]

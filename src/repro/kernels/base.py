@@ -1,0 +1,81 @@
+"""Kernel dataclass and the per-format kernel registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.formats.base import SparseMatrix
+from repro.kernels.strategies import StrategySet, describe
+from repro.types import FormatName
+
+KernelFn = Callable[[SparseMatrix, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One SpMV implementation for one storage format.
+
+    ``strategies`` is the set of optimization techniques the implementation
+    uses — the scoreboard algorithm indexes the performance table by it.
+    """
+
+    format_name: FormatName
+    strategies: StrategySet
+    fn: KernelFn = field(compare=False, repr=False)
+
+    @property
+    def name(self) -> str:
+        return f"{self.format_name.value}/{describe(self.strategies)}"
+
+    def __call__(self, matrix: SparseMatrix, x: np.ndarray) -> np.ndarray:
+        if matrix.format_name is not self.format_name:
+            raise KernelError(
+                f"kernel {self.name} applied to a "
+                f"{matrix.format_name.value} matrix"
+            )
+        return self.fn(matrix, x)
+
+
+_KERNELS: Dict[FormatName, List[Kernel]] = {}
+
+
+def register_kernel(format_name: FormatName, strategies: StrategySet):
+    """Decorator registering an SpMV implementation in the kernel library."""
+
+    def wrap(fn: KernelFn) -> KernelFn:
+        kernel = Kernel(format_name, frozenset(strategies), fn)
+        bucket = _KERNELS.setdefault(format_name, [])
+        if any(k.strategies == kernel.strategies for k in bucket):
+            raise KernelError(f"duplicate kernel registration: {kernel.name}")
+        bucket.append(kernel)
+        return fn
+
+    return wrap
+
+
+def kernels_for(format_name: FormatName) -> List[Kernel]:
+    """All registered implementations of ``format_name``, baseline first."""
+    bucket = _KERNELS.get(format_name, [])
+    if not bucket:
+        raise KernelError(f"no kernels registered for {format_name}")
+    return sorted(bucket, key=lambda k: (len(k.strategies), k.name))
+
+
+def find_kernel(format_name: FormatName, strategies: StrategySet) -> Kernel:
+    """The implementation of ``format_name`` using exactly ``strategies``."""
+    for kernel in _KERNELS.get(format_name, []):
+        if kernel.strategies == frozenset(strategies):
+            return kernel
+    raise KernelError(
+        f"no {format_name.value} kernel with strategies "
+        f"{describe(strategies)}"
+    )
+
+
+def total_kernel_count() -> int:
+    """Size of the kernel library (the paper's 'up to 24 implementations')."""
+    return sum(len(bucket) for bucket in _KERNELS.values())

@@ -1,0 +1,42 @@
+"""BDIA SpMV kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.bdia import BDIAMatrix
+from repro.kernels.base import register_kernel
+from repro.kernels.strategies import Strategy, strategy_set
+from repro.types import FormatName
+
+
+@register_kernel(FormatName.BDIA, strategy_set())
+def bdia_basic(matrix: BDIAMatrix, x: np.ndarray) -> np.ndarray:
+    """Reference band loop (one diagonal at a time within each band)."""
+    return BDIAMatrix.spmv(matrix, x)
+
+
+@register_kernel(FormatName.BDIA, strategy_set(Strategy.VECTORIZE))
+def bdia_vectorized(matrix: BDIAMatrix, x: np.ndarray) -> np.ndarray:
+    """Whole-band slab arithmetic.
+
+    Each band's interior rows touch a single contiguous X window shifted by
+    the diagonal position, so the band's diagonals are applied as full-array
+    operations with the per-band bounds computed once — the amortisation
+    that distinguishes BDIA from plain DIA.
+    """
+    x = matrix.check_operand(x)
+    y = np.zeros(matrix.n_rows, dtype=matrix.dtype)
+    for start, band in zip(matrix.offsets, matrix.bands):
+        base = int(start)
+        for j in range(band.shape[0]):
+            k = base + j
+            i_start = max(0, -k)
+            j_start = max(0, k)
+            n = min(matrix.n_rows - i_start, matrix.n_cols - j_start)
+            if n <= 0:
+                continue
+            y[i_start : i_start + n] += (
+                band[j, i_start : i_start + n] * x[j_start : j_start + n]
+            )
+    return y

@@ -1,0 +1,78 @@
+"""CSC and SKY SpMV kernels (the remaining Figure 5 formats)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csc import CSCMatrix
+from repro.formats.sky import SKYMatrix
+from repro.kernels.base import register_kernel
+from repro.kernels.strategies import Strategy, strategy_set
+from repro.types import FormatName
+
+
+@register_kernel(FormatName.CSC, strategy_set())
+def csc_basic(matrix: CSCMatrix, x: np.ndarray) -> np.ndarray:
+    """Reference column-loop AXPY scatter."""
+    return CSCMatrix.spmv(matrix, x)
+
+
+@register_kernel(FormatName.CSC, strategy_set(Strategy.VECTORIZE))
+def csc_vectorized(matrix: CSCMatrix, x: np.ndarray) -> np.ndarray:
+    """One bulk multiply then an unordered scatter-add over row indices.
+
+    The scatter is the fundamental CSC handicap for SpMV — every element
+    is a read-modify-write on Y — mirrored by the format's low regularity
+    in the cost model.
+    """
+    x = matrix.check_operand(x)
+    y = np.zeros(matrix.n_rows, dtype=matrix.dtype)
+    if matrix.nnz:
+        cols = np.repeat(
+            np.arange(matrix.n_cols, dtype=np.int64),
+            matrix.column_degrees(),
+        )
+        np.add.at(y, matrix.indices, matrix.data * x[cols])
+    return y
+
+
+@register_kernel(FormatName.SKY, strategy_set())
+def sky_basic(matrix: SKYMatrix, x: np.ndarray) -> np.ndarray:
+    """Reference profile-row loop."""
+    return SKYMatrix.spmv(matrix, x)
+
+
+@register_kernel(FormatName.SKY, strategy_set(Strategy.VECTORIZE))
+def sky_vectorized(matrix: SKYMatrix, x: np.ndarray) -> np.ndarray:
+    """Segment-reduced profile sweep: gather each row's dense x window.
+
+    The profile's x accesses are contiguous (like DIA), so the whole lower
+    part reduces with one cumulative sum over ``profile * x[window]``.
+    """
+    x = matrix.check_operand(x)
+    n = matrix.n_rows
+    if matrix.profile_size == 0:
+        y = np.zeros(n, dtype=matrix.dtype)
+    else:
+        first = matrix.first_columns()
+        widths = np.diff(matrix.pointers)
+        # Column index of every profile slot.
+        offsets = np.arange(matrix.profile_size, dtype=np.int64) - np.repeat(
+            matrix.pointers[:-1], widths
+        )
+        cols = np.repeat(first, widths) + offsets
+        products = matrix.profile * x[cols]
+        csum = np.concatenate(
+            [np.zeros(1, dtype=products.dtype), np.cumsum(products)]
+        )
+        y = (csum[matrix.pointers[1:]] - csum[matrix.pointers[:-1]]).astype(
+            matrix.dtype, copy=False
+        )
+    if matrix.upper is not None:
+        from repro.kernels.base import find_kernel
+
+        upper_kernel = find_kernel(
+            FormatName.CSR, strategy_set(Strategy.VECTORIZE)
+        )
+        y = y + upper_kernel(matrix.upper, x)
+    return y

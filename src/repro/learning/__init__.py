@@ -1,0 +1,51 @@
+"""The machine-learning subsystem (Section 5): the C5.0 substitute."""
+
+from repro.learning.boosting import BoostedModel, train_boosted
+from repro.learning.crossval import CrossValResult, cross_validate
+from repro.learning.dataset import TrainingDataset, build_dataset
+from repro.learning.model import LearningModel, train_model, train_tree
+from repro.learning.importance import (
+    describe_importance,
+    permutation_importance,
+    split_importance,
+)
+from repro.learning.report import ClassMetrics, EvaluationReport, evaluate
+from repro.learning.rules import Condition, Rule, RuleSet, extract_rules
+from repro.learning.tailor import (
+    GROUP_ORDER,
+    FormatGroup,
+    GroupedRules,
+    group_rules,
+    tailor_rules,
+)
+from repro.learning.tree import DecisionTree, TreeLearner, TreeNode
+
+__all__ = [
+    "BoostedModel",
+    "ClassMetrics",
+    "Condition",
+    "EvaluationReport",
+    "evaluate",
+    "CrossValResult",
+    "DecisionTree",
+    "FormatGroup",
+    "GROUP_ORDER",
+    "GroupedRules",
+    "LearningModel",
+    "Rule",
+    "RuleSet",
+    "TrainingDataset",
+    "TreeLearner",
+    "TreeNode",
+    "build_dataset",
+    "cross_validate",
+    "describe_importance",
+    "permutation_importance",
+    "split_importance",
+    "extract_rules",
+    "group_rules",
+    "tailor_rules",
+    "train_boosted",
+    "train_model",
+    "train_tree",
+]

@@ -1,0 +1,43 @@
+"""Cross-validation utilities for the learning pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.learning.dataset import TrainingDataset
+from repro.learning.model import LearningModel, train_model
+from repro.util.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class CrossValResult:
+    """Per-fold and aggregate accuracy of one configuration."""
+
+    fold_accuracies: tuple
+
+    @property
+    def mean_accuracy(self) -> float:
+        return sum(self.fold_accuracies) / len(self.fold_accuracies)
+
+    @property
+    def min_accuracy(self) -> float:
+        return min(self.fold_accuracies)
+
+    @property
+    def max_accuracy(self) -> float:
+        return max(self.fold_accuracies)
+
+
+def cross_validate(
+    dataset: TrainingDataset,
+    k: int = 5,
+    seed: SeedLike = 0,
+    trainer: Callable[[TrainingDataset], LearningModel] = train_model,
+) -> CrossValResult:
+    """k-fold cross-validation of the full train pipeline."""
+    accuracies: List[float] = []
+    for train_split, test_split in dataset.folds(k, seed=seed):
+        model = trainer(train_split)
+        accuracies.append(model.accuracy(test_split))
+    return CrossValResult(fold_accuracies=tuple(accuracies))

@@ -1,0 +1,169 @@
+"""Training datasets: labelled feature records (the "feature database").
+
+Section 5.1: "all of these records together constitute the matrix feature
+database".  A record is a :class:`FeatureVector` carrying its
+``best_format`` target; this module adds collection-level operations
+(labelling, splitting, class statistics, JSONL persistence).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LearningError
+from repro.features.parameters import FEATURE_NAMES, FeatureVector
+from repro.types import FormatName
+from repro.util.rng import SeedLike, make_rng
+
+
+@dataclass
+class TrainingDataset:
+    """An immutable bag of labelled feature records."""
+
+    records: Tuple[FeatureVector, ...]
+
+    def __post_init__(self) -> None:
+        for record in self.records:
+            if record.best_format is None:
+                raise LearningError(
+                    "all training records must carry a best_format label"
+                )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def classes(self) -> List[FormatName]:
+        """Distinct labels, most frequent first."""
+        counts = self.class_counts()
+        return sorted(counts, key=lambda c: (-counts[c], c.value))
+
+    def class_counts(self) -> Dict[FormatName, int]:
+        counts: Dict[FormatName, int] = {}
+        for record in self.records:
+            assert record.best_format is not None
+            counts[record.best_format] = counts.get(record.best_format, 0) + 1
+        return counts
+
+    def majority_class(self) -> FormatName:
+        if not self.records:
+            raise LearningError("empty dataset has no majority class")
+        return self.classes[0]
+
+    def split(
+        self, test_fraction: float, seed: SeedLike = 0
+    ) -> Tuple["TrainingDataset", "TrainingDataset"]:
+        """(train, test) split — the paper trains on 2055 of 2386 matrices
+        and evaluates on the remaining 331."""
+        if not 0.0 < test_fraction < 1.0:
+            raise LearningError(
+                f"test_fraction must be in (0, 1), got {test_fraction}"
+            )
+        rng = make_rng(seed)
+        indices = rng.permutation(len(self.records))
+        n_test = max(1, int(round(test_fraction * len(self.records))))
+        test_idx = set(indices[:n_test].tolist())
+        train = tuple(
+            r for i, r in enumerate(self.records) if i not in test_idx
+        )
+        test = tuple(r for i, r in enumerate(self.records) if i in test_idx)
+        return TrainingDataset(train), TrainingDataset(test)
+
+    def folds(
+        self, k: int, seed: SeedLike = 0
+    ) -> List[Tuple["TrainingDataset", "TrainingDataset"]]:
+        """k-fold cross-validation splits."""
+        if k < 2 or k > len(self.records):
+            raise LearningError(f"cannot make {k} folds of {len(self)} records")
+        rng = make_rng(seed)
+        order = rng.permutation(len(self.records))
+        chunks = np.array_split(order, k)
+        result = []
+        for i in range(k):
+            test_idx = set(chunks[i].tolist())
+            train = tuple(
+                r for j, r in enumerate(self.records) if j not in test_idx
+            )
+            test = tuple(
+                r for j, r in enumerate(self.records) if j in test_idx
+            )
+            result.append((TrainingDataset(train), TrainingDataset(test)))
+        return result
+
+    # ------------------------------------------------------------------
+    # Persistence (JSONL: one record per line)
+    # ------------------------------------------------------------------
+    def save(self, path: Path) -> None:
+        path = Path(path)
+        with path.open("w") as fh:
+            for record in self.records:
+                row = record.as_dict()
+                assert record.best_format is not None
+                row["best_format"] = record.best_format.value
+                fh.write(json.dumps(_jsonable(row)) + "\n")
+
+    @classmethod
+    def load(cls, path: Path) -> "TrainingDataset":
+        records = []
+        with Path(path).open() as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                row = json.loads(line)
+                label = FormatName(row.pop("best_format"))
+                values = {
+                    name: _from_json(row[name]) for name in FEATURE_NAMES
+                }
+                values["m"] = int(values["m"])
+                values["n"] = int(values["n"])
+                values["nnz"] = int(values["nnz"])
+                values["ndiags"] = int(values["ndiags"])
+                values["max_rd"] = int(values["max_rd"])
+                records.append(FeatureVector(best_format=label, **values))
+        return cls(tuple(records))
+
+
+def _jsonable(row: Dict[str, object]) -> Dict[str, object]:
+    out = {}
+    for key, value in row.items():
+        if isinstance(value, float) and math.isinf(value):
+            out[key] = "inf"
+        else:
+            out[key] = value
+    return out
+
+
+def _from_json(value: object) -> float:
+    if value == "inf":
+        return math.inf
+    return float(value)  # type: ignore[arg-type]
+
+
+def build_dataset(
+    matrices: Iterable,
+    labeler: Callable[[FeatureVector], FormatName],
+    feature_fn: Callable = None,
+) -> TrainingDataset:
+    """Extract features from ``(spec, matrix)`` pairs and label each record.
+
+    ``labeler`` maps a feature vector to its best format — in the offline
+    pipeline that is "argmin of the measured/simulated SpMV times"
+    (see :func:`repro.tuner.smat.label_with_backend`).
+    """
+    from repro.features.extract import extract_features
+
+    feature_fn = feature_fn or extract_features
+    records = []
+    for _, matrix in matrices:
+        fv = feature_fn(matrix)
+        records.append(fv.with_label(labeler(fv)))
+    return TrainingDataset(tuple(records))

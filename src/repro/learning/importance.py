@@ -1,0 +1,106 @@
+"""Feature-importance analysis for trained trees and rulesets.
+
+Section 3 advertises that SMAT makes it "convenient to add or remove
+parameters from the learning model" to balance accuracy and training time.
+Doing that sensibly requires knowing which of the 11 Table 2 parameters the
+model actually leans on; this module measures it two ways:
+
+* **split importance** — training records routed through decisions on each
+  attribute, weighted by depth (a root split on ER_DIA matters more than a
+  depth-8 tie-breaker),
+* **permutation importance** — accuracy drop when one attribute's values
+  are shuffled across the evaluation set (model-agnostic; works for
+  rulesets and boosted ensembles too).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.features.parameters import FEATURE_NAMES, FeatureVector
+from repro.learning.dataset import TrainingDataset
+from repro.learning.tree import DecisionTree, TreeNode
+from repro.types import FormatName
+from repro.util.rng import SeedLike, make_rng
+
+
+def split_importance(tree: DecisionTree) -> Dict[str, float]:
+    """Depth-weighted record flow through each attribute's splits.
+
+    Normalised to sum to 1 over the attributes that appear; attributes the
+    tree never splits on get 0.
+    """
+    raw: Dict[str, float] = {name: 0.0 for name in tree.attributes}
+    _walk(tree.root, raw, depth=0)
+    total = sum(raw.values())
+    if total <= 0.0:
+        return raw
+    return {name: value / total for name, value in raw.items()}
+
+
+def _walk(node: TreeNode, raw: Dict[str, float], depth: int) -> None:
+    if node.is_leaf:
+        return
+    assert node.attribute is not None
+    raw[node.attribute] = raw.get(node.attribute, 0.0) + node.n_records / (
+        1.0 + depth
+    )
+    assert node.left is not None and node.right is not None
+    _walk(node.left, raw, depth + 1)
+    _walk(node.right, raw, depth + 1)
+
+
+def permutation_importance(
+    predictor: Callable[[FeatureVector], FormatName],
+    dataset: TrainingDataset,
+    attributes: Sequence[str] = FEATURE_NAMES,
+    seed: SeedLike = 0,
+) -> Dict[str, float]:
+    """Accuracy drop per attribute under value shuffling.
+
+    Positive values mean the model relies on the attribute; ~0 means it is
+    ignored (or redundant with another attribute).
+    """
+    rng = make_rng(seed)
+    records = list(dataset.records)
+    if not records:
+        return {name: 0.0 for name in attributes}
+
+    def accuracy(rows) -> float:
+        hits = sum(
+            1 for r in rows if predictor(r) is r.best_format
+        )
+        return hits / len(rows)
+
+    baseline = accuracy(records)
+    importances: Dict[str, float] = {}
+    for name in attributes:
+        values = [r.value(name) for r in records]
+        shuffled = rng.permutation(values)
+        permuted = []
+        for record, new_value in zip(records, shuffled):
+            data = record.as_dict()
+            data[name] = float(new_value)
+            for int_key in ("m", "n", "nnz", "ndiags", "max_rd"):
+                data[int_key] = int(data[int_key])
+            permuted.append(
+                FeatureVector(best_format=record.best_format, **data)
+            )
+        importances[name] = baseline - accuracy(permuted)
+    return importances
+
+
+def describe_importance(importances: Dict[str, float]) -> str:
+    """Sorted human-readable importance table (paper parameter names)."""
+    from repro.features.parameters import PAPER_NAMES
+
+    lines = []
+    for name, value in sorted(
+        importances.items(), key=lambda kv: -kv[1]
+    ):
+        label = PAPER_NAMES.get(name, name)
+        bar = "#" * int(round(max(value, 0.0) * 50))
+        lines.append(f"  {label:>14s} {value:7.3f} {bar}")
+    return "\n".join(lines)

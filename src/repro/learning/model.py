@@ -1,0 +1,163 @@
+"""The trained learning model: tree -> ruleset -> tailored groups.
+
+``train_model`` is the whole offline learning pipeline of Figure 4's
+"Data Mining (Using C5.0)" box; :class:`LearningModel` is what the runtime
+loads — it answers Equation 1's mapping
+``f(x1..xn, TH) -> Cn(DIA, ELL, CSR, COO)`` with a confidence attached.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.errors import LearningError
+from repro.features.parameters import FeatureVector
+from repro.learning.dataset import TrainingDataset
+from repro.learning.rules import Condition, Rule, RuleSet, extract_rules
+from repro.learning.tailor import (
+    DEFAULT_ACCURACY_GAP,
+    GroupedRules,
+    group_rules,
+    tailor_rules,
+)
+from repro.learning.tree import DecisionTree, TreeLearner
+from repro.types import FormatName
+
+
+@dataclass
+class LearningModel:
+    """A tailored, format-grouped ruleset ready for runtime prediction."""
+
+    grouped: GroupedRules
+    #: The full (pre-tailoring) ruleset, kept for ablations and reporting.
+    full_ruleset: RuleSet
+    #: The tailored flat ruleset the groups were built from.
+    tailored_ruleset: RuleSet
+    training_accuracy: float
+
+    def predict(
+        self, features: FeatureVector
+    ) -> Tuple[FormatName, float, Optional[Rule]]:
+        """(format, confidence, matching rule) for one feature vector.
+
+        Groups are consulted in DIA, ELL, CSR, COO order; the first group
+        with a matching rule wins and reports the *format confidence* (the
+        group's best rule confidence — Section 6's definition).  No match
+        falls back to the default format with confidence 0.
+        """
+        for group in self.grouped.groups:
+            rule = group.first_match(features)
+            if rule is not None:
+                return group.format_name, group.format_confidence, rule
+        return self.grouped.default_format, 0.0, None
+
+    def predict_format(self, features: FeatureVector) -> FormatName:
+        return self.predict(features)[0]
+
+    def accuracy(self, dataset: TrainingDataset) -> float:
+        if len(dataset) == 0:
+            return 1.0
+        hits = sum(
+            1
+            for record in dataset
+            if self.predict_format(record) is record.best_format
+        )
+        return hits / len(dataset)
+
+    # ------------------------------------------------------------------
+    # Persistence — the paper's "generate the model once, reuse it".
+    # ------------------------------------------------------------------
+    def save(self, path: Path) -> None:
+        payload = {
+            "default_format": self.grouped.default_format.value,
+            "training_accuracy": self.training_accuracy,
+            "tailored_rules": [_rule_json(r) for r in self.tailored_ruleset.rules],
+            "full_rules": [_rule_json(r) for r in self.full_ruleset.rules],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: Path) -> "LearningModel":
+        try:
+            payload = json.loads(Path(path).read_text())
+            default = FormatName(payload["default_format"])
+            tailored = RuleSet(
+                rules=tuple(
+                    _rule_from_json(r) for r in payload["tailored_rules"]
+                ),
+                default_format=default,
+            )
+            full = RuleSet(
+                rules=tuple(_rule_from_json(r) for r in payload["full_rules"]),
+                default_format=default,
+            )
+            return cls(
+                grouped=group_rules(tailored),
+                full_ruleset=full,
+                tailored_ruleset=tailored,
+                training_accuracy=float(payload["training_accuracy"]),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise LearningError(f"malformed model file {path}: {exc}") from exc
+
+
+def train_model(
+    dataset: TrainingDataset,
+    min_leaf: int = 4,
+    max_depth: int = 12,
+    prune: bool = True,
+    accuracy_gap: float = DEFAULT_ACCURACY_GAP,
+) -> LearningModel:
+    """The full offline pipeline: tree, ruleset, tailoring, grouping."""
+    learner = TreeLearner(min_leaf=min_leaf, max_depth=max_depth, prune=prune)
+    tree = learner.fit(dataset)
+    full = extract_rules(tree, dataset)
+    tailored = tailor_rules(full, dataset, accuracy_gap=accuracy_gap)
+    grouped = group_rules(tailored)
+    model = LearningModel(
+        grouped=grouped,
+        full_ruleset=full,
+        tailored_ruleset=tailored,
+        training_accuracy=0.0,
+    )
+    model.training_accuracy = model.accuracy(dataset)
+    return model
+
+
+def train_tree(
+    dataset: TrainingDataset,
+    min_leaf: int = 4,
+    max_depth: int = 12,
+    prune: bool = True,
+) -> DecisionTree:
+    """Just the tree — for the tree-vs-ruleset ablation."""
+    return TreeLearner(
+        min_leaf=min_leaf, max_depth=max_depth, prune=prune
+    ).fit(dataset)
+
+
+def _rule_json(rule: Rule) -> dict:
+    return {
+        "format": rule.format_name.value,
+        "covered": rule.covered,
+        "correct": rule.correct,
+        "conditions": [
+            {"attr": c.attribute, "op": c.operator, "threshold": c.threshold}
+            for c in rule.conditions
+        ],
+    }
+
+
+def _rule_from_json(payload: dict) -> Rule:
+    return Rule(
+        conditions=tuple(
+            Condition(c["attr"], c["op"], float(c["threshold"]))
+            for c in payload["conditions"]
+        ),
+        format_name=FormatName(payload["format"]),
+        covered=int(payload["covered"]),
+        correct=int(payload["correct"]),
+    )

@@ -1,0 +1,157 @@
+"""Evaluation reports for trained models: confusion matrix, per-class
+precision/recall, and a formatted text summary.
+
+The paper reports only overall accuracy; downstream users of a format
+classifier need to know *which* confusions occur (predicting CSR for a DIA
+matrix costs ~2x, predicting DIA for a power-law matrix costs ~100x), so
+the report also weighs each confusion by its performance cost when given a
+cost function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.features.parameters import FeatureVector
+from repro.learning.dataset import TrainingDataset
+from repro.types import BASIC_FORMATS, FormatName
+
+Predictor = Callable[[FeatureVector], FormatName]
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """One class's precision / recall / F1 and support."""
+
+    format_name: FormatName
+    precision: float
+    recall: float
+    support: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return (
+            2.0 * self.precision * self.recall
+            / (self.precision + self.recall)
+        )
+
+
+@dataclass
+class EvaluationReport:
+    """Confusion matrix plus derived metrics for one model on one dataset."""
+
+    classes: Tuple[FormatName, ...]
+    #: confusion[actual][predicted] = count
+    confusion: Dict[FormatName, Dict[FormatName, int]]
+    accuracy: float
+    per_class: Tuple[ClassMetrics, ...]
+    #: Mean slowdown of the predicted format relative to the actual best
+    #: (1.0 = every prediction performance-equivalent); None when no cost
+    #: function was supplied.
+    mean_slowdown: Optional[float] = None
+
+    def metrics_for(self, fmt: FormatName) -> ClassMetrics:
+        for metrics in self.per_class:
+            if metrics.format_name is fmt:
+                return metrics
+        raise KeyError(f"no metrics for {fmt}")
+
+    def describe(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [f"accuracy: {self.accuracy:.1%}"]
+        if self.mean_slowdown is not None:
+            lines.append(
+                f"mean slowdown vs oracle: {self.mean_slowdown:.3f}x"
+            )
+        corner = "actual \\ predicted"
+        header = f"{corner:>20s}" + "".join(
+            f"{c.value:>7s}" for c in self.classes
+        )
+        lines.append(header)
+        for actual in self.classes:
+            row = self.confusion.get(actual, {})
+            lines.append(
+                f"{actual.value:>20s}"
+                + "".join(
+                    f"{row.get(predicted, 0):>7d}"
+                    for predicted in self.classes
+                )
+            )
+        lines.append(
+            f"{'class':>6s}{'precision':>11s}{'recall':>9s}"
+            f"{'F1':>7s}{'support':>9s}"
+        )
+        for metrics in self.per_class:
+            lines.append(
+                f"{metrics.format_name.value:>6s}"
+                f"{metrics.precision:>11.3f}{metrics.recall:>9.3f}"
+                f"{metrics.f1:>7.3f}{metrics.support:>9d}"
+            )
+        return "\n".join(lines)
+
+
+def evaluate(
+    predictor: Predictor,
+    dataset: TrainingDataset,
+    classes: Sequence[FormatName] = BASIC_FORMATS,
+    cost_fn: Optional[Callable[[FeatureVector, FormatName], float]] = None,
+) -> EvaluationReport:
+    """Evaluate any feature->format predictor on a labelled dataset.
+
+    ``cost_fn(features, fmt)`` returns the (estimated) SpMV seconds of
+    running ``features``'s matrix in ``fmt``; when given, the report also
+    computes the mean predicted-vs-oracle slowdown — the end-to-end cost of
+    the model's mistakes.
+    """
+    classes = tuple(classes)
+    confusion: Dict[FormatName, Dict[FormatName, int]] = {
+        c: {} for c in classes
+    }
+    hits = 0
+    slowdowns: List[float] = []
+    for record in dataset:
+        actual = record.best_format
+        assert actual is not None
+        predicted = predictor(record)
+        row = confusion.setdefault(actual, {})
+        row[predicted] = row.get(predicted, 0) + 1
+        if predicted is actual:
+            hits += 1
+        if cost_fn is not None:
+            predicted_cost = cost_fn(record, predicted)
+            actual_cost = cost_fn(record, actual)
+            if actual_cost > 0:
+                slowdowns.append(predicted_cost / actual_cost)
+
+    per_class = []
+    for cls in classes:
+        true_positive = confusion.get(cls, {}).get(cls, 0)
+        support = sum(confusion.get(cls, {}).values())
+        predicted_as = sum(
+            confusion.get(actual, {}).get(cls, 0) for actual in classes
+        )
+        precision = true_positive / predicted_as if predicted_as else 0.0
+        recall = true_positive / support if support else 0.0
+        per_class.append(
+            ClassMetrics(
+                format_name=cls,
+                precision=precision,
+                recall=recall,
+                support=support,
+            )
+        )
+
+    accuracy = hits / len(dataset) if len(dataset) else 1.0
+    mean_slowdown = (
+        sum(slowdowns) / len(slowdowns) if slowdowns else None
+    )
+    return EvaluationReport(
+        classes=classes,
+        confusion=confusion,
+        accuracy=accuracy,
+        per_class=tuple(per_class),
+        mean_slowdown=mean_slowdown,
+    )

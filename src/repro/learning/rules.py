@@ -1,0 +1,214 @@
+"""Ruleset extraction (Section 5.1).
+
+The paper chooses C5.0's *ruleset* output over the raw tree: rulesets are
+more accurate and "convenient to convert to IF-THEN sentences".  Each rule
+here is a conjunction of interval conditions over the Table 2 parameters,
+carries the confidence factor the runtime thresholds against, and renders
+itself as exactly such an IF-THEN sentence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.features.parameters import PAPER_NAMES, FeatureVector
+from repro.learning.dataset import TrainingDataset
+from repro.learning.tree import DecisionTree, TreeNode
+from repro.types import FormatName
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One conjunct: ``attribute <= threshold`` or ``attribute > threshold``."""
+
+    attribute: str
+    operator: str  # "<=" or ">"
+    threshold: float
+
+    def matches(self, features: FeatureVector) -> bool:
+        value = features.value(self.attribute)
+        if self.operator == "<=":
+            return value <= self.threshold
+        return value > self.threshold
+
+    def __str__(self) -> str:
+        name = PAPER_NAMES.get(self.attribute, self.attribute)
+        return f"{name} {self.operator} {self.threshold:g}"
+
+
+@dataclass
+class Rule:
+    """IF <conditions> THEN <format>, with training statistics.
+
+    ``confidence`` follows the paper exactly: "the ratio of the number of
+    correctly classified matrices to the number of matrices falling in this
+    rule".  A broad rule for the general CSR format essentially never stays
+    perfectly pure, so its confidence sits just below 1.0 — which is what
+    lets a high threshold route exactly those predictions into the
+    execute-and-measure fallback (Table 3, rows 9-12).
+    """
+
+    conditions: Tuple[Condition, ...]
+    format_name: FormatName
+    covered: int = 0
+    correct: int = 0
+
+    @property
+    def confidence(self) -> float:
+        if self.covered == 0:
+            return 0.0
+        return self.correct / self.covered
+
+    @property
+    def laplace_confidence(self) -> float:
+        """Smoothed variant for reporting: shades tiny rules toward 1/2."""
+        return (self.correct + 1) / (self.covered + 2)
+
+    @property
+    def contribution(self) -> int:
+        """Estimated contribution to training accuracy: correct minus
+        incorrect coverage.  Drives the rule (re-)ordering of Section 6."""
+        return 2 * self.correct - self.covered
+
+    def matches(self, features: FeatureVector) -> bool:
+        return all(c.matches(features) for c in self.conditions)
+
+    def required_attributes(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(c.attribute for c in self.conditions))
+
+    def __str__(self) -> str:
+        if not self.conditions:
+            body = "TRUE"
+        else:
+            body = " AND ".join(str(c) for c in self.conditions)
+        return (
+            f"IF {body} THEN {self.format_name.value} "
+            f"[conf={self.confidence:.2f}, n={self.covered}]"
+        )
+
+
+@dataclass
+class RuleSet:
+    """An ordered ruleset with a default class.
+
+    Prediction is first-match; records matching no rule get the default
+    class (the training majority, CSR for every realistic collection).
+    """
+
+    rules: Tuple[Rule, ...]
+    default_format: FormatName
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def predict(self, features: FeatureVector) -> FormatName:
+        fmt, _ = self.predict_with_confidence(features)
+        return fmt
+
+    def predict_with_confidence(
+        self, features: FeatureVector
+    ) -> Tuple[FormatName, float]:
+        """(format, confidence); default predictions carry confidence 0."""
+        for rule in self.rules:
+            if rule.matches(features):
+                return rule.format_name, rule.confidence
+        return self.default_format, 0.0
+
+    def accuracy(self, dataset: TrainingDataset) -> float:
+        if len(dataset) == 0:
+            return 1.0
+        hits = sum(1 for r in dataset if self.predict(r) is r.best_format)
+        return hits / len(dataset)
+
+    def error_rate(self, dataset: TrainingDataset) -> float:
+        return 1.0 - self.accuracy(dataset)
+
+    def describe(self) -> str:
+        lines = [f"No.{i + 1:<3d} {rule}" for i, rule in enumerate(self.rules)]
+        lines.append(f"DEFAULT {self.default_format.value}")
+        return "\n".join(lines)
+
+
+def extract_rules(tree: DecisionTree, dataset: TrainingDataset) -> RuleSet:
+    """Convert every root-to-leaf path into a rule, simplify, score, order.
+
+    Mirrors C5.0's tree-to-ruleset conversion: redundant conditions on the
+    same attribute are merged, each rule is scored on the training set, and
+    rules are ordered by estimated contribution (Section 6's "rules reducing
+    error rate the most appear first").
+    """
+    raw_paths: List[Tuple[Tuple[Condition, ...], FormatName]] = []
+    _collect_paths(tree.root, (), raw_paths)
+
+    rules = []
+    for conditions, fmt in raw_paths:
+        simplified = _simplify(conditions)
+        rule = Rule(conditions=simplified, format_name=fmt)
+        _score(rule, dataset)
+        if rule.covered > 0:
+            rules.append(rule)
+
+    rules.sort(key=lambda r: (-r.contribution, -r.confidence, len(r.conditions)))
+    return RuleSet(
+        rules=tuple(rules), default_format=tree.default_class
+    )
+
+
+def _collect_paths(
+    node: TreeNode,
+    prefix: Tuple[Condition, ...],
+    out: List[Tuple[Tuple[Condition, ...], FormatName]],
+) -> None:
+    if node.is_leaf:
+        assert node.prediction is not None
+        out.append((prefix, node.prediction))
+        return
+    assert node.attribute is not None and node.threshold is not None
+    assert node.left is not None and node.right is not None
+    _collect_paths(
+        node.left,
+        prefix + (Condition(node.attribute, "<=", node.threshold),),
+        out,
+    )
+    _collect_paths(
+        node.right,
+        prefix + (Condition(node.attribute, ">", node.threshold),),
+        out,
+    )
+
+
+def _simplify(conditions: Sequence[Condition]) -> Tuple[Condition, ...]:
+    """Merge conditions on the same attribute into the tightest interval."""
+    upper: Dict[str, float] = {}
+    lower: Dict[str, float] = {}
+    order: List[str] = []
+    for cond in conditions:
+        if cond.attribute not in order:
+            order.append(cond.attribute)
+        if cond.operator == "<=":
+            current = upper.get(cond.attribute, math.inf)
+            upper[cond.attribute] = min(current, cond.threshold)
+        else:
+            current = lower.get(cond.attribute, -math.inf)
+            lower[cond.attribute] = max(current, cond.threshold)
+    result: List[Condition] = []
+    for attr in order:
+        if attr in lower:
+            result.append(Condition(attr, ">", lower[attr]))
+        if attr in upper:
+            result.append(Condition(attr, "<=", upper[attr]))
+    return tuple(result)
+
+
+def _score(rule: Rule, dataset: TrainingDataset) -> None:
+    covered = 0
+    correct = 0
+    for record in dataset:
+        if rule.matches(record):
+            covered += 1
+            if record.best_format is rule.format_name:
+                correct += 1
+    rule.covered = covered
+    rule.correct = correct

@@ -1,0 +1,120 @@
+"""Rule tailoring and format grouping (Section 6).
+
+Two runtime optimizations transform the raw ruleset:
+
+* **Tailoring** — rules are already ordered by estimated contribution;
+  keep the shortest prefix whose training accuracy is within a tolerance
+  (the paper accepts a 1% gap, e.g. rules No.1-15 of 40 on Intel reach
+  9.6% error vs the full ruleset's 9.0%).
+* **Grouping** — the tailored rules are assigned to per-format groups
+  evaluated in the fixed order DIA, ELL, CSR, COO (high-payoff and cheap
+  first), each group carrying a *format confidence*: the largest rule
+  confidence inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.learning.dataset import TrainingDataset
+from repro.learning.rules import Rule, RuleSet
+from repro.types import FormatName
+
+#: The evaluation order of Section 6: DIA first (highest performance when it
+#: fires), ELL second (regular, easy to predict), CSR third (its parameters
+#: are already extracted), COO last (needs the expensive power-law step).
+GROUP_ORDER: Tuple[FormatName, ...] = (
+    FormatName.DIA,
+    FormatName.ELL,
+    FormatName.CSR,
+    FormatName.COO,
+)
+
+#: The paper's acceptable accuracy gap between tailored and full rulesets.
+DEFAULT_ACCURACY_GAP = 0.01
+
+
+def tailor_rules(
+    ruleset: RuleSet,
+    dataset: TrainingDataset,
+    accuracy_gap: float = DEFAULT_ACCURACY_GAP,
+) -> RuleSet:
+    """Keep the shortest contribution-ordered prefix within ``accuracy_gap``
+    of the full ruleset's training accuracy."""
+    if not ruleset.rules:
+        return ruleset
+    full_accuracy = ruleset.accuracy(dataset)
+    for k in range(1, len(ruleset.rules) + 1):
+        prefix = RuleSet(
+            rules=ruleset.rules[:k], default_format=ruleset.default_format
+        )
+        if prefix.accuracy(dataset) >= full_accuracy - accuracy_gap:
+            return prefix
+    return ruleset
+
+
+@dataclass
+class FormatGroup:
+    """All tailored rules predicting one format, in ruleset order."""
+
+    format_name: FormatName
+    rules: Tuple[Rule, ...]
+
+    @property
+    def format_confidence(self) -> float:
+        """The group's reliability: the largest rule confidence inside it."""
+        if not self.rules:
+            return 0.0
+        return max(rule.confidence for rule in self.rules)
+
+    def first_match(self, features) -> Optional[Rule]:
+        for rule in self.rules:
+            if rule.matches(features):
+                return rule
+        return None
+
+    def required_attributes(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for rule in self.rules:
+            for attr in rule.required_attributes():
+                seen.setdefault(attr, None)
+        return tuple(seen)
+
+
+@dataclass
+class GroupedRules:
+    """The runtime artifact: per-format groups in evaluation order plus the
+    default format for no-match inputs."""
+
+    groups: Tuple[FormatGroup, ...]
+    default_format: FormatName
+
+    def group(self, fmt: FormatName) -> FormatGroup:
+        for g in self.groups:
+            if g.format_name is fmt:
+                return g
+        return FormatGroup(format_name=fmt, rules=())
+
+    def describe(self) -> str:
+        lines = []
+        for g in self.groups:
+            lines.append(
+                f"[{g.format_name.value} group] "
+                f"confidence={g.format_confidence:.2f}"
+            )
+            lines.extend(f"  {rule}" for rule in g.rules)
+        lines.append(f"[default] {self.default_format.value}")
+        return "\n".join(lines)
+
+
+def group_rules(ruleset: RuleSet) -> GroupedRules:
+    """Assign tailored rules to format groups in ``GROUP_ORDER``."""
+    buckets: Dict[FormatName, List[Rule]] = {fmt: [] for fmt in GROUP_ORDER}
+    for rule in ruleset.rules:
+        buckets.setdefault(rule.format_name, []).append(rule)
+    groups = tuple(
+        FormatGroup(format_name=fmt, rules=tuple(buckets.get(fmt, ())))
+        for fmt in GROUP_ORDER
+    )
+    return GroupedRules(groups=groups, default_format=ruleset.default_format)

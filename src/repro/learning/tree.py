@@ -1,0 +1,298 @@
+"""A C4.5/C5.0-style decision-tree learner, from scratch.
+
+This is the data-mining core the paper delegates to the C5.0 tool: gain-ratio
+splits on continuous attributes, and C4.5's pessimistic-error subtree
+replacement pruning.  The tree itself is rarely used directly for prediction
+— Section 5.1 prefers the ruleset extracted from it
+(:mod:`repro.learning.rules`) — but the tree/ruleset choice is one of the
+ablations DESIGN.md calls out, so tree prediction is fully supported.
+
+Missing values: the power-law parameter ``R`` is ``inf`` for non-scale-free
+matrices.  Because every rule of interest has the form ``r <= t``, treating
+``inf`` as an ordinary (very large) value routes such records down the
+"not scale-free" branch, which is exactly the intended semantics — no
+fractional-instance machinery is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LearningError
+from repro.features.parameters import FEATURE_NAMES, FeatureVector
+from repro.learning.dataset import TrainingDataset
+from repro.types import FormatName
+
+#: z-value of C4.5's default CF = 0.25 pruning confidence.
+PRUNING_Z = 0.6925
+
+#: Floor on split information to keep gain ratios finite.
+MIN_SPLIT_INFO = 1e-9
+
+
+@dataclass
+class TreeNode:
+    """One node: either a leaf (``prediction`` set) or an internal split
+    ``attribute <= threshold`` (left = true branch)."""
+
+    n_records: int
+    class_counts: Dict[FormatName, int]
+    prediction: Optional[FormatName] = None
+    attribute: Optional[str] = None
+    threshold: Optional[float] = None
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.prediction is not None
+
+    @property
+    def majority(self) -> FormatName:
+        return max(
+            self.class_counts, key=lambda c: (self.class_counts[c], c.value)
+        )
+
+    @property
+    def n_errors(self) -> int:
+        """Training records at this node not of the majority class."""
+        return self.n_records - self.class_counts[self.majority]
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def n_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return self.left.n_leaves() + self.right.n_leaves()
+
+
+@dataclass
+class DecisionTree:
+    """A trained tree plus its training metadata."""
+
+    root: TreeNode
+    attributes: Tuple[str, ...]
+    default_class: FormatName
+
+    def predict(self, features: FeatureVector) -> FormatName:
+        node = self.root
+        while not node.is_leaf:
+            assert node.attribute is not None and node.threshold is not None
+            value = features.value(node.attribute)
+            node = node.left if value <= node.threshold else node.right
+            assert node is not None
+        assert node.prediction is not None
+        return node.prediction
+
+    def accuracy(self, dataset: TrainingDataset) -> float:
+        if len(dataset) == 0:
+            return 1.0
+        hits = sum(
+            1 for r in dataset if self.predict(r) is r.best_format
+        )
+        return hits / len(dataset)
+
+
+@dataclass
+class TreeLearner:
+    """Grow-then-prune C4.5 learner.
+
+    ``min_leaf`` mirrors C4.5's minimum-cases parameter; ``max_depth``
+    bounds pathological growth on noisy data; ``prune=False`` gives the raw
+    tree for the pruning ablation.
+    """
+
+    min_leaf: int = 4
+    max_depth: int = 12
+    prune: bool = True
+    attributes: Sequence[str] = FEATURE_NAMES
+
+    def fit(self, dataset: TrainingDataset) -> DecisionTree:
+        if len(dataset) == 0:
+            raise LearningError("cannot fit a tree on an empty dataset")
+        if self.min_leaf < 1:
+            raise LearningError(f"min_leaf must be >= 1, got {self.min_leaf}")
+        records = list(dataset.records)
+        matrix, labels = _to_arrays(records, self.attributes)
+        root = self._grow(matrix, labels, depth=0)
+        if self.prune:
+            _prune(root)
+        return DecisionTree(
+            root=root,
+            attributes=tuple(self.attributes),
+            default_class=dataset.majority_class(),
+        )
+
+    # ------------------------------------------------------------------
+    def _grow(
+        self, matrix: np.ndarray, labels: np.ndarray, depth: int
+    ) -> TreeNode:
+        counts = _count_classes(labels)
+        node = TreeNode(n_records=labels.shape[0], class_counts=counts)
+        if (
+            len(counts) == 1
+            or labels.shape[0] < 2 * self.min_leaf
+            or depth >= self.max_depth
+        ):
+            node.prediction = node.majority
+            return node
+
+        split = _best_split(matrix, labels, self.attributes, self.min_leaf)
+        if split is None:
+            node.prediction = node.majority
+            return node
+
+        attr_idx, threshold = split
+        mask = matrix[:, attr_idx] <= threshold
+        node.attribute = self.attributes[attr_idx]
+        node.threshold = threshold
+        node.left = self._grow(matrix[mask], labels[mask], depth + 1)
+        node.right = self._grow(matrix[~mask], labels[~mask], depth + 1)
+        return node
+
+
+# ---------------------------------------------------------------------------
+# Split selection
+# ---------------------------------------------------------------------------
+
+def _to_arrays(
+    records: List[FeatureVector], attributes: Sequence[str]
+) -> Tuple[np.ndarray, np.ndarray]:
+    matrix = np.array(
+        [[r.value(a) for a in attributes] for r in records], dtype=np.float64
+    )
+    class_ids = {fmt: i for i, fmt in enumerate(FormatName)}
+    labels = np.array(
+        [class_ids[r.best_format] for r in records], dtype=np.int64
+    )
+    return matrix, labels
+
+
+def _count_classes(labels: np.ndarray) -> Dict[FormatName, int]:
+    formats = list(FormatName)
+    values, counts = np.unique(labels, return_counts=True)
+    return {formats[int(v)]: int(c) for v, c in zip(values, counts)}
+
+
+def _entropy(labels: np.ndarray) -> float:
+    if labels.shape[0] == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    probs = counts / labels.shape[0]
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def _best_split(
+    matrix: np.ndarray,
+    labels: np.ndarray,
+    attributes: Sequence[str],
+    min_leaf: int,
+) -> Optional[Tuple[int, float]]:
+    """(attribute index, threshold) maximizing gain ratio, or None."""
+    n = labels.shape[0]
+    base_entropy = _entropy(labels)
+    best: Optional[Tuple[int, float]] = None
+    best_score = 0.0
+
+    for attr_idx in range(matrix.shape[1]):
+        column = matrix[:, attr_idx]
+        order = np.argsort(column, kind="stable")
+        sorted_vals = column[order]
+        sorted_labels = labels[order]
+
+        # Candidate cut positions: wherever the value changes.  Plain
+        # comparison (not np.diff) so inf values — missing R — don't warn.
+        change = np.nonzero(sorted_vals[1:] > sorted_vals[:-1])[0]
+        if change.size == 0:
+            continue
+
+        # Incremental class counts left of each cut.
+        n_classes = int(labels.max()) + 1
+        one_hot = np.zeros((n, n_classes), dtype=np.float64)
+        one_hot[np.arange(n), sorted_labels] = 1.0
+        prefix = np.cumsum(one_hot, axis=0)
+
+        for cut in change:
+            n_left = int(cut) + 1
+            n_right = n - n_left
+            if n_left < min_leaf or n_right < min_leaf:
+                continue
+            left_counts = prefix[cut]
+            right_counts = prefix[-1] - left_counts
+            h_left = _entropy_from_counts(left_counts)
+            h_right = _entropy_from_counts(right_counts)
+            gain = base_entropy - (
+                n_left / n * h_left + n_right / n * h_right
+            )
+            if gain <= 1e-12:
+                continue
+            p_left = n_left / n
+            split_info = -(
+                p_left * math.log2(p_left)
+                + (1 - p_left) * math.log2(1 - p_left)
+            )
+            score = gain / max(split_info, MIN_SPLIT_INFO)
+            if score > best_score:
+                lo, hi = sorted_vals[cut], sorted_vals[cut + 1]
+                threshold = _midpoint(float(lo), float(hi))
+                best_score = score
+                best = (attr_idx, threshold)
+    return best
+
+
+def _midpoint(lo: float, hi: float) -> float:
+    """Midpoint that stays finite when the upper value is inf (missing R)."""
+    if math.isinf(hi):
+        return lo * 2.0 if lo > 0 else lo + 1.0
+    return 0.5 * (lo + hi)
+
+
+def _entropy_from_counts(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probs = counts[counts > 0] / total
+    return float(-(probs * np.log2(probs)).sum())
+
+
+# ---------------------------------------------------------------------------
+# Pessimistic-error pruning (C4.5 subtree replacement)
+# ---------------------------------------------------------------------------
+
+def _pessimistic_errors(n: int, errors: int, z: float = PRUNING_Z) -> float:
+    """Upper confidence bound on the error count of a leaf (C4.5's U_CF)."""
+    if n == 0:
+        return 0.0
+    f = errors / n
+    numerator = (
+        f
+        + z * z / (2 * n)
+        + z * math.sqrt(f / n - f * f / n + z * z / (4 * n * n))
+    )
+    return n * numerator / (1 + z * z / n)
+
+
+def _prune(node: TreeNode) -> float:
+    """Post-order subtree replacement; returns estimated subtree errors."""
+    if node.is_leaf:
+        return _pessimistic_errors(node.n_records, node.n_errors)
+    assert node.left is not None and node.right is not None
+    subtree_errors = _prune(node.left) + _prune(node.right)
+    leaf_errors = _pessimistic_errors(node.n_records, node.n_errors)
+    if leaf_errors <= subtree_errors + 0.1:
+        node.prediction = node.majority
+        node.attribute = None
+        node.threshold = None
+        node.left = None
+        node.right = None
+        return leaf_errors
+    return subtree_errors

@@ -1,0 +1,44 @@
+"""Simulated machine model: architectures, cost model, measurement backends."""
+
+from repro.machine.arch import Architecture
+from repro.machine.costmodel import (
+    CostBreakdown,
+    cost_breakdown,
+    estimate_gflops,
+    estimate_spmv_time,
+)
+from repro.machine.measure import (
+    MeasurementBackend,
+    SimulatedBackend,
+    WallClockBackend,
+    gflops,
+)
+from repro.machine.calibrate import CalibrationResult, calibrate_host
+from repro.machine.roofline import RooflinePoint, roofline_point, roofline_report
+from repro.machine.presets import (
+    AMD_OPTERON_6168,
+    INTEL_XEON_X5680,
+    PLATFORMS,
+    platform,
+)
+
+__all__ = [
+    "AMD_OPTERON_6168",
+    "Architecture",
+    "CalibrationResult",
+    "CostBreakdown",
+    "calibrate_host",
+    "INTEL_XEON_X5680",
+    "MeasurementBackend",
+    "PLATFORMS",
+    "RooflinePoint",
+    "roofline_point",
+    "roofline_report",
+    "SimulatedBackend",
+    "WallClockBackend",
+    "cost_breakdown",
+    "estimate_gflops",
+    "estimate_spmv_time",
+    "gflops",
+    "platform",
+]

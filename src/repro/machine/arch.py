@@ -1,0 +1,70 @@
+"""Architecture descriptions.
+
+SMAT quantizes architecture features through the *performance of SpMV
+implementations* rather than using raw hardware counters (Section 3).  The
+simulated machine therefore only needs the handful of parameters that shape
+SpMV behaviour: core count, clock, SIMD width, the memory hierarchy's two
+bandwidth regimes, and the last-level cache capacity that separates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import Precision
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A multi-core x86 machine as seen by the SpMV cost model."""
+
+    name: str
+    cores: int
+    frequency_ghz: float
+    #: SIMD register width in bytes (16 for SSE — both paper machines).
+    simd_bytes: int
+    #: Sustained DRAM bandwidth in GB/s (paper: 31 Intel, 42 AMD).
+    memory_bandwidth_gbs: float
+    #: Sustained last-level-cache bandwidth in GB/s.
+    cache_bandwidth_gbs: float
+    #: Shared last-level cache in MiB (12 on both paper machines).
+    llc_mib: float
+    #: Fraction of DRAM bandwidth one thread can drive on its own.
+    single_thread_bw_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.simd_bytes < 4:
+            raise ValueError("simd_bytes must hold at least one float")
+
+    def simd_lanes(self, precision: Precision) -> int:
+        """Values per SIMD register (4 SP / 2 DP with SSE)."""
+        return max(1, self.simd_bytes // precision.bytes_per_value)
+
+    def peak_gflops(self, precision: Precision, threads: int) -> float:
+        """Peak arithmetic throughput: one multiply + one add per lane
+        per cycle across ``threads`` cores."""
+        threads = min(max(threads, 1), self.cores)
+        return (
+            self.frequency_ghz * 2.0 * self.simd_lanes(precision) * threads
+        )
+
+    def llc_bytes(self) -> int:
+        return int(self.llc_mib * 1024 * 1024)
+
+    def bandwidth_bytes_per_s(self, threads: int, cache_resident: bool) -> float:
+        """Effective bandwidth for a working set that is (or is not) cache
+        resident, scaled for the number of active threads."""
+        base = (
+            self.cache_bandwidth_gbs if cache_resident else self.memory_bandwidth_gbs
+        )
+        threads = min(max(threads, 1), self.cores)
+        if threads == 1:
+            scale = self.single_thread_bw_fraction
+        else:
+            # Bandwidth saturates well before all cores are streaming.
+            scale = min(1.0, self.single_thread_bw_fraction * threads)
+        return base * 1e9 * scale

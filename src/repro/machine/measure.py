@@ -1,0 +1,105 @@
+"""Measurement backends: simulated testbed vs real wall clock.
+
+The kernel search (Section 5.2) and the execute-and-measure fallback
+(Section 6) both need to answer "how long does this kernel take on this
+matrix".  Two interchangeable backends answer it:
+
+* :class:`SimulatedBackend` — the analytic cost model configured with one of
+  the paper's platform presets.  Deterministic, instantaneous, and the
+  backend every paper-reproduction bench uses.
+* :class:`WallClockBackend` — median wall time of actually running the NumPy
+  kernel on this host.  Used by the wall-clock variants of the benches and
+  by the quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.features.parameters import FeatureVector
+from repro.formats.base import SparseMatrix
+from repro.kernels.base import Kernel
+from repro.machine.arch import Architecture
+from repro.machine.costmodel import estimate_spmv_time
+from repro.types import Precision
+from repro.util.timing import median_time
+
+
+class MeasurementBackend(Protocol):
+    """Anything that can time one SpMV kernel on one matrix."""
+
+    def measure(
+        self,
+        kernel: Kernel,
+        matrix: Optional[SparseMatrix],
+        features: FeatureVector,
+        x: Optional[np.ndarray] = None,
+    ) -> float:
+        """Seconds for one ``y = A @ x`` with ``kernel``."""
+        ...
+
+
+class SimulatedBackend:
+    """Cost-model timing on a simulated platform."""
+
+    def __init__(
+        self, arch: Architecture, precision: Precision = Precision.DOUBLE
+    ) -> None:
+        self.arch = arch
+        self.precision = precision
+
+    def measure(
+        self,
+        kernel: Kernel,
+        matrix: Optional[SparseMatrix],
+        features: FeatureVector,
+        x: Optional[np.ndarray] = None,
+    ) -> float:
+        return estimate_spmv_time(
+            self.arch,
+            kernel.format_name,
+            features,
+            precision=self.precision,
+            strategies=kernel.strategies,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedBackend({self.arch.name!r}, "
+            f"{self.precision.value})"
+        )
+
+
+class WallClockBackend:
+    """Median-of-repeats wall-clock timing of the real NumPy kernels."""
+
+    def __init__(self, repeats: int = 3, warmup: int = 1) -> None:
+        self.repeats = repeats
+        self.warmup = warmup
+
+    def measure(
+        self,
+        kernel: Kernel,
+        matrix: Optional[SparseMatrix],
+        features: FeatureVector,
+        x: Optional[np.ndarray] = None,
+    ) -> float:
+        if matrix is None:
+            raise ValueError("WallClockBackend needs the actual matrix")
+        if x is None:
+            x = np.ones(matrix.n_cols, dtype=matrix.dtype)
+        return median_time(
+            lambda: kernel(matrix, x), repeats=self.repeats, warmup=self.warmup
+        )
+
+    def __repr__(self) -> str:
+        return f"WallClockBackend(repeats={self.repeats})"
+
+
+def gflops(nnz: int, seconds: float) -> float:
+    """Useful GFLOPS of one SpMV: ``2 * nnz`` flops over ``seconds``."""
+    if seconds <= 0.0:
+        return 0.0
+    return 2.0 * nnz / seconds / 1e9

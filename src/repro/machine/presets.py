@@ -1,0 +1,46 @@
+"""The paper's two evaluation platforms (Section 7.1).
+
+Core counts, clocks, LLC sizes and DRAM bandwidths are the figures the paper
+states; cache bandwidths are set to the machines' documented sustained L3
+throughput class so that cache-resident matrices reach the paper's top
+GFLOPS (51 SP on Intel at ~32% efficiency).
+"""
+
+from __future__ import annotations
+
+from repro.machine.arch import Architecture
+
+INTEL_XEON_X5680 = Architecture(
+    name="Intel Xeon X5680",
+    cores=12,
+    frequency_ghz=3.3,
+    simd_bytes=16,
+    memory_bandwidth_gbs=31.0,
+    cache_bandwidth_gbs=150.0,
+    llc_mib=12.0,
+)
+
+AMD_OPTERON_6168 = Architecture(
+    name="AMD Opteron 6168",
+    cores=12,
+    frequency_ghz=1.9,
+    simd_bytes=16,
+    memory_bandwidth_gbs=42.0,
+    cache_bandwidth_gbs=100.0,
+    llc_mib=12.0,
+)
+
+PLATFORMS = {
+    "intel": INTEL_XEON_X5680,
+    "amd": AMD_OPTERON_6168,
+}
+
+
+def platform(name: str) -> Architecture:
+    """Look up a platform preset by short name ('intel' or 'amd')."""
+    try:
+        return PLATFORMS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
+        ) from None

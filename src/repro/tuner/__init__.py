@@ -1,0 +1,60 @@
+"""The SMAT auto-tuner core (Figures 4 and 7)."""
+
+from repro.tuner.config import (
+    DEFAULT_CONFIDENCE_THRESHOLD,
+    FALLBACK_CANDIDATES,
+    SmatConfig,
+)
+from repro.tuner.interface import (
+    default_smat,
+    reset_default_smat,
+    smat_dcsr_spmv,
+    smat_scsr_spmv,
+)
+from repro.tuner.runtime import Decision, decide, rule_matches_lazy
+from repro.tuner.scoreboard import (
+    NEGLECT_GAP,
+    PerformanceTable,
+    ScoreboardResult,
+    run_scoreboard,
+)
+from repro.tuner.search import (
+    KernelSearchResult,
+    probe_matrix,
+    search_kernels,
+)
+from repro.tuner.online import OnlineSmat
+from repro.tuner.stats import DecisionLog, LoggingSmat
+from repro.tuner.smat import (
+    SMAT,
+    PreparedSpMV,
+    build_training_dataset,
+    label_matrix,
+)
+
+__all__ = [
+    "DEFAULT_CONFIDENCE_THRESHOLD",
+    "Decision",
+    "DecisionLog",
+    "LoggingSmat",
+    "OnlineSmat",
+    "FALLBACK_CANDIDATES",
+    "KernelSearchResult",
+    "NEGLECT_GAP",
+    "PerformanceTable",
+    "PreparedSpMV",
+    "SMAT",
+    "ScoreboardResult",
+    "SmatConfig",
+    "build_training_dataset",
+    "decide",
+    "default_smat",
+    "label_matrix",
+    "probe_matrix",
+    "reset_default_smat",
+    "rule_matches_lazy",
+    "run_scoreboard",
+    "search_kernels",
+    "smat_dcsr_spmv",
+    "smat_scsr_spmv",
+]

@@ -1,0 +1,58 @@
+"""Tuner configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.types import FormatName
+
+#: Default confidence threshold ruling the execute-and-measure fallback.
+#: Confidence is the paper's raw correctly-classified ratio, so the small,
+#: structurally sharp DIA/ELL/COO rules are typically *pure* (confidence
+#: 1.0) while the broad rules of CSR — "the most general format" with
+#: "relatively intricate features" — always carry a few misclassified
+#: matrices.  A threshold of 0.99 therefore trusts the specialised formats
+#: and routes low-confidence CSR predictions into execute-and-measure,
+#: reproducing Table 3's decision pattern.
+DEFAULT_CONFIDENCE_THRESHOLD = 0.99
+
+#: Formats the fallback actually benchmarks.  The paper's fallback runs
+#: "CSR+COO" (Table 3): the cheap-to-convert candidates.  DIA/ELL never make
+#: the list — their rule groups already rejected the matrix, and converting
+#: to them can cost tens of SpMVs.
+FALLBACK_CANDIDATES: Tuple[FormatName, ...] = (
+    FormatName.CSR,
+    FormatName.COO,
+)
+
+
+@dataclass(frozen=True)
+class SmatConfig:
+    """Runtime policy of an SMAT instance."""
+
+    confidence_threshold: float = DEFAULT_CONFIDENCE_THRESHOLD
+    #: Times each fallback candidate is executed when measuring (the paper's
+    #: execute-and-measure runs a few repetitions for a stable median).
+    fallback_repeats: int = 6
+    #: Zero-fill budget guarding DIA/ELL conversions (see formats.convert).
+    fill_budget: Optional[float] = 20.0
+    #: Disable the model entirely (always execute-and-measure) — ablation.
+    always_measure: bool = False
+    #: Disable the fallback (always trust the model) — ablation.
+    never_measure: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence_threshold <= 1.0:
+            raise ValueError(
+                f"confidence_threshold must be in [0, 1], got "
+                f"{self.confidence_threshold}"
+            )
+        if self.fallback_repeats < 1:
+            raise ValueError(
+                f"fallback_repeats must be >= 1, got {self.fallback_repeats}"
+            )
+        if self.always_measure and self.never_measure:
+            raise ValueError(
+                "always_measure and never_measure are mutually exclusive"
+            )

@@ -1,0 +1,96 @@
+"""The unified programming interface (Figure 5).
+
+Where MKL exposes six per-format calls (``mkl_xcsrgemv``, ``mkl_xdiagemv``,
+...), SMAT exposes exactly one per precision, taking the matrix in CSR
+arrays.  ``SMAT_xCSR_SpMV`` here becomes :func:`smat_scsr_spmv` (single) and
+:func:`smat_dcsr_spmv` (double).
+
+A module-level default tuner is trained lazily on first use (on a reduced
+synthetic collection, a few seconds) so the interface works out of the box;
+serious users train their own :class:`repro.tuner.SMAT` and pass it in.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.machine.measure import SimulatedBackend
+from repro.machine.presets import INTEL_XEON_X5680
+from repro.tuner.smat import SMAT
+from repro.types import Precision
+
+_DEFAULT_TRAIN_SCALE = 0.05
+_default_lock = threading.Lock()
+_default_smat: Optional[SMAT] = None
+
+
+def default_smat() -> SMAT:
+    """The lazily-trained module-level tuner (simulated Intel backend)."""
+    global _default_smat
+    with _default_lock:
+        if _default_smat is None:
+            from repro.collection import generate_collection
+
+            backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+            _default_smat = SMAT.train(
+                generate_collection(
+                    scale=_DEFAULT_TRAIN_SCALE, size_scale=0.5
+                ),
+                backend=backend,
+            )
+        return _default_smat
+
+
+def reset_default_smat() -> None:
+    """Drop the cached default tuner (tests use this)."""
+    global _default_smat
+    with _default_lock:
+        _default_smat = None
+
+
+def _csr_spmv(
+    ptr: Sequence[int],
+    indices: Sequence[int],
+    data: Sequence[float],
+    shape: Tuple[int, int],
+    x: np.ndarray,
+    dtype: np.dtype,
+    smat: Optional[SMAT],
+) -> np.ndarray:
+    matrix = CSRMatrix(
+        np.asarray(ptr),
+        np.asarray(indices),
+        np.asarray(data, dtype=dtype),
+        shape,
+    )
+    tuner = smat or default_smat()
+    y, _ = tuner.spmv(matrix, np.asarray(x, dtype=dtype))
+    return y
+
+
+def smat_scsr_spmv(
+    ptr: Sequence[int],
+    indices: Sequence[int],
+    data: Sequence[float],
+    shape: Tuple[int, int],
+    x: np.ndarray,
+    smat: Optional[SMAT] = None,
+) -> np.ndarray:
+    """Single-precision unified SpMV (the paper's ``SMAT_sCSR_SpMV``)."""
+    return _csr_spmv(ptr, indices, data, shape, x, np.dtype(np.float32), smat)
+
+
+def smat_dcsr_spmv(
+    ptr: Sequence[int],
+    indices: Sequence[int],
+    data: Sequence[float],
+    shape: Tuple[int, int],
+    x: np.ndarray,
+    smat: Optional[SMAT] = None,
+) -> np.ndarray:
+    """Double-precision unified SpMV (the paper's ``SMAT_dCSR_SpMV``)."""
+    return _csr_spmv(ptr, indices, data, shape, x, np.dtype(np.float64), smat)

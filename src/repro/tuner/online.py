@@ -1,0 +1,94 @@
+"""Online model improvement (Section 3's extensibility claim).
+
+"It is also open to add new matrices and corresponding records into the
+database to improve the prediction accuracy."  ``OnlineSmat`` implements
+that loop: every execute-and-measure fallback already *measured* the true
+best format of its input, so the outcome is a free labelled training
+record.  The wrapper accumulates these records and retrains the ruleset
+after every ``retrain_every`` new observations — the model sharpens exactly
+in the regions where it was unsure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.features.extract import extract_features
+from repro.features.parameters import FeatureVector
+from repro.formats.csr import CSRMatrix
+from repro.learning.dataset import TrainingDataset
+from repro.learning.model import train_model
+from repro.tuner.runtime import Decision
+from repro.tuner.smat import SMAT
+
+
+class OnlineSmat:
+    """An SMAT wrapper that learns from its own fallback measurements."""
+
+    def __init__(
+        self,
+        smat: SMAT,
+        base_dataset: Optional[TrainingDataset] = None,
+        retrain_every: int = 25,
+        min_leaf: int = 8,
+        max_depth: int = 10,
+    ) -> None:
+        if retrain_every < 1:
+            raise ValueError(
+                f"retrain_every must be >= 1, got {retrain_every}"
+            )
+        self.smat = smat
+        self.base_records: List[FeatureVector] = (
+            list(base_dataset.records) if base_dataset else []
+        )
+        self.new_records: List[FeatureVector] = []
+        self.retrain_every = retrain_every
+        self.min_leaf = min_leaf
+        self.max_depth = max_depth
+        self.retrain_count = 0
+
+    # ------------------------------------------------------------------
+    def decide(self, matrix: CSRMatrix) -> Decision:
+        decision = self.smat.decide(matrix)
+        if decision.used_fallback and decision.measurements:
+            # The fallback measured the candidates: its winner is a label.
+            features = extract_features(matrix)
+            best = min(
+                decision.measurements,
+                key=lambda fmt: decision.measurements[fmt],
+            )
+            self.new_records.append(features.with_label(best))
+            if len(self.new_records) % self.retrain_every == 0:
+                self._retrain()
+        return decision
+
+    def spmv(self, matrix: CSRMatrix, x):
+        decision = self.decide(matrix)
+        if decision.matrix is None:  # pragma: no cover - decide sets it
+            from repro.formats.convert import convert
+
+            decision.matrix, _ = convert(
+                matrix, decision.format_name, fill_budget=None
+            )
+        return decision.kernel(decision.matrix, x), decision
+
+    # ------------------------------------------------------------------
+    def _retrain(self) -> None:
+        records = tuple(self.base_records) + tuple(self.new_records)
+        if not records:
+            return
+        dataset = TrainingDataset(records)
+        if len(dataset.class_counts()) < 2:
+            return  # nothing to learn from one class
+        self.smat.model = train_model(
+            dataset, min_leaf=self.min_leaf, max_depth=self.max_depth
+        )
+        self.retrain_count += 1
+
+    @property
+    def observations(self) -> int:
+        """Fallback-derived records accumulated so far."""
+        return len(self.new_records)
+
+    def __getattr__(self, name: str):
+        return getattr(self.smat, name)

@@ -1,0 +1,211 @@
+"""The runtime decision procedure (Section 6, Figure 7).
+
+Given an input CSR matrix:
+
+1. extract features lazily (step one now, the power-law fit only if the
+   COO group is ever consulted),
+2. walk the format groups in DIA, ELL, CSR, COO order; the first group with
+   a matching rule is the prediction,
+3. if the group's format confidence clears the threshold, done — otherwise
+   trigger execute-and-measure over the cheap candidates (CSR, COO and the
+   predicted format) and return the measured winner.
+
+Every step's cost is accounted in CSR-SpMV units, reproducing Table 3's
+overhead column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConversionError, TuningError
+from repro.features.incremental import LazyFeatures
+from repro.features.parameters import FeatureVector
+from repro.formats.base import SparseMatrix
+from repro.formats.convert import conversion_cost, convert
+from repro.formats.csr import CSRMatrix
+from repro.kernels.base import Kernel
+from repro.learning.model import LearningModel
+from repro.learning.rules import Rule
+from repro.machine.measure import MeasurementBackend
+from repro.tuner.config import FALLBACK_CANDIDATES, SmatConfig
+from repro.tuner.search import KernelSearchResult
+from repro.types import FormatName
+
+
+@dataclass
+class Decision:
+    """The outcome of one runtime tuning decision."""
+
+    format_name: FormatName
+    kernel: Kernel
+    confidence: float
+    matched_rule: Optional[Rule]
+    used_fallback: bool
+    #: Format the model predicted (equals format_name on a model hit).
+    predicted_format: FormatName
+    #: Fallback measurements, seconds per candidate format.
+    measurements: Dict[FormatName, float] = field(default_factory=dict)
+    #: Overhead accounting, all in units of one CSR SpMV.
+    extraction_units: float = 0.0
+    conversion_units: float = 0.0
+    measurement_units: float = 0.0
+    #: The matrix already converted to ``format_name`` (fallback path
+    #: converts while measuring; the model-hit path converts on demand).
+    matrix: Optional[SparseMatrix] = None
+
+    @property
+    def overhead_units(self) -> float:
+        """Total decision overhead in CSR-SpMV units (Table 3's column)."""
+        return (
+            self.extraction_units
+            + self.conversion_units
+            + self.measurement_units
+        )
+
+
+def rule_matches_lazy(rule: Rule, lazy: LazyFeatures) -> bool:
+    """Evaluate a rule against lazily-extracted features.
+
+    Conditions pull exactly the parameters they mention, so a DIA rule never
+    triggers the power-law fit — the optimistic early-exit of Section 6.
+    """
+    return all(
+        _condition_matches(cond, lazy) for cond in rule.conditions
+    )
+
+
+def _condition_matches(cond, lazy: LazyFeatures) -> bool:
+    value = lazy.get(cond.attribute)
+    if cond.operator == "<=":
+        return value <= cond.threshold
+    return value > cond.threshold
+
+
+def decide(
+    matrix: CSRMatrix,
+    model: LearningModel,
+    kernels: KernelSearchResult,
+    backend: MeasurementBackend,
+    config: SmatConfig = SmatConfig(),
+) -> Decision:
+    """Run the full Figure 7 procedure on one input matrix."""
+    lazy = LazyFeatures(matrix)
+
+    if config.always_measure:
+        return _fallback(
+            matrix, lazy, FALLBACK_CANDIDATES, kernels, backend, config,
+            predicted=FormatName.CSR, confidence=0.0, rule=None,
+        )
+
+    prediction: Optional[Tuple[FormatName, float, Optional[Rule]]] = None
+    for group in model.grouped.groups:
+        matched = None
+        for rule in group.rules:
+            if rule_matches_lazy(rule, lazy):
+                matched = rule
+                break
+        if matched is None:
+            continue
+        prediction = (group.format_name, group.format_confidence, matched)
+        break
+
+    if prediction is None:
+        prediction = (model.grouped.default_format, 0.0, None)
+
+    fmt, confidence, rule = prediction
+    if confidence > config.confidence_threshold or config.never_measure:
+        converted = _convert_for(matrix, fmt, config)
+        # A blown zero-fill budget degrades the prediction to CSR: the
+        # model was wrong about feasibility, and running CSR beats paying
+        # a pathological conversion.
+        actual = converted.format_name
+        return Decision(
+            format_name=actual,
+            kernel=kernels.kernel_for(actual),
+            confidence=confidence,
+            matched_rule=rule,
+            used_fallback=False,
+            predicted_format=fmt,
+            extraction_units=lazy.extraction_cost_spmv_units(),
+            conversion_units=conversion_cost(FormatName.CSR, actual, matrix),
+            matrix=converted,
+        )
+
+    candidates = tuple(dict.fromkeys((fmt,) + FALLBACK_CANDIDATES))
+    return _fallback(
+        matrix, lazy, candidates, kernels, backend, config,
+        predicted=fmt, confidence=confidence, rule=rule,
+    )
+
+
+def _fallback(
+    matrix: CSRMatrix,
+    lazy: LazyFeatures,
+    candidates: Tuple[FormatName, ...],
+    kernels: KernelSearchResult,
+    backend: MeasurementBackend,
+    config: SmatConfig,
+    predicted: FormatName,
+    confidence: float,
+    rule: Optional[Rule],
+) -> Decision:
+    """Execute-and-measure: benchmark the candidates, keep the fastest."""
+    features = lazy.snapshot()
+    csr_unit_seconds = backend.measure(
+        kernels.kernel_for(FormatName.CSR), matrix, features
+    )
+    if csr_unit_seconds <= 0.0:
+        raise TuningError("CSR reference measurement returned zero time")
+
+    measurements: Dict[FormatName, float] = {}
+    converted: Dict[FormatName, SparseMatrix] = {}
+    measurement_units = 0.0
+    for candidate in candidates:
+        try:
+            cand_matrix, cost = convert(
+                matrix, candidate, fill_budget=config.fill_budget
+            )
+        except ConversionError:
+            continue  # blow-up guard: candidate priced out
+        converted[candidate] = cand_matrix
+        seconds = backend.measure(
+            kernels.kernel_for(candidate), cand_matrix, features
+        )
+        measurements[candidate] = seconds
+        measurement_units += cost.csr_spmv_units()
+        measurement_units += (
+            config.fallback_repeats * seconds / csr_unit_seconds
+        )
+
+    if not measurements:
+        raise TuningError(
+            f"no fallback candidate among {candidates} was convertible"
+        )
+    best = min(measurements, key=lambda f: measurements[f])
+    return Decision(
+        format_name=best,
+        kernel=kernels.kernel_for(best),
+        confidence=confidence,
+        matched_rule=rule,
+        used_fallback=True,
+        predicted_format=predicted,
+        measurements=measurements,
+        extraction_units=lazy.extraction_cost_spmv_units(),
+        conversion_units=0.0,  # conversions are inside measurement_units
+        measurement_units=measurement_units,
+        matrix=converted[best],
+    )
+
+
+def _convert_for(
+    matrix: CSRMatrix, fmt: FormatName, config: SmatConfig
+) -> SparseMatrix:
+    """Convert a model-hit prediction, degrading to CSR if the conversion
+    blows the zero-fill budget (the model was wrong about feasibility)."""
+    try:
+        out, _ = convert(matrix, fmt, fill_budget=config.fill_budget)
+        return out
+    except ConversionError:
+        return matrix

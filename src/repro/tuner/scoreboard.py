@@ -1,0 +1,111 @@
+"""The performance record table and scoreboard algorithm (Section 5.2).
+
+Kernel searching runs every implementation of a format once, records the
+times in a table indexed by strategy set, then scores each individual
+strategy:
+
+* an implementation using exactly one strategy is compared with the basic
+  implementation — faster scores the strategy +1, slower -1;
+* when the relative performance gap is below 1% the strategy "shows no
+  effect on this architecture" and is neglected (score 0);
+* an implementation with multiple strategies is compared against the
+  recorded implementations that use exactly one strategy less, scoring the
+  strategy that differs.
+
+Each implementation's score is the sum of its strategies' scores; the
+highest-scoring implementation is the format's optimal kernel (ties break
+toward the measured-fastest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TuningError
+from repro.kernels.base import Kernel
+from repro.kernels.strategies import Strategy, StrategySet, describe
+
+#: The paper's neglect rule: gaps under this *relative* size mean the
+#: strategy has no effect on this architecture.
+NEGLECT_GAP = 0.01
+
+
+@dataclass
+class PerformanceTable:
+    """Measured seconds for every implementation of one format."""
+
+    format_name: object
+    times: Dict[StrategySet, float] = field(default_factory=dict)
+
+    def record(self, strategies: StrategySet, seconds: float) -> None:
+        if seconds <= 0.0:
+            raise TuningError(
+                f"non-positive measurement for {describe(strategies)}: "
+                f"{seconds}"
+            )
+        self.times[frozenset(strategies)] = seconds
+
+    def time_of(self, strategies: StrategySet) -> Optional[float]:
+        return self.times.get(frozenset(strategies))
+
+    def fastest(self) -> Tuple[StrategySet, float]:
+        if not self.times:
+            raise TuningError("empty performance table")
+        best = min(self.times, key=lambda s: self.times[s])
+        return best, self.times[best]
+
+
+@dataclass(frozen=True)
+class ScoreboardResult:
+    """Strategy scores and the winning implementation."""
+
+    strategy_scores: Dict[Strategy, int]
+    implementation_scores: Dict[StrategySet, int]
+    best_strategies: StrategySet
+
+    def score_of(self, strategies: StrategySet) -> int:
+        return self.implementation_scores[frozenset(strategies)]
+
+
+def run_scoreboard(table: PerformanceTable) -> ScoreboardResult:
+    """Score strategies from the performance table and pick the winner."""
+    if not table.times:
+        raise TuningError("cannot run the scoreboard on an empty table")
+
+    scores: Dict[Strategy, int] = {}
+    votes: Dict[Strategy, List[int]] = {}
+
+    for strategies, seconds in table.times.items():
+        for strategy in strategies:
+            reduced = strategies - {strategy}
+            baseline = table.time_of(reduced)
+            if baseline is None:
+                continue
+            gap = (baseline - seconds) / baseline
+            if abs(gap) < NEGLECT_GAP:
+                vote = 0
+            elif gap > 0:
+                vote = 1
+            else:
+                vote = -1
+            votes.setdefault(strategy, []).append(vote)
+
+    for strategy, strategy_votes in votes.items():
+        total = sum(strategy_votes)
+        scores[strategy] = 1 if total > 0 else (-1 if total < 0 else 0)
+
+    implementation_scores = {
+        strategies: sum(scores.get(s, 0) for s in strategies)
+        for strategies in table.times
+    }
+
+    best = max(
+        table.times,
+        key=lambda s: (implementation_scores[s], -table.times[s]),
+    )
+    return ScoreboardResult(
+        strategy_scores=scores,
+        implementation_scores=implementation_scores,
+        best_strategies=best,
+    )

@@ -1,0 +1,89 @@
+"""Kernel searching: probe matrices + performance table + scoreboard.
+
+Offline, per architecture, SMAT measures every registered implementation of
+every format on a format-friendly probe matrix and lets the scoreboard pick
+the optimal kernel (Section 5.2).  The result — one kernel per format — is
+what both the learning-model labels and the runtime dispatch use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.collection import banded, graphs, random_sparse
+from repro.features.extract import extract_features
+from repro.formats.base import SparseMatrix
+from repro.formats.convert import convert
+from repro.formats.csr import CSRMatrix
+from repro.kernels.base import Kernel, kernels_for
+from repro.machine.measure import MeasurementBackend
+from repro.tuner.scoreboard import (
+    PerformanceTable,
+    ScoreboardResult,
+    run_scoreboard,
+)
+from repro.types import BASIC_FORMATS, FormatName
+
+#: Probe matrix edge size: big enough that strategy effects register, small
+#: enough that the whole search stays sub-second per architecture.
+PROBE_SIZE = 1500
+
+
+def probe_matrix(fmt: FormatName, seed: int = 1234) -> CSRMatrix:
+    """A probe whose structure suits ``fmt``: the search must evaluate each
+    format's kernels on inputs the format will actually be chosen for."""
+    if fmt is FormatName.DIA:
+        return banded.banded_matrix(PROBE_SIZE, 9, seed=seed)
+    if fmt is FormatName.ELL:
+        return graphs.uniform_bipartite(
+            PROBE_SIZE, PROBE_SIZE, 6, seed=seed
+        )
+    if fmt is FormatName.COO:
+        return graphs.power_law_graph(PROBE_SIZE, exponent=2.2, seed=seed)
+    return random_sparse.uniform_random(PROBE_SIZE, PROBE_SIZE, 12.0, seed=seed)
+
+
+@dataclass
+class KernelSearchResult:
+    """Per-format optimal kernels plus the evidence behind them."""
+
+    kernels: Dict[FormatName, Kernel]
+    tables: Dict[FormatName, PerformanceTable]
+    scoreboards: Dict[FormatName, ScoreboardResult]
+
+    def kernel_for(self, fmt: FormatName) -> Kernel:
+        return self.kernels[fmt]
+
+
+def search_kernels(
+    backend: MeasurementBackend,
+    formats: Tuple[FormatName, ...] = BASIC_FORMATS,
+    seed: int = 1234,
+) -> KernelSearchResult:
+    """Run the full kernel search on ``backend``'s architecture."""
+    kernels: Dict[FormatName, Kernel] = {}
+    tables: Dict[FormatName, PerformanceTable] = {}
+    boards: Dict[FormatName, ScoreboardResult] = {}
+
+    for fmt in formats:
+        csr_probe = probe_matrix(fmt, seed=seed)
+        matrix, _ = convert(csr_probe, fmt, fill_budget=None)
+        features = extract_features(csr_probe)
+
+        table = PerformanceTable(format_name=fmt)
+        for kernel in kernels_for(fmt):
+            seconds = backend.measure(kernel, matrix, features)
+            table.record(kernel.strategies, seconds)
+
+        board = run_scoreboard(table)
+        winner = next(
+            k
+            for k in kernels_for(fmt)
+            if k.strategies == board.best_strategies
+        )
+        kernels[fmt] = winner
+        tables[fmt] = table
+        boards[fmt] = board
+
+    return KernelSearchResult(kernels=kernels, tables=tables, scoreboards=boards)

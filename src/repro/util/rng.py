@@ -1,0 +1,36 @@
+"""Seeded random-number helpers.
+
+Every stochastic component (matrix generators, training-set sampling) takes
+either a seed or a ``numpy.random.Generator`` so experiments are exactly
+reproducible run-to-run — a prerequisite for regenerating the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a NumPy ``Generator`` from a seed, an existing generator or None.
+
+    Passing an existing generator returns it unchanged so that call chains
+    share one stream instead of restarting from the same seed.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, salt: int) -> np.random.Generator:
+    """Derive an independent child stream from ``rng``.
+
+    Used by the collection builder to give each generated matrix its own
+    stream: inserting a new generator into the middle of the pipeline then
+    does not shift every later matrix.
+    """
+    child_seed: Optional[int] = int(rng.integers(0, 2**63 - 1)) ^ (salt * 0x9E3779B9)
+    return np.random.default_rng(child_seed & (2**63 - 1))

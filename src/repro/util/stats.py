@@ -1,0 +1,82 @@
+"""Statistics helpers shared by feature extraction and the Figure 6 benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IntervalHistogram:
+    """A histogram over explicit, possibly open-ended intervals.
+
+    The Figure 6 plots bucket matrices into hand-picked parameter intervals
+    (e.g. Ndiags in [0, 10), [10, 100), ...); this mirrors that exactly
+    rather than using uniform bins.
+    """
+
+    edges: Tuple[float, ...]
+    counts: Tuple[int, ...]
+
+    @property
+    def labels(self) -> List[str]:
+        """Human-readable interval labels, last one open-ended."""
+        result = []
+        for i in range(len(self.counts)):
+            lo = self.edges[i]
+            if i + 1 < len(self.edges):
+                result.append(f"[{_fmt(lo)}, {_fmt(self.edges[i + 1])})")
+            else:
+                result.append(f">={_fmt(lo)}")
+        return result
+
+    @property
+    def fractions(self) -> List[float]:
+        """Counts normalised to fractions of the total (0 if empty)."""
+        total = sum(self.counts)
+        if total == 0:
+            return [0.0] * len(self.counts)
+        return [c / total for c in self.counts]
+
+
+def _fmt(x: float) -> str:
+    if x == int(x):
+        return str(int(x))
+    return f"{x:g}"
+
+
+def interval_histogram(
+    values: Sequence[float], edges: Sequence[float]
+) -> IntervalHistogram:
+    """Bucket ``values`` into ``len(edges)`` intervals.
+
+    Interval ``i`` covers ``[edges[i], edges[i+1])``; the final interval is
+    unbounded above.  Values below ``edges[0]`` are clamped into the first
+    interval (this only happens for degenerate inputs such as R < 0).
+    """
+    if not edges:
+        raise ValueError("edges must be non-empty")
+    counts = [0] * len(edges)
+    for value in values:
+        idx = 0
+        for i, edge in enumerate(edges):
+            if value >= edge:
+                idx = i
+            else:
+                break
+        counts[idx] += 1
+    return IntervalHistogram(edges=tuple(edges), counts=tuple(counts))
+
+
+def gini_like_variance(row_degrees: np.ndarray, average: float) -> float:
+    """The paper's var_RD: mean squared deviation of row degrees.
+
+    ``var_RD = sum(|degree - aver_RD|^2) / M`` (Table 2).  This is the
+    population variance of the row-degree distribution.
+    """
+    if row_degrees.size == 0:
+        return 0.0
+    deviations = row_degrees.astype(np.float64) - float(average)
+    return float(np.mean(deviations * deviations))

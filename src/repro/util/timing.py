@@ -1,0 +1,62 @@
+"""Wall-clock timing helpers for the execute-and-measure path.
+
+The paper's runtime falls back to actually running candidate SpMV kernels and
+measuring them (Figure 7).  Measurement noise would make the fallback decision
+(and Table 3's overhead accounting) unstable, so we time several repetitions
+and report the median.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+
+@dataclass
+class Timer:
+    """A context-manager stopwatch accumulating elapsed seconds.
+
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(100))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed += time.perf_counter() - self._start
+
+
+def median_time(
+    fn: Callable[[], object],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> float:
+    """Return the median wall-clock seconds of ``repeats`` calls to ``fn``.
+
+    ``warmup`` un-timed calls run first so one-time costs (lazy allocations,
+    cache warming) do not pollute the measurement — the same discipline the
+    paper applies when benchmarking kernels.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    mid = len(samples) // 2
+    if len(samples) % 2:
+        return samples[mid]
+    return 0.5 * (samples[mid - 1] + samples[mid])

@@ -1,0 +1,81 @@
+"""Argument validation helpers used by format constructors and kernels.
+
+These are deliberately strict: the paper's runtime component trusts the
+feature extractor and kernels completely, so structural invariants must be
+enforced at construction time (once), not inside the hot SpMV loops.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FormatError
+
+
+def check_positive(name: str, value: int) -> int:
+    """Validate that ``value`` is a positive integer and return it as int."""
+    ivalue = int(value)
+    if ivalue <= 0:
+        raise FormatError(f"{name} must be positive, got {value!r}")
+    return ivalue
+
+
+def check_nonnegative(name: str, value: int) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    ivalue = int(value)
+    if ivalue < 0:
+        raise FormatError(f"{name} must be non-negative, got {value!r}")
+    return ivalue
+
+
+def check_1d(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that ``array`` is one-dimensional."""
+    if array.ndim != 1:
+        raise FormatError(f"{name} must be 1-D, got shape {array.shape}")
+    return array
+
+
+def check_index_range(name: str, indices: np.ndarray, upper: int) -> None:
+    """Validate that every index lies in ``[0, upper)``.
+
+    Empty arrays are always valid.
+    """
+    if indices.size == 0:
+        return
+    lo = int(indices.min())
+    hi = int(indices.max())
+    if lo < 0 or hi >= upper:
+        raise FormatError(
+            f"{name} out of range: values span [{lo}, {hi}] "
+            f"but must lie in [0, {upper})"
+        )
+
+
+def check_sorted_within_rows(ptr: np.ndarray, indices: np.ndarray) -> bool:
+    """Return True when column indices are strictly increasing inside each row.
+
+    Sortedness is not required for correctness of the reference kernels but
+    the optimized CSR kernels and the CSR->DIA/ELL converters assume it; the
+    CSR constructor uses this check to decide whether a canonicalising sort
+    is needed.  Fully vectorized: an adjacent pair may only be
+    non-increasing at a row boundary.
+    """
+    if indices.shape[0] < 2:
+        return True
+    degrees = np.diff(ptr)
+    row_of = np.repeat(np.arange(degrees.shape[0]), degrees)
+    non_increasing = indices[1:] <= indices[:-1]
+    same_row = row_of[1:] == row_of[:-1]
+    return not bool(np.any(non_increasing & same_row))
+
+
+def check_same_length(names: Sequence[str], arrays: Sequence[np.ndarray]) -> None:
+    """Validate that all arrays share one length."""
+    lengths = {array.shape[0] for array in arrays}
+    if len(lengths) > 1:
+        described = ", ".join(
+            f"{name}={array.shape[0]}" for name, array in zip(names, arrays)
+        )
+        raise FormatError(f"arrays must have equal length: {described}")

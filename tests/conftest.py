@@ -1,0 +1,55 @@
+"""Shared fixtures: small reference matrices used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+
+
+@pytest.fixture
+def paper_dense() -> np.ndarray:
+    """The 4x4 example matrix of the paper's Figure 2.
+
+    ::
+
+        [1 5 0 0]
+        [0 2 6 0]
+        [8 0 3 7]
+        [0 9 0 4]
+    """
+    return np.array(
+        [
+            [1.0, 5.0, 0.0, 0.0],
+            [0.0, 2.0, 6.0, 0.0],
+            [8.0, 0.0, 3.0, 7.0],
+            [0.0, 9.0, 0.0, 4.0],
+        ]
+    )
+
+
+@pytest.fixture
+def paper_csr(paper_dense: np.ndarray) -> CSRMatrix:
+    return CSRMatrix.from_dense(paper_dense)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_csr(
+    rng: np.random.Generator,
+    n_rows: int = 40,
+    n_cols: int = 37,
+    density: float = 0.08,
+    dtype: np.dtype = np.float64,
+) -> CSRMatrix:
+    """A helper (not a fixture) building a random CSR matrix."""
+    dense = np.where(
+        rng.random((n_rows, n_cols)) < density,
+        rng.standard_normal((n_rows, n_cols)),
+        0.0,
+    ).astype(dtype)
+    return CSRMatrix.from_dense(dense)

@@ -1,0 +1,221 @@
+"""AMG substrate tests: strength, coarsening, interpolation, solve."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amg import (
+    AMGSolver,
+    CsrEngine,
+    cljp_coarsen,
+    coarsen,
+    direct_interpolation,
+    gauss_seidel,
+    jacobi,
+    ruge_stueben_coarsen,
+    setup_hierarchy,
+    strength_graph,
+)
+from repro.collection.grids import laplacian_1d, laplacian_5pt, laplacian_7pt
+from repro.errors import SolverError
+from repro.formats import CSRMatrix
+
+
+@pytest.fixture
+def lap2d() -> CSRMatrix:
+    return laplacian_5pt(16)
+
+
+class TestStrength:
+    def test_laplacian_all_offdiag_strong(self, lap2d) -> None:
+        s = strength_graph(lap2d, theta=0.25)
+        # Every off-diagonal -1 ties for the strongest coupling.
+        assert s.nnz == lap2d.nnz - lap2d.n_rows
+
+    def test_theta_filters_weak_links(self) -> None:
+        dense = np.array([
+            [4.0, -2.0, -0.1],
+            [-2.0, 4.0, -2.0],
+            [-0.1, -2.0, 4.0],
+        ])
+        s = strength_graph(CSRMatrix.from_dense(dense), theta=0.5)
+        assert s.to_dense()[0, 2] == 0.0  # -0.1 is weak
+        assert s.to_dense()[0, 1] == 1.0
+
+    def test_invalid_theta(self, lap2d) -> None:
+        with pytest.raises(ValueError, match="theta"):
+            strength_graph(lap2d, theta=0.0)
+
+    def test_positive_offdiagonal_handled(self) -> None:
+        dense = np.array([[2.0, 0.5], [0.5, 2.0]])
+        s = strength_graph(CSRMatrix.from_dense(dense))
+        # Magnitude fallback: the positive coupling still registers.
+        assert s.nnz == 2
+
+
+class TestCoarsening:
+    @pytest.mark.parametrize("method", ["rugeL", "cljp"])
+    def test_splitting_is_nontrivial(self, lap2d, method) -> None:
+        s = strength_graph(lap2d)
+        mask = coarsen(s, method=method, seed=1)
+        n_coarse = int(mask.sum())
+        assert 0 < n_coarse < lap2d.n_rows
+        # 2-D Laplacian coarsening keeps roughly 1/4 to 1/2 of the points.
+        assert 0.15 < n_coarse / lap2d.n_rows < 0.65
+
+    def test_rs_fine_points_have_coarse_neighbour(self, lap2d) -> None:
+        s = strength_graph(lap2d)
+        mask = ruge_stueben_coarsen(s, seed=0)
+        dense_s = s.to_dense()
+        for i in np.nonzero(~mask)[0]:
+            neighbours = np.nonzero(dense_s[i])[0]
+            assert mask[neighbours].any(), f"fine point {i} stranded"
+
+    def test_cljp_coarse_points_not_adjacent_mostly(self, lap2d) -> None:
+        s = strength_graph(lap2d)
+        mask = cljp_coarsen(s, seed=0)
+        dense_s = s.to_dense()
+        coarse = np.nonzero(mask)[0]
+        adjacent_pairs = sum(
+            1
+            for i in coarse
+            for j in np.nonzero(dense_s[i])[0]
+            if mask[j]
+        )
+        # The independent-set construction keeps C-C adjacency rare.
+        assert adjacent_pairs <= len(coarse)
+
+    def test_unknown_method(self, lap2d) -> None:
+        with pytest.raises(KeyError, match="unknown coarsening"):
+            coarsen(strength_graph(lap2d), method="aggressive")
+
+    def test_deterministic_given_seed(self, lap2d) -> None:
+        s = strength_graph(lap2d)
+        a = ruge_stueben_coarsen(s, seed=7)
+        b = ruge_stueben_coarsen(s, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestInterpolation:
+    def test_coarse_rows_are_identity(self, lap2d) -> None:
+        s = strength_graph(lap2d)
+        mask = ruge_stueben_coarsen(s, seed=0)
+        p = direct_interpolation(lap2d, s, mask)
+        dense = p.to_dense()
+        coarse_rows = dense[mask]
+        # Each coarse row has exactly one unit entry.
+        assert np.all(coarse_rows.sum(axis=1) == 1.0)
+        assert np.all((coarse_rows == 0) | (coarse_rows == 1))
+
+    def test_interpolates_constants_exactly(self, lap2d) -> None:
+        # Interior rows of the Laplacian have zero row sum, so direct
+        # interpolation must reproduce the constant vector there.
+        s = strength_graph(lap2d)
+        mask = ruge_stueben_coarsen(s, seed=0)
+        p = direct_interpolation(lap2d, s, mask)
+        ones = p.spmv(np.ones(p.n_cols))
+        row_sums = lap2d.to_dense().sum(axis=1)
+        interior = row_sums == 0.0
+        np.testing.assert_allclose(ones[interior], 1.0, atol=1e-12)
+
+    def test_shape(self, lap2d) -> None:
+        s = strength_graph(lap2d)
+        mask = ruge_stueben_coarsen(s, seed=0)
+        p = direct_interpolation(lap2d, s, mask)
+        assert p.shape == (lap2d.n_rows, int(mask.sum()))
+
+    def test_bad_mask_length(self, lap2d) -> None:
+        with pytest.raises(SolverError, match="mask"):
+            direct_interpolation(
+                lap2d, strength_graph(lap2d), np.ones(3, bool)
+            )
+
+
+class TestSmoothers:
+    def test_jacobi_reduces_residual(self, lap2d, rng) -> None:
+        engine = CsrEngine()
+        op = engine.prepare(lap2d)
+        from repro.formats.ops import diagonal
+
+        b = rng.standard_normal(lap2d.n_rows)
+        x = np.zeros_like(b)
+        r0 = np.linalg.norm(b - op(x))
+        x = jacobi(op, diagonal(lap2d), x, b, sweeps=5)
+        assert np.linalg.norm(b - op(x)) < r0
+
+    def test_gauss_seidel_reduces_residual(self, rng) -> None:
+        a = laplacian_1d(40)
+        b = rng.standard_normal(40)
+        x = gauss_seidel(a, np.zeros(40), b, sweeps=5)
+        assert np.linalg.norm(b - a.spmv(x)) < np.linalg.norm(b)
+
+    def test_jacobi_zero_diagonal_rejected(self, rng) -> None:
+        engine = CsrEngine()
+        a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(SolverError, match="diagonal"):
+            jacobi(engine.prepare(a), np.array([0.0, 0.0]),
+                   np.zeros(2), np.ones(2))
+
+
+class TestHierarchy:
+    def test_levels_shrink(self, lap2d) -> None:
+        h = setup_hierarchy(lap2d, min_coarse=10)
+        sizes = [level.matrix.n_rows for level in h.levels]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] <= max(10, sizes[0])
+        assert h.n_levels >= 3
+
+    def test_operator_complexity_reasonable(self, lap2d) -> None:
+        h = setup_hierarchy(lap2d, min_coarse=10)
+        assert 1.0 < h.operator_complexity() < 4.0
+
+    def test_rectangular_rejected(self, rng) -> None:
+        from tests.conftest import random_csr
+
+        with pytest.raises(SolverError, match="square"):
+            setup_hierarchy(random_csr(rng, 10, 12, 0.3))
+
+    def test_format_by_level_report(self, lap2d) -> None:
+        h = setup_hierarchy(lap2d, min_coarse=10)
+        rows = h.format_by_level()
+        assert rows[0]["rows"] == lap2d.n_rows
+        assert all(r["a_format"] == "CSR" for r in rows)
+
+
+class TestSolver:
+    @pytest.mark.parametrize("method", ["rugeL", "cljp"])
+    def test_solves_2d_poisson(self, method, rng) -> None:
+        a = laplacian_5pt(20)
+        x_true = rng.standard_normal(a.n_rows)
+        b = a.spmv(x_true)
+        solver = AMGSolver(a, coarsen_method=method)
+        x, report = solver.solve(b, tol=1e-9, max_cycles=80)
+        assert report.converged
+        rel_err = np.linalg.norm(x - x_true) / np.linalg.norm(x_true)
+        assert rel_err < 1e-6
+
+    def test_solves_3d_poisson(self, rng) -> None:
+        a = laplacian_7pt(8)
+        x_true = rng.standard_normal(a.n_rows)
+        b = a.spmv(x_true)
+        x, report = AMGSolver(a).solve(b, tol=1e-9)
+        assert report.converged
+        assert np.linalg.norm(x - x_true) / np.linalg.norm(x_true) < 1e-6
+
+    def test_convergence_factor_well_below_one(self, rng) -> None:
+        a = laplacian_5pt(24)
+        b = rng.standard_normal(a.n_rows)
+        _, report = AMGSolver(a).solve(b, tol=1e-10, max_cycles=80)
+        assert report.convergence_factor() < 0.6
+
+    def test_mismatched_rhs(self, lap2d) -> None:
+        with pytest.raises(SolverError, match="rhs"):
+            AMGSolver(lap2d).solve(np.ones(5))
+
+    def test_initial_guess_respected(self, lap2d, rng) -> None:
+        x_true = rng.standard_normal(lap2d.n_rows)
+        b = lap2d.spmv(x_true)
+        # Starting at the solution converges immediately.
+        x, report = AMGSolver(lap2d).solve(b, x0=x_true, tol=1e-8)
+        assert report.iterations <= 2

@@ -1,0 +1,79 @@
+"""Direct tests of the AMG SpMV engines and their time accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amg import CsrEngine, SmatEngine
+from repro.collection import generate_collection
+from repro.collection.grids import laplacian_5pt
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.tuner import SMAT
+from repro.types import FormatName, Precision
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+
+
+@pytest.fixture(scope="module")
+def smat(backend):
+    return SMAT.train(
+        generate_collection(scale=0.08, size_scale=0.4, seed=77),
+        backend=backend,
+    )
+
+
+class TestCsrEngine:
+    def test_always_csr(self, backend) -> None:
+        op = CsrEngine(backend).prepare(laplacian_5pt(12))
+        assert op.format_name is FormatName.CSR
+
+    def test_apply_counts_and_simulated_time(self, backend) -> None:
+        matrix = laplacian_5pt(12)
+        op = CsrEngine(backend).prepare(matrix)
+        assert op.applies == 0
+        assert op.simulated_seconds == 0.0
+        x = np.ones(matrix.n_cols)
+        op(x)
+        op(x)
+        assert op.applies == 2
+        assert op.simulated_seconds == pytest.approx(
+            2 * op.seconds_per_apply
+        )
+        assert op.seconds_per_apply > 0.0
+
+    def test_without_backend_no_time_model(self) -> None:
+        op = CsrEngine().prepare(laplacian_5pt(8))
+        assert op.seconds_per_apply == 0.0
+        assert op.simulated_seconds == 0.0
+
+    def test_product_correct(self, backend, rng) -> None:
+        matrix = laplacian_5pt(10)
+        op = CsrEngine(backend).prepare(matrix)
+        x = rng.standard_normal(matrix.n_cols)
+        np.testing.assert_allclose(op(x), matrix.spmv(x), atol=1e-12)
+
+
+class TestSmatEngine:
+    def test_picks_dia_for_fine_laplacian(self, smat) -> None:
+        op = SmatEngine(smat).prepare(laplacian_5pt(40))
+        assert op.format_name is FormatName.DIA
+
+    def test_setup_units_recorded(self, smat) -> None:
+        op = SmatEngine(smat).prepare(laplacian_5pt(40))
+        assert op.setup_units > 0.0
+
+    def test_tuned_apply_faster_than_csr(self, smat, backend) -> None:
+        matrix = laplacian_5pt(40)
+        tuned = SmatEngine(smat).prepare(matrix)
+        plain = CsrEngine(backend).prepare(matrix)
+        assert tuned.seconds_per_apply < plain.seconds_per_apply
+
+    def test_product_correct_in_chosen_format(self, smat, rng) -> None:
+        matrix = laplacian_5pt(20)
+        op = SmatEngine(smat).prepare(matrix)
+        x = rng.standard_normal(matrix.n_cols)
+        np.testing.assert_allclose(op(x), matrix.spmv(x), atol=1e-9)

@@ -1,0 +1,94 @@
+"""Tests for CG and AMG-preconditioned CG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amg import AMGSolver
+from repro.amg.krylov import amg_preconditioner, conjugate_gradient
+from repro.collection.grids import laplacian_5pt, laplacian_7pt
+from repro.errors import SolverError
+from repro.formats import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def system():
+    a = laplacian_5pt(24)
+    rng = np.random.default_rng(3)
+    x_true = rng.standard_normal(a.n_rows)
+    return a, x_true, a.spmv(x_true)
+
+
+class TestPlainCG:
+    def test_solves_spd_system(self, system) -> None:
+        a, x_true, b = system
+        x, report = conjugate_gradient(a, b, tol=1e-10, max_iterations=3000)
+        assert report.converged
+        np.testing.assert_allclose(x, x_true, atol=1e-5)
+
+    def test_residuals_monotone_overall(self, system) -> None:
+        a, _, b = system
+        _, report = conjugate_gradient(a, b, tol=1e-10, max_iterations=3000)
+        assert report.residual_norms[-1] < report.residual_norms[0] * 1e-8
+
+    def test_rejects_indefinite(self) -> None:
+        a = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, -1.0]]))
+        with pytest.raises(SolverError, match="positive definite"):
+            conjugate_gradient(a, np.array([0.0, 1.0]))
+
+    def test_validation(self, system) -> None:
+        a, _, b = system
+        with pytest.raises(SolverError, match="rhs"):
+            conjugate_gradient(a, np.ones(3))
+
+
+class TestAmgPcg:
+    def test_preconditioning_cuts_iterations(self, system) -> None:
+        a, _, b = system
+        _, plain = conjugate_gradient(a, b, tol=1e-8, max_iterations=3000)
+        solver = AMGSolver(a)
+        precond = amg_preconditioner(solver)
+        _, pcg = conjugate_gradient(
+            a, b, tol=1e-8, max_iterations=3000, preconditioner=precond
+        )
+        assert pcg.converged
+        assert pcg.iterations < plain.iterations / 2
+
+    def test_pcg_solution_correct(self, system) -> None:
+        a, x_true, b = system
+        solver = AMGSolver(a)
+        x, report = conjugate_gradient(
+            a, b, tol=1e-10, preconditioner=amg_preconditioner(solver)
+        )
+        assert report.converged
+        np.testing.assert_allclose(x, x_true, atol=1e-6)
+
+    def test_3d_problem(self) -> None:
+        a = laplacian_7pt(8)
+        rng = np.random.default_rng(5)
+        x_true = rng.standard_normal(a.n_rows)
+        b = a.spmv(x_true)
+        solver = AMGSolver(a)
+        x, report = conjugate_gradient(
+            a, b, tol=1e-10, preconditioner=amg_preconditioner(solver)
+        )
+        assert report.converged
+        assert report.iterations < 30
+        np.testing.assert_allclose(x, x_true, atol=1e-6)
+
+    def test_custom_spmv_backend(self, system) -> None:
+        a, x_true, b = system
+        calls = []
+
+        def counting(x):
+            calls.append(1)
+            return a.spmv(x)
+
+        _, report = conjugate_gradient(a, b, tol=1e-8, spmv=counting)
+        assert len(calls) == report.iterations + 1  # +1 initial residual
+
+    def test_bad_cycle_count(self, system) -> None:
+        a, _, _ = system
+        with pytest.raises(SolverError, match="cycles"):
+            amg_preconditioner(AMGSolver(a), cycles=0)

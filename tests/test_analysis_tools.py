@@ -1,0 +1,169 @@
+"""Tests for the analysis tooling: feature importance, roofline, and the
+Chebyshev smoother."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.features.parameters import FeatureVector
+from repro.learning import TrainingDataset, train_model, train_tree
+from repro.learning.importance import (
+    describe_importance,
+    permutation_importance,
+    split_importance,
+)
+from repro.machine import INTEL_XEON_X5680
+from repro.machine.roofline import roofline_point, roofline_report
+from repro.types import FormatName, Precision
+
+
+def make_record(**overrides) -> FeatureVector:
+    base = dict(
+        m=1000, n=1000, ndiags=200, ntdiags_ratio=0.1, nnz=8000,
+        aver_rd=8.0, max_rd=20, var_rd=4.0, er_dia=0.04, er_ell=0.4,
+        r=math.inf, best_format=FormatName.CSR,
+    )
+    base.update(overrides)
+    return FeatureVector(**base)
+
+
+@pytest.fixture(scope="module")
+def dataset() -> TrainingDataset:
+    """Labels depend ONLY on ntdiags_ratio."""
+    rng = np.random.default_rng(4)
+    records = []
+    for _ in range(60):
+        ratio = float(rng.uniform(0, 1))
+        label = FormatName.DIA if ratio > 0.5 else FormatName.CSR
+        records.append(
+            make_record(
+                ntdiags_ratio=ratio,
+                aver_rd=float(rng.uniform(1, 100)),  # irrelevant noise
+                best_format=label,
+            )
+        )
+    return TrainingDataset(tuple(records))
+
+
+class TestImportance:
+    def test_split_importance_finds_the_signal(self, dataset) -> None:
+        tree = train_tree(dataset, min_leaf=2)
+        importance = split_importance(tree)
+        assert importance["ntdiags_ratio"] == max(importance.values())
+        assert sum(importance.values()) == pytest.approx(1.0)
+
+    def test_permutation_importance_finds_the_signal(self, dataset) -> None:
+        model = train_model(dataset, min_leaf=2)
+        importance = permutation_importance(
+            model.predict_format, dataset, seed=1
+        )
+        assert importance["ntdiags_ratio"] > 0.2
+        # Shuffling an ignored attribute costs ~nothing.
+        assert abs(importance["er_ell"]) < 0.1
+
+    def test_pure_dataset_zero_importance(self) -> None:
+        ds = TrainingDataset(tuple(make_record() for _ in range(10)))
+        tree = train_tree(ds)
+        assert sum(split_importance(tree).values()) == 0.0
+
+    def test_describe_renders_sorted(self, dataset) -> None:
+        tree = train_tree(dataset, min_leaf=2)
+        text = describe_importance(split_importance(tree))
+        assert text.splitlines()[0].strip().startswith("NTdiags_ratio")
+
+    def test_empty_dataset(self) -> None:
+        importance = permutation_importance(
+            lambda f: FormatName.CSR, TrainingDataset(())
+        )
+        assert all(v == 0.0 for v in importance.values())
+
+
+class TestRoofline:
+    def banded_features(self) -> FeatureVector:
+        return make_record(
+            m=100_000, n=100_000, ndiags=9, ntdiags_ratio=1.0,
+            nnz=900_000, aver_rd=9.0, max_rd=9, var_rd=0.1,
+            er_dia=0.99, er_ell=0.99,
+        )
+
+    def test_spmv_is_memory_bound(self) -> None:
+        point = roofline_point(
+            INTEL_XEON_X5680, FormatName.CSR, self.banded_features()
+        )
+        assert point.memory_bound
+        assert point.arithmetic_intensity < point.ridge_point
+
+    def test_dia_intensity_beats_csr_on_banded(self) -> None:
+        features = self.banded_features()
+        dia = roofline_point(INTEL_XEON_X5680, FormatName.DIA, features)
+        csr = roofline_point(INTEL_XEON_X5680, FormatName.CSR, features)
+        # DIA stores no indices: more flops per byte.
+        assert dia.arithmetic_intensity > csr.arithmetic_intensity
+        assert dia.attainable_gflops > csr.attainable_gflops
+
+    def test_ceiling_bounded_by_peak(self) -> None:
+        features = self.banded_features()
+        for fmt in (FormatName.DIA, FormatName.CSR, FormatName.COO):
+            point = roofline_point(
+                INTEL_XEON_X5680, fmt, features, Precision.SINGLE
+            )
+            peak = INTEL_XEON_X5680.peak_gflops(Precision.SINGLE, 12)
+            assert 0.0 < point.attainable_gflops <= peak
+
+    def test_report_covers_formats(self) -> None:
+        text = roofline_report(INTEL_XEON_X5680, self.banded_features())
+        for token in ("DIA", "ELL", "CSR", "COO", "memory-bound"):
+            assert token in text
+
+
+class TestChebyshevSmoother:
+    def test_reduces_residual(self) -> None:
+        from repro.amg import CsrEngine
+        from repro.amg.relaxation import chebyshev
+        from repro.collection.grids import laplacian_5pt
+        from repro.formats.ops import diagonal
+
+        a = laplacian_5pt(16)
+        op = CsrEngine().prepare(a)
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal(a.n_rows)
+        x = np.zeros_like(b)
+        r0 = np.linalg.norm(b - op(x))
+        x = chebyshev(op, diagonal(a), x, b, degree=4)
+        assert np.linalg.norm(b - op(x)) < 0.5 * r0
+
+    def test_solver_with_chebyshev_converges(self) -> None:
+        from repro.amg import AMGSolver
+        from repro.collection.grids import laplacian_5pt
+
+        a = laplacian_5pt(20)
+        rng = np.random.default_rng(3)
+        x_true = rng.standard_normal(a.n_rows)
+        x, report = AMGSolver(a, smoother="chebyshev").solve(
+            a.spmv(x_true), tol=1e-9, max_cycles=120
+        )
+        assert report.converged
+        np.testing.assert_allclose(x, x_true, atol=1e-5)
+
+    def test_unknown_smoother_rejected(self) -> None:
+        from repro.amg import AMGSolver
+        from repro.collection.grids import laplacian_5pt
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError, match="smoother"):
+            AMGSolver(laplacian_5pt(8), smoother="sor")
+
+    def test_degree_validated(self) -> None:
+        from repro.amg import CsrEngine
+        from repro.amg.relaxation import chebyshev
+        from repro.collection.grids import laplacian_1d
+        from repro.errors import SolverError
+        from repro.formats.ops import diagonal
+
+        a = laplacian_1d(10)
+        op = CsrEngine().prepare(a)
+        with pytest.raises(SolverError, match="degree"):
+            chebyshev(op, diagonal(a), np.zeros(10), np.ones(10), degree=0)

@@ -1,0 +1,81 @@
+"""PageRank application tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import pagerank
+from repro.apps.pagerank import build_transition_transpose
+from repro.collection import graphs
+from repro.errors import SolverError
+from repro.formats import CSRMatrix
+
+
+def tiny_graph() -> CSRMatrix:
+    """A 4-node graph with a known rank ordering: node 0 is the hub."""
+    dense = np.array(
+        [
+            [0.0, 1.0, 1.0, 1.0],
+            [1.0, 0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0],
+        ]
+    )
+    return CSRMatrix.from_dense(dense)
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self) -> None:
+        result = pagerank(tiny_graph())
+        assert result.converged
+        assert result.ranks.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_hub_ranks_highest(self) -> None:
+        result = pagerank(tiny_graph())
+        assert np.argmax(result.ranks) == 0
+
+    def test_symmetric_spokes_tie(self) -> None:
+        result = pagerank(tiny_graph())
+        np.testing.assert_allclose(result.ranks[1], result.ranks[2])
+        np.testing.assert_allclose(result.ranks[2], result.ranks[3])
+
+    def test_dangling_nodes_handled(self) -> None:
+        dense = np.zeros((3, 3))
+        dense[0, 1] = 1.0  # node 1 and 2 dangle
+        result = pagerank(CSRMatrix.from_dense(dense))
+        assert result.converged
+        assert result.ranks.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_power_law_graph_converges(self) -> None:
+        graph = graphs.power_law_graph(2000, exponent=2.2, seed=5)
+        result = pagerank(graph, tol=1e-9)
+        assert result.converged
+        assert result.ranks.min() > 0.0
+
+    def test_custom_spmv_backend_used(self) -> None:
+        graph = tiny_graph()
+        transition = build_transition_transpose(graph)
+        calls = []
+
+        def counting_spmv(x):
+            calls.append(1)
+            return transition.spmv(x)
+
+        result = pagerank(graph, spmv=counting_spmv)
+        assert result.converged
+        assert len(calls) == result.iterations
+
+    def test_validation(self, rng) -> None:
+        from tests.conftest import random_csr
+
+        with pytest.raises(SolverError, match="square"):
+            pagerank(random_csr(rng, 4, 5, 0.5))
+        with pytest.raises(SolverError, match="damping"):
+            pagerank(tiny_graph(), damping=1.5)
+
+    def test_transition_is_column_stochastic(self) -> None:
+        transition_t = build_transition_transpose(tiny_graph())
+        # Columns of M^T (rows of M) sum to 1 for non-dangling nodes.
+        col_sums = transition_t.to_dense().sum(axis=0)
+        np.testing.assert_allclose(col_sums, 1.0, atol=1e-12)

@@ -1,0 +1,72 @@
+"""HITS application tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.hits import hits
+from repro.collection import graphs
+from repro.errors import SolverError
+from repro.formats import CSRMatrix
+
+
+def star_graph() -> CSRMatrix:
+    """Node 0 links to 1-3 (pure hub); nodes 1-3 link to 4 (authority)."""
+    dense = np.zeros((5, 5))
+    dense[0, 1] = dense[0, 2] = dense[0, 3] = 1.0
+    dense[1, 4] = dense[2, 4] = dense[3, 4] = 1.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestHits:
+    def test_hub_and_authority_identified(self) -> None:
+        result = hits(star_graph())
+        assert result.converged
+        assert np.argmax(result.hubs) == 0 or result.hubs[0] == pytest.approx(
+            result.hubs.max()
+        )
+        assert np.argmax(result.authorities) == 4
+
+    def test_scores_normalised(self) -> None:
+        result = hits(star_graph())
+        assert np.linalg.norm(result.hubs) == pytest.approx(1.0)
+        assert np.linalg.norm(result.authorities) == pytest.approx(1.0)
+
+    def test_power_law_graph_converges(self) -> None:
+        graph = graphs.power_law_graph(1500, exponent=2.3, seed=7)
+        result = hits(graph, tol=1e-9, max_iterations=500)
+        assert result.converged
+        assert np.all(result.hubs >= 0)
+
+    def test_custom_backends_used(self) -> None:
+        graph = star_graph()
+        from repro.formats.ops import transpose
+
+        a_t = transpose(graph)
+        calls = {"a": 0, "at": 0}
+
+        def apply_a(x):
+            calls["a"] += 1
+            return graph.spmv(x)
+
+        def apply_at(x):
+            calls["at"] += 1
+            return a_t.spmv(x)
+
+        result = hits(graph, spmv=apply_a, spmv_t=apply_at)
+        assert result.converged
+        assert calls["a"] == calls["at"] == result.iterations
+
+    def test_square_required(self, rng) -> None:
+        from tests.conftest import random_csr
+
+        with pytest.raises(SolverError, match="square"):
+            hits(random_csr(rng, 4, 6, 0.5))
+
+    def test_empty_graph_stable(self) -> None:
+        empty = CSRMatrix(
+            np.zeros(4, np.int64), [], np.zeros(0), (3, 3)
+        )
+        result = hits(empty, max_iterations=5)
+        assert np.all(np.isfinite(result.hubs))

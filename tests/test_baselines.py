@@ -1,0 +1,119 @@
+"""Baseline comparator tests: MKL-style, brute force, clSpMV-style."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    brute_force_search,
+    mkl_best_time,
+    mkl_xcoogemv,
+    mkl_xcsrgemv,
+    mkl_xdiagemv,
+    mkl_xellgemv,
+    train_clspmv,
+)
+from repro.collection import banded, generate_collection, graphs
+from repro.features import extract_features
+from repro.formats import convert
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.tuner import search_kernels
+from repro.types import FormatName, Precision
+from tests.conftest import random_csr
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+
+
+@pytest.fixture(scope="module")
+def kernels(backend):
+    return search_kernels(backend)
+
+
+class TestMklInterface:
+    def test_per_format_routines_agree(self, rng) -> None:
+        csr = random_csr(rng, 25, 25, 0.15)
+        x = rng.standard_normal(25)
+        expected = csr.to_dense() @ x
+        np.testing.assert_allclose(mkl_xcsrgemv(csr, x), expected, atol=1e-9)
+        coo, _ = convert(csr, FormatName.COO)
+        np.testing.assert_allclose(mkl_xcoogemv(coo, x), expected, atol=1e-9)
+        dia, _ = convert(csr, FormatName.DIA, fill_budget=None)
+        np.testing.assert_allclose(mkl_xdiagemv(dia, x), expected, atol=1e-9)
+        ell, _ = convert(csr, FormatName.ELL, fill_budget=None)
+        np.testing.assert_allclose(mkl_xellgemv(ell, x), expected, atol=1e-9)
+
+    def test_best_time_prefers_matching_format(self, backend) -> None:
+        matrix = banded.banded_matrix(3000, 5, seed=1)
+        best, seconds, times = mkl_best_time(matrix, backend)
+        assert best is FormatName.DIA
+        assert seconds == min(times.values())
+
+    def test_best_time_skips_pathological_conversions(self, backend) -> None:
+        matrix = graphs.power_law_graph(3000, exponent=2.1, seed=2)
+        best, _, times = mkl_best_time(matrix, backend)
+        assert FormatName.DIA not in times  # blown fill budget skipped
+        assert best in (FormatName.CSR, FormatName.COO)
+
+
+class TestBruteForce:
+    def test_finds_true_best(self, backend) -> None:
+        matrix = banded.banded_matrix(2500, 7, seed=3)
+        result = brute_force_search(matrix, backend)
+        assert result.best_format is FormatName.DIA
+
+    def test_overhead_exceeds_model_path(self, backend) -> None:
+        # Section 7.3: simple search costs far more than SMAT's ~2-5 units.
+        matrix = banded.banded_matrix(2500, 7, seed=3)
+        result = brute_force_search(matrix, backend)
+        assert result.overhead_units > 5.0
+
+    def test_overhead_grows_with_repeats(self, backend) -> None:
+        matrix = banded.banded_matrix(2500, 7, seed=3)
+        one = brute_force_search(matrix, backend, repeats=1)
+        five = brute_force_search(matrix, backend, repeats=5)
+        assert five.overhead_units > one.overhead_units
+
+    def test_all_four_formats_attempted_when_feasible(self, backend) -> None:
+        matrix = banded.banded_matrix(1500, 3, seed=4)
+        result = brute_force_search(matrix, backend)
+        assert set(result.times) == {
+            FormatName.DIA, FormatName.ELL, FormatName.CSR, FormatName.COO,
+        }
+
+
+class TestClSpmv:
+    @pytest.fixture(scope="class")
+    def model(self, backend, kernels):
+        return train_clspmv(
+            generate_collection(scale=0.02, size_scale=0.4, seed=3),
+            kernels,
+            backend,
+        )
+
+    def test_ceilings_positive(self, model) -> None:
+        assert all(v > 0 for v in model.max_gflops.values())
+
+    def test_dia_ceiling_highest(self, model) -> None:
+        # Figure 3: DIA reaches the highest GFLOPS when it fits.
+        assert model.max_gflops[FormatName.DIA] == max(
+            model.max_gflops.values()
+        )
+
+    def test_less_accurate_than_feature_model(self, model, backend, kernels):
+        """The paper's argument: ceilings mislead on matrices that do not
+        resemble each format's best case."""
+        from repro.tuner.smat import label_matrix
+
+        cases = list(generate_collection(scale=0.02, size_scale=0.4, seed=9))
+        hits = 0
+        for _, matrix in cases:
+            features = extract_features(matrix)
+            predicted = model.predict(features)
+            actual = label_matrix(matrix, features, kernels, backend)
+            hits += predicted is actual
+        # clSpMV's rule is much weaker than SMAT's learned model (~95%).
+        assert hits / len(cases) < 0.9

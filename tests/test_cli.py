@@ -1,0 +1,106 @@
+"""CLI tests: the full offline pipeline driven through the command line."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import FeatureDatabase, write_matrix_market
+
+
+@pytest.fixture(scope="module")
+def db_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "features.jsonl"
+    # Scale 0.05 (~120 matrices) is the smallest collection that trains a
+    # reliable model for the demo predictions below.
+    code = main([
+        "build-db", "--out", str(path),
+        "--scale", "0.05", "--size-scale", "0.35",
+    ])
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_dir(db_path, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli_model") / "smat"
+    code = main(["train", "--db", str(db_path), "--out", str(out)])
+    assert code == 0
+    return out
+
+
+class TestBuildDb:
+    def test_database_has_labelled_records(self, db_path) -> None:
+        records = list(FeatureDatabase(db_path))
+        assert len(records) > 20
+        assert all(r.features.best_format is not None for r in records)
+
+    def test_domains_present(self, db_path) -> None:
+        domains = {r.domain for r in FeatureDatabase(db_path)}
+        assert "graph" in domains and "structural" in domains
+
+
+class TestTrain:
+    def test_artifacts_written(self, model_dir) -> None:
+        assert (model_dir / "model.json").exists()
+        assert (model_dir / "kernels.json").exists()
+
+    def test_show_rules_prints_groups(self, db_path, tmp_path, capsys):
+        out = tmp_path / "m2"
+        main(["train", "--db", str(db_path), "--out", str(out),
+              "--show-rules"])
+        printed = capsys.readouterr().out
+        assert "group]" in printed
+
+    def test_empty_db_errors(self, tmp_path) -> None:
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main(["train", "--db", str(empty),
+                     "--out", str(tmp_path / "m")])
+        assert code == 1
+
+
+class TestPredict:
+    @pytest.mark.parametrize(
+        "demo,expected",
+        [("banded", "DIA"), ("powerlaw", "COO")],
+    )
+    def test_demo_predictions(self, model_dir, demo, expected, capsys):
+        code = main(["predict", "--model", str(model_dir), "--demo", demo])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert f"chosen     : {expected}" in printed
+
+    def test_mtx_prediction(self, model_dir, tmp_path, capsys) -> None:
+        from repro.collection import banded
+
+        matrix = banded.banded_matrix(800, 5, seed=9)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(matrix, path)
+        code = main(["predict", "--model", str(model_dir),
+                     "--mtx", str(path)])
+        assert code == 0
+        assert "800x800" in capsys.readouterr().out
+
+
+class TestEvaluateAndStats:
+    def test_evaluate_prints_confusion(self, model_dir, db_path, capsys):
+        code = main(["evaluate", "--model", str(model_dir),
+                     "--db", str(db_path)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "accuracy:" in printed
+        assert "precision" in printed
+
+    def test_stats_distribution(self, db_path, capsys) -> None:
+        code = main(["stats", "--db", str(db_path)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "format affinity:" in printed
+        assert "CSR" in printed
+
+    def test_stats_empty_db(self, tmp_path) -> None:
+        empty = tmp_path / "e.jsonl"
+        empty.write_text("")
+        assert main(["stats", "--db", str(empty)]) == 1

@@ -1,0 +1,202 @@
+"""Matrix-collection tests: generators produce the structures they claim."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.collection import (
+    DOMAIN_PROFILES,
+    TOTAL_COLLECTION_SIZE,
+    collection_size,
+    domain,
+    generate_collection,
+    representatives,
+)
+from repro.collection import banded, blocks, graphs, grids, random_sparse
+from repro.features import extract_features
+
+
+class TestGrids:
+    def test_laplacian_1d_structure(self) -> None:
+        m = grids.laplacian_1d(50)
+        fv = extract_features(m)
+        assert fv.ndiags == 3
+        assert fv.ntdiags_ratio == 1.0
+        np.testing.assert_allclose(m.to_dense()[1, :3], [-1.0, 2.0, -1.0])
+
+    def test_laplacian_5pt_no_wraparound(self) -> None:
+        m = grids.laplacian_5pt(8, 8)
+        dense = m.to_dense()
+        # Node (0, 7) must not couple to node (1, 0).
+        assert dense[7, 8] == 0.0
+        assert extract_features(m).ndiags == 5
+
+    def test_laplacian_9pt_diagonal_count(self) -> None:
+        assert extract_features(grids.laplacian_9pt(10, 10)).ndiags == 9
+
+    def test_laplacian_7pt_diagonal_count(self) -> None:
+        assert extract_features(grids.laplacian_7pt(6, 6, 6)).ndiags == 7
+
+    def test_laplacians_are_weakly_diagonally_dominant(self) -> None:
+        for m in (grids.laplacian_5pt(6), grids.laplacian_7pt(4),
+                  grids.laplacian_9pt(6)):
+            dense = m.to_dense()
+            diag = np.abs(np.diag(dense))
+            off = np.abs(dense).sum(axis=1) - diag
+            assert np.all(diag >= off - 1e-12)
+
+    def test_grid_shape_for_rows(self) -> None:
+        assert grids.grid_shape_for_rows(10000, 2) == (100, 100)
+        nx, ny, nz = grids.grid_shape_for_rows(27000, 3)
+        assert nx * ny * nz == pytest.approx(27000, rel=0.2)
+
+
+class TestBanded:
+    def test_banded_diag_count(self, rng) -> None:
+        m = banded.banded_matrix(400, 9, seed=rng)
+        fv = extract_features(m)
+        assert fv.ndiags == 9
+        assert fv.ntdiags_ratio > 0.9
+
+    def test_low_occupancy_breaks_true_diagonals(self, rng) -> None:
+        m = banded.banded_matrix(400, 9, seed=rng, occupancy=0.3)
+        assert extract_features(m).ntdiags_ratio < 0.3
+
+    def test_perturbed_band_lowers_ratio(self, rng) -> None:
+        clean = banded.banded_matrix(500, 5, seed=1)
+        noisy = banded.perturbed_band_matrix(500, 5, noise_nnz=800, seed=1)
+        assert (
+            extract_features(noisy).ntdiags_ratio
+            < extract_features(clean).ntdiags_ratio
+        )
+        assert extract_features(noisy).ndiags > 100
+
+    def test_invalid_diag_count(self) -> None:
+        with pytest.raises(ValueError, match="n_diags"):
+            banded.banded_matrix(100, 0)
+
+
+class TestGraphs:
+    def test_power_law_graph_is_scale_free(self) -> None:
+        m = graphs.power_law_graph(8000, exponent=2.2, seed=42)
+        fv = extract_features(m)
+        assert math.isfinite(fv.r)
+        assert 1.0 <= fv.r <= 4.0
+
+    def test_uniform_bipartite_zero_variance(self) -> None:
+        m = graphs.uniform_bipartite(500, 300, 4, seed=7)
+        fv = extract_features(m)
+        assert fv.var_rd == 0.0
+        assert fv.max_rd == 4
+        assert fv.er_ell == 1.0
+
+    def test_road_network_low_degree(self) -> None:
+        fv = extract_features(graphs.road_network(5000, seed=3))
+        assert fv.aver_rd < 4.0
+        assert fv.max_rd <= 6
+
+    def test_small_world_has_local_structure(self) -> None:
+        m = graphs.small_world_graph(1000, base_degree=6, seed=5)
+        fv = extract_features(m)
+        assert fv.aver_rd == pytest.approx(6.0, rel=0.15)
+
+    def test_circuit_has_hub_rows(self) -> None:
+        fv = extract_features(graphs.circuit_matrix(3000, seed=11))
+        assert fv.max_rd > 10 * fv.aver_rd
+
+
+class TestRandomAndBlocks:
+    def test_uniform_random_degree(self) -> None:
+        fv = extract_features(
+            random_sparse.uniform_random(3000, 3000, 8.0, seed=1)
+        )
+        assert fv.aver_rd == pytest.approx(8.0, rel=0.15)
+
+    def test_lp_not_scale_free(self) -> None:
+        fv = extract_features(
+            random_sparse.lp_constraint_matrix(3000, 3500, seed=2)
+        )
+        # The dense coupling rows must NOT register as a power law.
+        assert not (math.isfinite(fv.r) and 1.0 <= fv.r <= 4.0)
+
+    def test_economics_has_full_diagonal(self) -> None:
+        m = random_sparse.economics_matrix(800, seed=4)
+        assert np.all(np.diag(m.to_dense()) != 0.0)
+
+    def test_block_structured_heavy_rows(self) -> None:
+        fv = extract_features(
+            blocks.block_structured(1200, block_size=6, seed=6)
+        )
+        assert fv.aver_rd > 10
+
+    def test_wide_rows(self) -> None:
+        fv = extract_features(
+            blocks.wide_row_matrix(800, aver_degree=60, seed=9)
+        )
+        assert fv.aver_rd > 25
+
+
+class TestCollection:
+    def test_total_size_matches_table1(self) -> None:
+        assert TOTAL_COLLECTION_SIZE == 2376  # Table 1 rows as printed
+        assert collection_size(1.0) == 2376
+
+    def test_scaled_generation(self) -> None:
+        pairs = list(generate_collection(scale=0.01, size_scale=0.2))
+        assert len(pairs) == collection_size(0.01)
+        domains = {spec.domain for spec, _ in pairs}
+        assert len(domains) == len(DOMAIN_PROFILES)
+
+    def test_generation_is_deterministic(self) -> None:
+        first = [
+            (s.name, m.nnz)
+            for s, m in generate_collection(
+                seed=99, scale=0.005, size_scale=0.2
+            )
+        ]
+        second = [
+            (s.name, m.nnz)
+            for s, m in generate_collection(
+                seed=99, scale=0.005, size_scale=0.2
+            )
+        ]
+        assert first == second
+
+    def test_max_matrices_truncates(self) -> None:
+        pairs = list(
+            generate_collection(scale=1.0, size_scale=0.1, max_matrices=5)
+        )
+        assert len(pairs) == 5
+
+    def test_domain_lookup(self) -> None:
+        assert domain("graph").count == 334
+        with pytest.raises(KeyError, match="unknown"):
+            domain("astrology")
+
+
+class TestRepresentatives:
+    def test_sixteen_matrices_with_figure8_names(self) -> None:
+        reps = representatives(size_scale=0.05)
+        assert len(reps) == 16
+        names = [spec.name for spec, _ in reps]
+        assert names[0] == "pcrystk02"
+        assert names[15] == "roadNet-CA"
+        assert [spec.index for spec, _ in reps] == list(range(1, 17))
+
+    def test_affinity_grouping_features(self) -> None:
+        reps = representatives(size_scale=0.05)
+        # No.1-4 are DIA stand-ins: strong true diagonals.
+        for spec, matrix in reps[:4]:
+            fv = extract_features(matrix)
+            assert fv.ntdiags_ratio > 0.6, spec.name
+        # No.5-8 are ELL stand-ins: zero row-degree variance.
+        for spec, matrix in reps[4:8]:
+            fv = extract_features(matrix)
+            assert fv.var_rd == 0.0, spec.name
+        # No.13-16 are COO stand-ins: scale-free or heavy-tailed rows.
+        for spec, matrix in reps[12:]:
+            fv = extract_features(matrix)
+            assert math.isfinite(fv.r), spec.name

@@ -1,0 +1,193 @@
+"""Feature-extraction tests (Table 2 parameters)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    FeatureVector,
+    LazyFeatures,
+    extract_features,
+    extract_structure_features,
+)
+from repro.features.powerlaw import estimate_power_law_exponent, is_power_law
+from repro.formats import CSRMatrix
+
+
+def banded_matrix(n: int = 100, offsets=(-1, 0, 1)) -> CSRMatrix:
+    dense = np.zeros((n, n))
+    for k in offsets:
+        idx = np.arange(max(0, -k), min(n, n - k))
+        dense[idx, idx + k] = 1.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestBasicParameters:
+    def test_dimensions_and_counts(self, paper_csr) -> None:
+        fv = extract_features(paper_csr)
+        assert (fv.m, fv.n, fv.nnz) == (4, 4, 9)
+        assert fv.aver_rd == pytest.approx(9 / 4)
+        assert fv.max_rd == 3
+
+    def test_var_rd_formula(self, paper_csr) -> None:
+        # Row degrees [2, 2, 3, 2], mean 2.25.
+        fv = extract_features(paper_csr)
+        expected = np.mean((np.array([2, 2, 3, 2]) - 2.25) ** 2)
+        assert fv.var_rd == pytest.approx(expected)
+
+    def test_uniform_rows_zero_variance(self) -> None:
+        fv = extract_features(banded_matrix(50, offsets=(0,)))
+        assert fv.var_rd == 0.0
+        assert fv.max_rd == 1
+
+
+class TestDiagonalParameters:
+    def test_tridiagonal_census(self) -> None:
+        fv = extract_features(banded_matrix(64))
+        assert fv.ndiags == 3
+        assert fv.ntdiags_ratio == 1.0
+        # 3n - 2 nonzeros over 3n slots.
+        assert fv.er_dia == pytest.approx((3 * 64 - 2) / (3 * 64))
+
+    def test_scattered_matrix_has_many_false_diagonals(self, rng) -> None:
+        n = 60
+        dense = (rng.random((n, n)) < 0.02).astype(float)
+        csr = CSRMatrix.from_dense(dense)
+        if csr.nnz == 0:
+            pytest.skip("degenerate draw")
+        fv = extract_features(csr)
+        assert fv.ndiags > 10
+        assert fv.ntdiags_ratio < 0.2
+        assert fv.er_dia < 0.2
+
+    def test_paper_example_t2d_q9_style_record(self) -> None:
+        # A 9-point stencil Laplacian: 9 diagonals, all "true", like the
+        # paper's t2d_q9 record {9801, 9801, 9, 1.0, ..., 0.99, 0.99, inf}.
+        n = 31
+        size = n * n
+        dense = np.zeros((size, size))
+        for k in (-n - 1, -n, -n + 1, -1, 0, 1, n - 1, n, n + 1):
+            idx = np.arange(max(0, -k), min(size, size - k))
+            dense[idx, idx + k] = 1.0
+        fv = extract_features(CSRMatrix.from_dense(dense))
+        assert fv.ndiags == 9
+        assert fv.ntdiags_ratio == 1.0
+        assert fv.er_dia > 0.9
+        assert not fv.is_finite("r")
+
+
+class TestFillRatios:
+    def test_er_ell_balanced(self) -> None:
+        fv = extract_features(banded_matrix(40))
+        assert fv.er_ell == pytest.approx(fv.nnz / (3 * 40))
+
+    def test_er_ell_skewed_by_heavy_row(self) -> None:
+        dense = np.eye(50)
+        dense[0, :] = 1.0
+        fv = extract_features(CSRMatrix.from_dense(dense))
+        assert fv.max_rd == 50
+        assert fv.er_ell < 0.05
+
+    def test_empty_matrix_defaults(self) -> None:
+        csr = CSRMatrix(
+            ptr=np.zeros(5, dtype=np.int64), indices=[], data=np.zeros(0),
+            shape=(4, 4),
+        )
+        fv = extract_features(csr)
+        assert fv.nnz == 0
+        assert fv.er_dia == 1.0
+        assert fv.er_ell == 1.0
+        assert fv.ndiags == 0
+
+
+class TestPowerLaw:
+    def test_power_law_degrees_detected(self, rng) -> None:
+        # Sample degrees from a discrete power law with exponent ~2.2.
+        k = np.arange(1, 200)
+        p = k ** -2.2
+        degrees = rng.choice(k, size=20000, p=p / p.sum())
+        r = estimate_power_law_exponent(degrees)
+        assert 1.5 < r < 3.0
+        assert is_power_law(r)
+
+    def test_uniform_degrees_not_power_law(self) -> None:
+        r = estimate_power_law_exponent(np.full(1000, 7))
+        assert math.isinf(r)
+
+    def test_too_few_distinct_degrees(self) -> None:
+        r = estimate_power_law_exponent(np.array([1, 2, 1, 2, 1]))
+        assert math.isinf(r)
+
+    def test_increasing_distribution_rejected(self, rng) -> None:
+        # Mass concentrated on *large* degrees: opposite of scale-free.
+        degrees = rng.choice([50, 60, 70, 80, 90], size=5000,
+                             p=[0.05, 0.1, 0.15, 0.3, 0.4])
+        assert math.isinf(estimate_power_law_exponent(degrees))
+
+    def test_empty_degrees(self) -> None:
+        assert math.isinf(estimate_power_law_exponent(np.zeros(0)))
+
+
+class TestLazyExtraction:
+    def test_nothing_extracted_initially(self, paper_csr) -> None:
+        lazy = LazyFeatures(paper_csr)
+        assert not lazy.structure_extracted
+        assert not lazy.powerlaw_extracted
+        assert lazy.extraction_cost_spmv_units() == 0.0
+
+    def test_structure_access_runs_step_one_only(self, paper_csr) -> None:
+        lazy = LazyFeatures(paper_csr)
+        assert lazy.get("ndiags") == 3
+        assert lazy.structure_extracted
+        assert not lazy.powerlaw_extracted
+
+    def test_r_access_runs_step_two(self, paper_csr) -> None:
+        lazy = LazyFeatures(paper_csr)
+        lazy.get("r")
+        assert lazy.powerlaw_extracted
+
+    def test_cost_accumulates_by_step(self, paper_csr) -> None:
+        lazy = LazyFeatures(paper_csr)
+        lazy.get("m")
+        step_one = lazy.extraction_cost_spmv_units()
+        assert step_one > 0
+        lazy.get("r")
+        assert lazy.extraction_cost_spmv_units() > step_one
+
+    def test_snapshot_matches_eager(self, paper_csr) -> None:
+        lazy = LazyFeatures(paper_csr)
+        assert lazy.snapshot() == extract_features(paper_csr)
+
+    def test_partial_snapshot_reports_inf_r(self, paper_csr) -> None:
+        lazy = LazyFeatures(paper_csr)
+        partial = lazy.partial_snapshot()
+        assert math.isinf(partial.r)
+        assert not lazy.powerlaw_extracted
+
+    def test_unknown_parameter_rejected(self, paper_csr) -> None:
+        with pytest.raises(KeyError, match="unknown"):
+            LazyFeatures(paper_csr).get("bogus")
+
+
+class TestFeatureVector:
+    def test_as_dict_paper_names(self, paper_csr) -> None:
+        fv = extract_features(paper_csr)
+        d = fv.as_dict(paper_names=True)
+        assert d["M"] == 4 and d["NNZ"] == 9 and "NTdiags_ratio" in d
+
+    def test_with_label(self, paper_csr) -> None:
+        from repro.types import FormatName
+
+        fv = extract_features(paper_csr)
+        labelled = fv.with_label(FormatName.DIA)
+        assert labelled.best_format is FormatName.DIA
+        assert labelled.as_dict() == fv.as_dict()
+
+    def test_structure_only_helper_consistent(self, paper_csr) -> None:
+        structure = extract_structure_features(paper_csr)
+        eager = extract_features(paper_csr)
+        for key, value in structure.items():
+            assert eager.value(key) == pytest.approx(value)

@@ -1,0 +1,96 @@
+"""Unit tests for the BCSR and HYB extension formats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, CSRMatrix, ELLMatrix, HYBMatrix
+from repro.formats.convert import csr_to_bcsr, csr_to_hyb
+
+
+def block_dense() -> np.ndarray:
+    """A 6x6 matrix made of three dense 2x2 blocks."""
+    dense = np.zeros((6, 6))
+    dense[0:2, 0:2] = [[1.0, 2.0], [3.0, 4.0]]
+    dense[2:4, 4:6] = [[5.0, 6.0], [7.0, 8.0]]
+    dense[4:6, 2:4] = [[9.0, 1.0], [2.0, 3.0]]
+    return dense
+
+
+class TestBCSR:
+    def test_block_extraction(self) -> None:
+        csr = CSRMatrix.from_dense(block_dense())
+        bcsr, _ = csr_to_bcsr(csr, block_shape=(2, 2))
+        assert bcsr.n_blocks == 3
+        assert bcsr.fill_ratio() == 1.0
+
+    def test_round_trip(self) -> None:
+        dense = block_dense()
+        bcsr, _ = csr_to_bcsr(CSRMatrix.from_dense(dense), block_shape=(2, 2))
+        np.testing.assert_array_equal(bcsr.to_dense(), dense)
+
+    def test_spmv_matches_dense(self) -> None:
+        dense = block_dense()
+        bcsr, _ = csr_to_bcsr(CSRMatrix.from_dense(dense), block_shape=(2, 2))
+        x = np.arange(6.0)
+        np.testing.assert_allclose(bcsr.spmv(x), dense @ x)
+
+    def test_unaligned_shape_pads_edge_blocks(self) -> None:
+        dense = np.zeros((5, 5))
+        dense[4, 4] = 2.0
+        dense[0, 0] = 1.0
+        bcsr, _ = csr_to_bcsr(CSRMatrix.from_dense(dense), block_shape=(2, 2))
+        np.testing.assert_array_equal(bcsr.to_dense(), dense)
+        np.testing.assert_allclose(bcsr.spmv(np.ones(5)), dense @ np.ones(5))
+
+    def test_partial_blocks_lower_fill(self, rng) -> None:
+        dense = np.diag(np.ones(8))
+        bcsr, _ = csr_to_bcsr(CSRMatrix.from_dense(dense), block_shape=(2, 2))
+        # Diagonal hits 4 blocks of 4 slots each with 2 non-zeros apiece.
+        assert bcsr.n_blocks == 4
+        assert bcsr.fill_ratio() == pytest.approx(0.5)
+
+    def test_bad_block_shape(self) -> None:
+        csr = CSRMatrix.from_dense(block_dense())
+        with pytest.raises(FormatError, match="positive"):
+            csr_to_bcsr(csr, block_shape=(0, 2))
+
+
+class TestHYB:
+    def test_split_widths(self) -> None:
+        dense = np.zeros((4, 8))
+        dense[0, :8] = 1.0  # a heavy row
+        dense[1, 0] = 2.0
+        dense[2, 1] = 3.0
+        dense[3, 2] = 4.0
+        hyb, _ = csr_to_hyb(CSRMatrix.from_dense(dense), ell_width=1)
+        assert hyb.ell_width == 1
+        assert hyb.ell_part.nnz == 4
+        assert hyb.coo_part.nnz == 7
+
+    def test_round_trip(self) -> None:
+        dense = block_dense()
+        hyb, _ = csr_to_hyb(CSRMatrix.from_dense(dense), ell_width=1)
+        np.testing.assert_array_equal(hyb.to_dense(), dense)
+
+    def test_spmv_matches_dense(self) -> None:
+        dense = block_dense()
+        hyb, _ = csr_to_hyb(CSRMatrix.from_dense(dense), ell_width=1)
+        x = np.arange(6.0) - 3.0
+        np.testing.assert_allclose(hyb.spmv(x), dense @ x)
+
+    def test_default_width_covers_most_rows(self) -> None:
+        dense = np.eye(10)
+        dense[0, :] = 1.0
+        hyb, _ = csr_to_hyb(CSRMatrix.from_dense(dense))
+        frac_ell, frac_coo = hyb.split_fractions()
+        assert frac_ell + frac_coo == pytest.approx(1.0)
+        assert frac_coo > 0  # the heavy row overflows
+
+    def test_mismatched_parts_rejected(self) -> None:
+        ell = ELLMatrix.from_dense(np.eye(3))
+        coo = COOMatrix.from_dense(np.eye(4))
+        with pytest.raises(FormatError, match="shape"):
+            HYBMatrix(ell, coo)

@@ -1,0 +1,66 @@
+"""Unit tests for the COO format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix
+
+
+class TestConstruction:
+    def test_paper_example_arrays(self, paper_dense: np.ndarray) -> None:
+        coo = COOMatrix.from_dense(paper_dense)
+        # Figure 2b arrays.
+        assert coo.rows.tolist() == [0, 0, 1, 1, 2, 2, 2, 3, 3]
+        assert coo.cols.tolist() == [0, 1, 1, 2, 0, 2, 3, 1, 3]
+        assert coo.data.tolist() == [1, 5, 2, 6, 8, 3, 7, 9, 4]
+
+    def test_unsorted_input_is_sorted_row_major(self) -> None:
+        coo = COOMatrix(
+            rows=[2, 0, 1], cols=[0, 1, 2], data=[3.0, 1.0, 2.0], shape=(3, 3)
+        )
+        assert coo.rows.tolist() == [0, 1, 2]
+        assert coo.data.tolist() == [1.0, 2.0, 3.0]
+
+    def test_round_trip_dense(self, paper_dense: np.ndarray) -> None:
+        np.testing.assert_array_equal(
+            COOMatrix.from_dense(paper_dense).to_dense(), paper_dense
+        )
+
+    def test_row_out_of_range(self) -> None:
+        with pytest.raises(FormatError, match="out of range"):
+            COOMatrix(rows=[3], cols=[0], data=[1.0], shape=(3, 3))
+
+    def test_col_out_of_range(self) -> None:
+        with pytest.raises(FormatError, match="out of range"):
+            COOMatrix(rows=[0], cols=[-1], data=[1.0], shape=(3, 3))
+
+    def test_length_mismatch(self) -> None:
+        with pytest.raises(FormatError, match="equal length"):
+            COOMatrix(rows=[0, 1], cols=[0], data=[1.0], shape=(3, 3))
+
+
+class TestSpmv:
+    def test_matches_dense(self, paper_dense: np.ndarray) -> None:
+        coo = COOMatrix.from_dense(paper_dense)
+        x = np.array([4.0, 3.0, 2.0, 1.0])
+        np.testing.assert_allclose(coo.spmv(x), paper_dense @ x)
+
+    def test_duplicates_accumulate(self) -> None:
+        # The format definition allows duplicate coordinates; SpMV must sum.
+        coo = COOMatrix(
+            rows=[0, 0], cols=[1, 1], data=[2.0, 3.0], shape=(2, 2)
+        )
+        np.testing.assert_allclose(coo.spmv(np.array([0.0, 1.0])), [5.0, 0.0])
+
+    def test_empty(self) -> None:
+        coo = COOMatrix(rows=[], cols=[], data=np.zeros(0), shape=(3, 3))
+        assert coo.nnz == 0
+        np.testing.assert_array_equal(coo.spmv(np.ones(3)), np.zeros(3))
+
+    def test_memory_bytes(self, paper_dense: np.ndarray) -> None:
+        coo = COOMatrix.from_dense(paper_dense)
+        # rows + cols (8 bytes each) + data (8 bytes) per nnz.
+        assert coo.memory_bytes() == coo.nnz * 24

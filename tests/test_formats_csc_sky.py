@@ -1,0 +1,190 @@
+"""Tests for the CSC and SKY extension formats (Figure 5's remaining
+MKL routines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError, FormatError
+from repro.formats import CSCMatrix, CSRMatrix, SKYMatrix, convert
+from repro.formats.convert import (
+    csc_to_csr,
+    csr_to_csc,
+    csr_to_sky,
+    sky_to_csr,
+)
+from repro.kernels import find_kernel, kernels_for, strategy_set, Strategy
+from repro.types import FormatName
+from tests.conftest import random_csr
+
+
+class TestCSC:
+    def test_from_csr_layout(self, paper_csr) -> None:
+        csc = CSCMatrix.from_csr(paper_csr)
+        # Column 0 holds rows {0, 2}; column 1 holds rows {0, 1, 3}.
+        assert csc.ptr.tolist() == [0, 2, 5, 7, 9]
+        assert csc.indices[:2].tolist() == [0, 2]
+        assert csc.data[:2].tolist() == [1.0, 8.0]
+
+    def test_round_trip(self, rng) -> None:
+        csr = random_csr(rng, 20, 14, 0.25)
+        csc, _ = csr_to_csc(csr)
+        back, _ = csc_to_csr(csc)
+        np.testing.assert_array_equal(back.to_dense(), csr.to_dense())
+
+    def test_spmv_matches_dense(self, rng) -> None:
+        csr = random_csr(rng, 17, 23, 0.2)
+        csc = CSCMatrix.from_csr(csr)
+        x = rng.standard_normal(23)
+        np.testing.assert_allclose(csc.spmv(x), csr.to_dense() @ x, atol=1e-9)
+
+    def test_column_degrees(self, paper_csr) -> None:
+        csc = CSCMatrix.from_csr(paper_csr)
+        assert csc.column_degrees().tolist() == [2, 3, 2, 2]
+
+    def test_bad_ptr_length(self) -> None:
+        with pytest.raises(FormatError, match="n_cols"):
+            CSCMatrix(ptr=[0, 1], indices=[0], data=[1.0], shape=(2, 3))
+
+    def test_unsorted_rows_rejected(self) -> None:
+        with pytest.raises(FormatError, match="increasing"):
+            CSCMatrix(
+                ptr=[0, 2], indices=[1, 0], data=[1.0, 2.0], shape=(2, 1)
+            )
+
+    def test_kernels_match_reference(self, rng) -> None:
+        csr = random_csr(rng, 30, 30, 0.15)
+        csc = CSCMatrix.from_csr(csr)
+        x = rng.standard_normal(30)
+        expected = csr.to_dense() @ x
+        for kernel in kernels_for(FormatName.CSC):
+            np.testing.assert_allclose(
+                kernel(csc, x), expected, atol=1e-9, err_msg=kernel.name
+            )
+
+    def test_generic_convert_roundtrip(self, rng) -> None:
+        csr = random_csr(rng, 12, 19, 0.3)
+        csc, cost = convert(csr, FormatName.CSC)
+        assert cost.csr_spmv_units() > 0
+        np.testing.assert_array_equal(csc.to_dense(), csr.to_dense())
+
+
+class TestSKY:
+    def banded(self, n: int = 30) -> CSRMatrix:
+        dense = np.zeros((n, n))
+        for k in (-2, -1, 0, 1):
+            idx = np.arange(max(0, -k), min(n, n - k))
+            dense[idx, idx + k] = 1.0 + k * 0.1
+        return CSRMatrix.from_dense(dense)
+
+    def test_profile_widths(self) -> None:
+        sky = SKYMatrix.from_csr(self.banded(10))
+        widths = np.diff(sky.pointers)
+        # Row 0 holds only the diagonal; interior rows reach 2 left.
+        assert widths[0] == 1
+        assert widths[5] == 3
+
+    def test_round_trip(self, rng) -> None:
+        csr = self.banded(25)
+        sky, _ = csr_to_sky(csr)
+        back, _ = sky_to_csr(sky)
+        np.testing.assert_allclose(back.to_dense(), csr.to_dense())
+
+    def test_round_trip_with_scattered_upper(self, rng) -> None:
+        dense = self.banded(20).to_dense()
+        dense[2, 15] = 7.0
+        dense[0, 19] = -3.0
+        csr = CSRMatrix.from_dense(dense)
+        sky, _ = csr_to_sky(csr, fill_budget=None)
+        assert sky.upper is not None
+        np.testing.assert_allclose(sky.to_dense(), dense)
+
+    def test_spmv_matches_dense(self, rng) -> None:
+        csr = self.banded(40)
+        sky, _ = csr_to_sky(csr)
+        x = rng.standard_normal(40)
+        np.testing.assert_allclose(sky.spmv(x), csr.to_dense() @ x, atol=1e-9)
+
+    def test_kernels_match_reference(self, rng) -> None:
+        dense = self.banded(30).to_dense()
+        dense[1, 20] = 4.0  # force an upper remainder
+        csr = CSRMatrix.from_dense(dense)
+        sky, _ = csr_to_sky(csr, fill_budget=None)
+        x = rng.standard_normal(30)
+        expected = dense @ x
+        for kernel in kernels_for(FormatName.SKY):
+            np.testing.assert_allclose(
+                kernel(sky, x), expected, atol=1e-9, err_msg=kernel.name
+            )
+
+    def test_rectangular_rejected(self, rng) -> None:
+        with pytest.raises(ConversionError, match="square"):
+            csr_to_sky(random_csr(rng, 5, 7, 0.4))
+
+    def test_fill_budget_guards_wide_profiles(self) -> None:
+        # A first-column entry in the last row makes the profile O(n).
+        n = 60
+        dense = np.eye(n)
+        dense[n - 1, 0] = 1.0
+        with pytest.raises(ConversionError, match="refusing"):
+            csr_to_sky(CSRMatrix.from_dense(dense), fill_budget=1.5)
+
+    def test_fill_ratio_reflects_profile_zeros(self) -> None:
+        n = 30
+        dense = np.eye(n)
+        dense[n - 1, n - 5] = 1.0  # one wide row: 4 padded slots
+        sky, _ = csr_to_sky(CSRMatrix.from_dense(dense), fill_budget=None)
+        assert sky.fill_ratio() < 1.0
+
+    def test_mkl_routines_exposed(self, rng) -> None:
+        from repro.baselines import mkl_xcscmv, mkl_xskymv
+
+        csr = self.banded(15)
+        x = rng.standard_normal(15)
+        expected = csr.to_dense() @ x
+        csc, _ = convert(csr, FormatName.CSC)
+        np.testing.assert_allclose(mkl_xcscmv(csc, x), expected, atol=1e-9)
+        sky, _ = convert(csr, FormatName.SKY)
+        np.testing.assert_allclose(mkl_xskymv(sky, x), expected, atol=1e-9)
+
+
+class TestCostModelCoverage:
+    def test_cost_model_prices_all_formats(self) -> None:
+        import math
+
+        from repro.features.parameters import FeatureVector
+        from repro.machine import INTEL_XEON_X5680, estimate_spmv_time
+
+        fv = FeatureVector(
+            m=1000, n=1000, ndiags=5, ntdiags_ratio=1.0, nnz=5000,
+            aver_rd=5.0, max_rd=5, var_rd=0.1, er_dia=1.0, er_ell=1.0,
+            r=math.inf,
+        )
+        for fmt in FormatName:
+            seconds = estimate_spmv_time(INTEL_XEON_X5680, fmt, fv)
+            assert seconds > 0.0, fmt
+
+    def test_csc_never_beats_csr_on_plain_spmv(self, rng) -> None:
+        import math
+
+        from repro.features.parameters import FeatureVector
+        from repro.kernels.strategies import Strategy, strategy_set
+        from repro.machine import INTEL_XEON_X5680, cost_breakdown
+        from repro.types import Precision
+
+        strategies = strategy_set(Strategy.VECTORIZE, Strategy.PARALLEL)
+        fv = FeatureVector(
+            m=50_000, n=50_000, ndiags=30_000, ntdiags_ratio=0.0,
+            nnz=500_000, aver_rd=10.0, max_rd=40, var_rd=20.0,
+            er_dia=0.0003, er_ell=0.25, r=math.inf,
+        )
+        csr_t = cost_breakdown(
+            INTEL_XEON_X5680, FormatName.CSR, fv, Precision.DOUBLE,
+            strategies,
+        ).total_s
+        csc_t = cost_breakdown(
+            INTEL_XEON_X5680, FormatName.CSC, fv, Precision.DOUBLE,
+            strategy_set(Strategy.VECTORIZE),
+        ).total_s
+        assert csc_t > csr_t

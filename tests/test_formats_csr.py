@@ -1,0 +1,132 @@
+"""Unit tests for the CSR format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import CSRMatrix
+
+
+class TestConstruction:
+    def test_paper_example_arrays(self, paper_csr: CSRMatrix) -> None:
+        # Exactly the arrays printed in Figure 2a.
+        assert paper_csr.ptr.tolist() == [0, 2, 4, 7, 9]
+        assert paper_csr.indices.tolist() == [0, 1, 1, 2, 0, 2, 3, 1, 3]
+        assert paper_csr.data.tolist() == [1, 5, 2, 6, 8, 3, 7, 9, 4]
+
+    def test_shape_and_nnz(self, paper_csr: CSRMatrix) -> None:
+        assert paper_csr.shape == (4, 4)
+        assert paper_csr.nnz == 9
+
+    def test_round_trip_dense(self, paper_dense: np.ndarray) -> None:
+        csr = CSRMatrix.from_dense(paper_dense)
+        np.testing.assert_array_equal(csr.to_dense(), paper_dense)
+
+    def test_from_triplets_unordered(self) -> None:
+        csr = CSRMatrix.from_triplets(
+            rows=[2, 0, 1, 0], cols=[1, 3, 0, 0], data=[4.0, 3.0, 2.0, 1.0],
+            shape=(3, 4),
+        )
+        expected = np.zeros((3, 4))
+        expected[2, 1], expected[0, 3], expected[1, 0], expected[0, 0] = 4, 3, 2, 1
+        np.testing.assert_array_equal(csr.to_dense(), expected)
+
+    def test_from_triplets_sums_duplicates(self) -> None:
+        csr = CSRMatrix.from_triplets(
+            rows=[1, 1, 1], cols=[2, 2, 0], data=[1.0, 2.0, 5.0], shape=(3, 3)
+        )
+        assert csr.nnz == 2
+        assert csr.to_dense()[1, 2] == 3.0
+
+    def test_unsorted_rows_are_canonicalised(self) -> None:
+        # Row 0 given with columns out of order.
+        csr = CSRMatrix(
+            ptr=[0, 3, 3],
+            indices=[2, 0, 1],
+            data=[30.0, 10.0, 20.0],
+            shape=(2, 3),
+        )
+        assert csr.indices.tolist() == [0, 1, 2]
+        assert csr.data.tolist() == [10.0, 20.0, 30.0]
+
+    def test_empty_matrix(self) -> None:
+        csr = CSRMatrix(ptr=[0, 0, 0], indices=[], data=np.zeros(0), shape=(2, 5))
+        assert csr.nnz == 0
+        np.testing.assert_array_equal(csr.spmv(np.ones(5)), np.zeros(2))
+
+    def test_single_precision_dtype_kept(self, paper_dense: np.ndarray) -> None:
+        csr = CSRMatrix.from_dense(paper_dense.astype(np.float32))
+        assert csr.dtype == np.float32
+        assert csr.spmv(np.ones(4, dtype=np.float32)).dtype == np.float32
+
+
+class TestValidation:
+    def test_bad_ptr_length(self) -> None:
+        with pytest.raises(FormatError, match="ptr"):
+            CSRMatrix(ptr=[0, 1], indices=[0], data=[1.0], shape=(2, 2))
+
+    def test_ptr_not_starting_at_zero(self) -> None:
+        with pytest.raises(FormatError, match="ptr"):
+            CSRMatrix(ptr=[1, 1, 1], indices=[], data=np.zeros(0), shape=(2, 2))
+
+    def test_decreasing_ptr(self) -> None:
+        with pytest.raises(FormatError, match="non-decreasing"):
+            CSRMatrix(
+                ptr=[0, 2, 1, 3], indices=[0, 1, 0], data=[1.0, 2.0, 3.0],
+                shape=(3, 2),
+            )
+
+    def test_column_index_out_of_range(self) -> None:
+        with pytest.raises(FormatError, match="out of range"):
+            CSRMatrix(ptr=[0, 1], indices=[5], data=[1.0], shape=(1, 3))
+
+    def test_mismatched_data_length(self) -> None:
+        with pytest.raises(FormatError, match="equal length"):
+            CSRMatrix(ptr=[0, 2], indices=[0, 1], data=[1.0], shape=(1, 2))
+
+    def test_nonpositive_shape(self) -> None:
+        with pytest.raises(FormatError, match="positive"):
+            CSRMatrix(ptr=[0], indices=[], data=np.zeros(0), shape=(0, 3))
+
+    def test_integer_dtype_rejected(self) -> None:
+        with pytest.raises(ValueError, match="dtype"):
+            CSRMatrix(
+                ptr=[0, 1], indices=[0], data=np.array([1], dtype=np.int32),
+                shape=(1, 1),
+            )
+
+
+class TestSpmv:
+    def test_matches_dense(self, paper_csr: CSRMatrix, paper_dense) -> None:
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(paper_csr.spmv(x), paper_dense @ x)
+
+    def test_dimension_mismatch(self, paper_csr: CSRMatrix) -> None:
+        with pytest.raises(FormatError, match="mismatch"):
+            paper_csr.spmv(np.ones(5))
+
+    def test_matrix_operand_rejected(self, paper_csr: CSRMatrix) -> None:
+        with pytest.raises(FormatError, match="vector"):
+            paper_csr.spmv(np.ones((4, 1)))
+
+
+class TestStructureQueries:
+    def test_row_degrees(self, paper_csr: CSRMatrix) -> None:
+        assert paper_csr.row_degrees().tolist() == [2, 2, 3, 2]
+
+    def test_diagonal_offsets(self, paper_csr: CSRMatrix) -> None:
+        # Figure 2c: offsets are [-2, 0, 1].
+        assert paper_csr.diagonal_offsets().tolist() == [-2, 0, 1]
+
+    def test_memory_bytes_counts_all_arrays(self, paper_csr: CSRMatrix) -> None:
+        expected = (
+            paper_csr.ptr.nbytes
+            + paper_csr.indices.nbytes
+            + paper_csr.data.nbytes
+        )
+        assert paper_csr.memory_bytes() == expected
+
+    def test_flop_count(self, paper_csr: CSRMatrix) -> None:
+        assert paper_csr.flop_count() == 2 * paper_csr.nnz

@@ -1,0 +1,91 @@
+"""Unit tests for the DIA format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import DIAMatrix
+
+
+class TestConstruction:
+    def test_paper_example_offsets(self, paper_dense: np.ndarray) -> None:
+        dia = DIAMatrix.from_dense(paper_dense)
+        # Figure 2c: offsets [-2, 0, 1].
+        assert dia.offsets.tolist() == [-2, 0, 1]
+        assert dia.num_diags == 3
+
+    def test_paper_example_data_layout(self, paper_dense: np.ndarray) -> None:
+        dia = DIAMatrix.from_dense(paper_dense)
+        # Diagonal -2 holds [., ., 8, 9] (first two rows padded).
+        assert dia.data[0].tolist() == [0, 0, 8, 9]
+        # Principal diagonal holds [1, 2, 3, 4].
+        assert dia.data[1].tolist() == [1, 2, 3, 4]
+        # Diagonal +1 holds [5, 6, 7, .].
+        assert dia.data[2].tolist() == [5, 6, 7, 0]
+
+    def test_round_trip_dense(self, paper_dense: np.ndarray) -> None:
+        np.testing.assert_array_equal(
+            DIAMatrix.from_dense(paper_dense).to_dense(), paper_dense
+        )
+
+    def test_unsorted_offsets_are_sorted(self) -> None:
+        data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        dia = DIAMatrix(offsets=[1, 0], data=data, shape=(2, 2))
+        assert dia.offsets.tolist() == [0, 1]
+        np.testing.assert_array_equal(dia.data[0], [3.0, 4.0])
+
+    def test_offset_out_of_range(self) -> None:
+        with pytest.raises(FormatError, match="offsets"):
+            DIAMatrix(offsets=[5], data=np.ones((1, 3)), shape=(3, 3))
+
+    def test_wrong_stride(self) -> None:
+        with pytest.raises(FormatError, match="stride"):
+            DIAMatrix(offsets=[0], data=np.ones((1, 4)), shape=(3, 3))
+
+    def test_offsets_data_mismatch(self) -> None:
+        with pytest.raises(FormatError, match="diagonals"):
+            DIAMatrix(offsets=[0, 1], data=np.ones((1, 3)), shape=(3, 3))
+
+
+class TestSpmv:
+    def test_matches_dense(self, paper_dense: np.ndarray) -> None:
+        dia = DIAMatrix.from_dense(paper_dense)
+        x = np.array([1.0, -1.0, 2.0, 0.5])
+        np.testing.assert_allclose(dia.spmv(x), paper_dense @ x)
+
+    def test_rectangular_wide(self) -> None:
+        dense = np.array([[1.0, 0.0, 2.0, 0.0], [0.0, 3.0, 0.0, 4.0]])
+        dia = DIAMatrix.from_dense(dense)
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(dia.spmv(x), dense @ x)
+
+    def test_rectangular_tall(self) -> None:
+        dense = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 0.0], [0.0, 0.0]])
+        dia = DIAMatrix.from_dense(dense)
+        x = np.array([2.0, 5.0])
+        np.testing.assert_allclose(dia.spmv(x), dense @ x)
+
+
+class TestFillAccounting:
+    def test_perfect_tridiagonal_fill(self) -> None:
+        n = 10
+        dense = (
+            np.diag(np.ones(n))
+            + np.diag(np.ones(n - 1), 1)
+            + np.diag(np.ones(n - 1), -1)
+        )
+        dia = DIAMatrix.from_dense(dense)
+        assert dia.num_diags == 3
+        # 3n - 2 real non-zeros in 3n slots.
+        assert dia.fill_ratio() == pytest.approx((3 * n - 2) / (3 * n))
+
+    def test_nnz_excludes_padding(self, paper_dense: np.ndarray) -> None:
+        dia = DIAMatrix.from_dense(paper_dense)
+        assert dia.nnz == 9
+        assert dia.padded_size == 12
+
+    def test_flops_exclude_padding(self, paper_dense: np.ndarray) -> None:
+        dia = DIAMatrix.from_dense(paper_dense)
+        assert dia.flop_count() == 18

@@ -1,0 +1,97 @@
+"""Unit tests for the ELL format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import ELLMatrix
+
+
+class TestConstruction:
+    def test_paper_example_layout(self, paper_dense: np.ndarray) -> None:
+        ell = ELLMatrix.from_dense(paper_dense)
+        assert ell.max_row_degree == 3
+        # Column-major packed storage: slot 0 holds the first non-zero of
+        # every row -> values [1, 2, 8, 9] at columns [0, 1, 0, 1].
+        assert ell.data[0].tolist() == [1, 2, 8, 9]
+        assert ell.indices[0].tolist() == [0, 1, 0, 1]
+        # Slot 2 only row 2 has a third non-zero (7 at column 3).
+        assert ell.data[2].tolist() == [0, 0, 7, 0]
+
+    def test_round_trip_dense(self, paper_dense: np.ndarray) -> None:
+        np.testing.assert_array_equal(
+            ELLMatrix.from_dense(paper_dense).to_dense(), paper_dense
+        )
+
+    def test_nnz_excludes_padding(self, paper_dense: np.ndarray) -> None:
+        ell = ELLMatrix.from_dense(paper_dense)
+        assert ell.nnz == 9
+        assert ell.padded_size == 12
+        assert ell.fill_ratio() == pytest.approx(0.75)
+
+    def test_shape_mismatch(self) -> None:
+        with pytest.raises(FormatError, match="mismatch"):
+            ELLMatrix(
+                indices=np.zeros((2, 3), dtype=np.int64),
+                data=np.zeros((2, 4)),
+                shape=(3, 3),
+                nnz=0,
+            )
+
+    def test_row_major_layout_rejected(self) -> None:
+        # Arrays must be (max_RD, n_rows); a (n_rows, max_RD) array with a
+        # different row count is a layout error.
+        with pytest.raises(FormatError, match="column-major"):
+            ELLMatrix(
+                indices=np.zeros((4, 3), dtype=np.int64),
+                data=np.zeros((4, 3)),
+                shape=(4, 4),
+                nnz=0,
+            )
+
+    def test_bad_nnz(self) -> None:
+        with pytest.raises(FormatError, match="nnz"):
+            ELLMatrix(
+                indices=np.zeros((1, 2), dtype=np.int64),
+                data=np.zeros((1, 2)),
+                shape=(2, 2),
+                nnz=5,
+            )
+
+    def test_index_out_of_range(self) -> None:
+        with pytest.raises(FormatError, match="out of range"):
+            ELLMatrix(
+                indices=np.full((1, 2), 7, dtype=np.int64),
+                data=np.ones((1, 2)),
+                shape=(2, 2),
+                nnz=2,
+            )
+
+
+class TestSpmv:
+    def test_matches_dense(self, paper_dense: np.ndarray) -> None:
+        ell = ELLMatrix.from_dense(paper_dense)
+        x = np.array([2.0, 0.0, -1.0, 3.0])
+        np.testing.assert_allclose(ell.spmv(x), paper_dense @ x)
+
+    def test_padding_is_harmless(self) -> None:
+        # One long row forces heavy padding; results must be exact anyway.
+        dense = np.zeros((4, 6))
+        dense[0] = np.arange(1.0, 7.0)
+        dense[2, 3] = 5.0
+        ell = ELLMatrix.from_dense(dense)
+        x = np.arange(6.0)
+        np.testing.assert_allclose(ell.spmv(x), dense @ x)
+
+    def test_uniform_rows_no_padding(self) -> None:
+        dense = np.eye(5) * 3.0
+        ell = ELLMatrix.from_dense(dense)
+        assert ell.fill_ratio() == 1.0
+        np.testing.assert_allclose(ell.spmv(np.ones(5)), np.full(5, 3.0))
+
+    def test_empty_matrix(self) -> None:
+        ell = ELLMatrix.from_dense(np.zeros((3, 3)))
+        assert ell.max_row_degree == 0
+        np.testing.assert_array_equal(ell.spmv(np.ones(3)), np.zeros(3))

@@ -1,0 +1,117 @@
+"""I/O tests: Matrix Market and the feature database."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.features import extract_features
+from repro.io import (
+    FeatureDatabase,
+    FeatureRecord,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.types import FormatName
+from tests.conftest import random_csr
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, rng, tmp_path) -> None:
+        matrix = random_csr(rng, 15, 12, 0.2)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(matrix, path)
+        loaded = read_matrix_market(path)
+        np.testing.assert_allclose(
+            loaded.to_dense(), matrix.to_dense(), atol=1e-15
+        )
+
+    def test_reads_symmetric(self, tmp_path) -> None:
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% a comment line\n"
+            "3 3 4\n"
+            "1 1 2.0\n"
+            "2 1 -1.0\n"
+            "2 2 2.0\n"
+            "3 3 2.0\n"
+        )
+        matrix = read_matrix_market(path)
+        dense = matrix.to_dense()
+        assert dense[0, 1] == dense[1, 0] == -1.0
+        assert matrix.nnz == 5
+
+    def test_reads_pattern(self, tmp_path) -> None:
+        path = tmp_path / "pat.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 2\n"
+            "2 1\n"
+        )
+        matrix = read_matrix_market(path)
+        assert matrix.to_dense()[0, 1] == 1.0
+
+    def test_rejects_array_format(self, tmp_path) -> None:
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n")
+        with pytest.raises(FormatError, match="coordinate"):
+            read_matrix_market(path)
+
+    def test_rejects_missing_header(self, tmp_path) -> None:
+        path = tmp_path / "noheader.mtx"
+        path.write_text("3 3 0\n")
+        with pytest.raises(FormatError, match="header"):
+            read_matrix_market(path)
+
+    def test_rejects_truncated_entries(self, tmp_path) -> None:
+        path = tmp_path / "trunc.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 5.0\n"
+        )
+        with pytest.raises(FormatError, match="truncated"):
+            read_matrix_market(path)
+
+
+class TestFeatureDatabase:
+    def make_record(self, rng, name="mat", domain="graph") -> FeatureRecord:
+        matrix = random_csr(rng, 20, 20, 0.2)
+        features = extract_features(matrix).with_label(FormatName.CSR)
+        return FeatureRecord(name=name, domain=domain, features=features)
+
+    def test_append_and_iterate(self, rng, tmp_path) -> None:
+        db = FeatureDatabase(tmp_path / "db.jsonl")
+        db.append(self.make_record(rng, "a"))
+        db.append(self.make_record(rng, "b", domain="structural"))
+        records = list(db)
+        assert [r.name for r in records] == ["a", "b"]
+        assert records[1].domain == "structural"
+
+    def test_round_trip_features(self, rng, tmp_path) -> None:
+        db = FeatureDatabase(tmp_path / "db.jsonl")
+        record = self.make_record(rng)
+        db.write_all([record])
+        loaded = next(iter(db))
+        assert loaded.features == record.features
+
+    def test_to_dataset(self, rng, tmp_path) -> None:
+        db = FeatureDatabase(tmp_path / "db.jsonl")
+        db.write_all([self.make_record(rng, str(i)) for i in range(5)])
+        dataset = db.to_dataset()
+        assert len(dataset) == 5
+
+    def test_domain_counts(self, rng, tmp_path) -> None:
+        db = FeatureDatabase(tmp_path / "db.jsonl")
+        db.write_all(
+            [
+                self.make_record(rng, "a", "graph"),
+                self.make_record(rng, "b", "graph"),
+                self.make_record(rng, "c", "thermal"),
+            ]
+        )
+        assert db.domain_counts() == {"graph": 2, "thermal": 1}
+
+    def test_missing_file_iterates_empty(self, tmp_path) -> None:
+        assert list(FeatureDatabase(tmp_path / "nope.jsonl")) == []

@@ -1,0 +1,87 @@
+"""Tests for training datasets and persistence."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import LearningError
+from repro.features.parameters import FeatureVector
+from repro.learning import TrainingDataset
+from repro.types import FormatName
+
+
+def record(
+    label: FormatName, aver_rd: float = 5.0, r: float = math.inf
+) -> FeatureVector:
+    return FeatureVector(
+        m=1000, n=1000, ndiags=100, ntdiags_ratio=0.1, nnz=5000,
+        aver_rd=aver_rd, max_rd=int(aver_rd * 3), var_rd=2.0,
+        er_dia=0.05, er_ell=0.33, r=r, best_format=label,
+    )
+
+
+def small_dataset(n_per_class: int = 10) -> TrainingDataset:
+    records = []
+    for i in range(n_per_class):
+        records.append(record(FormatName.CSR, aver_rd=10 + i))
+        records.append(record(FormatName.COO, aver_rd=2 + 0.01 * i, r=2.0))
+    return TrainingDataset(tuple(records))
+
+
+class TestDataset:
+    def test_unlabelled_record_rejected(self) -> None:
+        bad = record(FormatName.CSR)
+        unlabelled = FeatureVector(**{**bad.as_dict(), "m": 10, "n": 10,
+                                      "nnz": 10, "ndiags": 1, "max_rd": 1})
+        with pytest.raises(LearningError, match="label"):
+            TrainingDataset((unlabelled,))
+
+    def test_class_counts_and_majority(self) -> None:
+        ds = TrainingDataset(
+            tuple([record(FormatName.CSR)] * 3 + [record(FormatName.DIA)])
+        )
+        assert ds.class_counts()[FormatName.CSR] == 3
+        assert ds.majority_class() is FormatName.CSR
+
+    def test_split_partitions_everything(self) -> None:
+        ds = small_dataset()
+        train, test = ds.split(0.25, seed=3)
+        assert len(train) + len(test) == len(ds)
+        assert len(test) == 5
+
+    def test_split_fraction_validation(self) -> None:
+        with pytest.raises(LearningError, match="test_fraction"):
+            small_dataset().split(1.5)
+
+    def test_folds_cover_all_records_once(self) -> None:
+        ds = small_dataset()
+        folds = ds.folds(4, seed=0)
+        assert len(folds) == 4
+        total_test = sum(len(test) for _, test in folds)
+        assert total_test == len(ds)
+        for train, test in folds:
+            assert len(train) + len(test) == len(ds)
+
+    def test_folds_validation(self) -> None:
+        with pytest.raises(LearningError, match="folds"):
+            small_dataset().folds(1)
+
+    def test_round_trip_persistence(self, tmp_path) -> None:
+        ds = small_dataset()
+        path = tmp_path / "features.jsonl"
+        ds.save(path)
+        loaded = TrainingDataset.load(path)
+        assert len(loaded) == len(ds)
+        assert loaded.records[0] == ds.records[0]
+
+    def test_persistence_preserves_inf_r(self, tmp_path) -> None:
+        ds = TrainingDataset((record(FormatName.CSR, r=math.inf),))
+        path = tmp_path / "inf.jsonl"
+        ds.save(path)
+        assert math.isinf(TrainingDataset.load(path).records[0].r)
+
+    def test_majority_of_empty_rejected(self) -> None:
+        with pytest.raises(LearningError, match="empty"):
+            TrainingDataset(()).majority_class()

@@ -1,0 +1,224 @@
+"""Ruleset extraction, tailoring, grouping and model persistence tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError
+from repro.features.parameters import FeatureVector
+from repro.learning import (
+    GROUP_ORDER,
+    Condition,
+    LearningModel,
+    Rule,
+    RuleSet,
+    TrainingDataset,
+    cross_validate,
+    extract_rules,
+    group_rules,
+    tailor_rules,
+    train_boosted,
+    train_model,
+    train_tree,
+)
+from repro.types import FormatName
+
+
+def make_record(**overrides) -> FeatureVector:
+    base = dict(
+        m=1000, n=1000, ndiags=200, ntdiags_ratio=0.1, nnz=8000,
+        aver_rd=8.0, max_rd=20, var_rd=4.0, er_dia=0.04, er_ell=0.4,
+        r=math.inf, best_format=FormatName.CSR,
+    )
+    base.update(overrides)
+    return FeatureVector(**base)
+
+
+def four_class_dataset(n: int = 30, noise: float = 0.0) -> TrainingDataset:
+    """A dataset mirroring the real decision structure."""
+    rng = np.random.default_rng(7)
+    records = []
+    for _ in range(n):
+        records.append(make_record(
+            ntdiags_ratio=float(rng.uniform(0.7, 1.0)),
+            er_dia=float(rng.uniform(0.7, 1.0)),
+            best_format=FormatName.DIA,
+        ))
+        records.append(make_record(
+            var_rd=0.0, er_ell=1.0, max_rd=4, aver_rd=4.0,
+            best_format=FormatName.ELL,
+        ))
+        records.append(make_record(
+            aver_rd=float(rng.uniform(20, 100)),
+            best_format=FormatName.CSR,
+        ))
+        records.append(make_record(
+            r=float(rng.uniform(1.5, 3.0)), var_rd=100.0, aver_rd=3.0,
+            best_format=FormatName.COO,
+        ))
+    if noise > 0:
+        noisy = []
+        formats = [FormatName.DIA, FormatName.ELL, FormatName.CSR,
+                   FormatName.COO]
+        for r in records:
+            if rng.random() < noise:
+                r = r.with_label(formats[int(rng.integers(0, 4))])
+            noisy.append(r)
+        records = noisy
+    return TrainingDataset(tuple(records))
+
+
+class TestConditionsAndRules:
+    def test_condition_matching(self) -> None:
+        cond = Condition("aver_rd", "<=", 5.0)
+        assert cond.matches(make_record(aver_rd=4.0))
+        assert not cond.matches(make_record(aver_rd=6.0))
+
+    def test_condition_renders_paper_name(self) -> None:
+        assert str(Condition("ntdiags_ratio", ">", 0.5)) == "NTdiags_ratio > 0.5"
+
+    def test_rule_if_then_rendering(self) -> None:
+        rule = Rule(
+            conditions=(Condition("var_rd", "<=", 0.5),),
+            format_name=FormatName.ELL,
+            covered=10,
+            correct=9,
+        )
+        text = str(rule)
+        assert text.startswith("IF var_RD <= 0.5 THEN ELL")
+
+    def test_confidence_is_raw_ratio(self) -> None:
+        # The paper's definition: correctly classified / covered.
+        rule = Rule((), FormatName.CSR, covered=10, correct=9)
+        assert rule.confidence == pytest.approx(0.9)
+        assert Rule((), FormatName.CSR).confidence == 0.0
+
+    def test_laplace_confidence_shades_small_rules(self) -> None:
+        rule = Rule((), FormatName.CSR, covered=10, correct=10)
+        assert rule.laplace_confidence == pytest.approx(11 / 12)
+        assert rule.confidence == 1.0
+
+    def test_contribution_counts_errors_against(self) -> None:
+        good = Rule((), FormatName.CSR, covered=10, correct=9)
+        bad = Rule((), FormatName.CSR, covered=10, correct=4)
+        assert good.contribution > 0 > bad.contribution
+
+
+class TestRulesetExtraction:
+    def test_rules_cover_all_classes(self) -> None:
+        ds = four_class_dataset()
+        ruleset = extract_rules(train_tree(ds, min_leaf=2), ds)
+        predicted_classes = {r.format_name for r in ruleset.rules}
+        assert predicted_classes == set(GROUP_ORDER)
+
+    def test_ruleset_accuracy_close_to_tree(self) -> None:
+        ds = four_class_dataset(noise=0.1)
+        tree = train_tree(ds, min_leaf=2)
+        ruleset = extract_rules(tree, ds)
+        assert ruleset.accuracy(ds) >= tree.accuracy(ds) - 0.05
+
+    def test_conditions_are_simplified(self) -> None:
+        ds = four_class_dataset(noise=0.05)
+        ruleset = extract_rules(train_tree(ds, min_leaf=2), ds)
+        for rule in ruleset.rules:
+            seen = set()
+            for cond in rule.conditions:
+                key = (cond.attribute, cond.operator)
+                assert key not in seen, f"unsimplified rule: {rule}"
+                seen.add(key)
+
+    def test_first_match_semantics(self) -> None:
+        rules = (
+            Rule((Condition("aver_rd", "<=", 5.0),), FormatName.COO, 5, 5),
+            Rule((), FormatName.ELL, 20, 12),
+        )
+        rs = RuleSet(rules=rules, default_format=FormatName.CSR)
+        assert rs.predict(make_record(aver_rd=3.0)) is FormatName.COO
+        assert rs.predict(make_record(aver_rd=9.0)) is FormatName.ELL
+
+    def test_default_when_nothing_matches(self) -> None:
+        rs = RuleSet(
+            rules=(Rule((Condition("m", ">", 1e9),), FormatName.DIA, 1, 1),),
+            default_format=FormatName.CSR,
+        )
+        fmt, conf = rs.predict_with_confidence(make_record())
+        assert fmt is FormatName.CSR
+        assert conf == 0.0
+
+
+class TestTailoringAndGrouping:
+    def test_tailoring_keeps_accuracy(self) -> None:
+        ds = four_class_dataset(noise=0.1)
+        full = extract_rules(train_tree(ds, min_leaf=2), ds)
+        tailored = tailor_rules(full, ds, accuracy_gap=0.01)
+        assert len(tailored) <= len(full)
+        assert tailored.accuracy(ds) >= full.accuracy(ds) - 0.011
+
+    def test_group_order_is_dia_ell_csr_coo(self) -> None:
+        ds = four_class_dataset()
+        model = train_model(ds, min_leaf=2)
+        assert tuple(g.format_name for g in model.grouped.groups) == GROUP_ORDER
+
+    def test_format_confidence_is_group_max(self) -> None:
+        rules = (
+            Rule((), FormatName.DIA, covered=10, correct=5),
+            Rule((), FormatName.DIA, covered=20, correct=20),
+        )
+        grouped = group_rules(RuleSet(rules, FormatName.CSR))
+        dia = grouped.group(FormatName.DIA)
+        assert dia.format_confidence == pytest.approx(1.0)
+
+    def test_empty_group_confidence_zero(self) -> None:
+        grouped = group_rules(RuleSet((), FormatName.CSR))
+        assert grouped.group(FormatName.DIA).format_confidence == 0.0
+
+
+class TestModel:
+    def test_model_predicts_all_classes(self) -> None:
+        ds = four_class_dataset()
+        model = train_model(ds, min_leaf=2)
+        assert model.accuracy(ds) > 0.9
+
+    def test_model_confidence_in_unit_interval(self) -> None:
+        ds = four_class_dataset(noise=0.1)
+        model = train_model(ds, min_leaf=2)
+        for record in ds:
+            _, conf, _ = model.predict(record)
+            assert 0.0 <= conf <= 1.0
+
+    def test_model_round_trip(self, tmp_path) -> None:
+        ds = four_class_dataset(noise=0.05)
+        model = train_model(ds, min_leaf=2)
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = LearningModel.load(path)
+        for record in ds:
+            assert loaded.predict_format(record) is model.predict_format(record)
+
+    def test_malformed_model_file(self, tmp_path) -> None:
+        path = tmp_path / "bad.json"
+        path.write_text('{"nope": 1}')
+        with pytest.raises(LearningError, match="malformed"):
+            LearningModel.load(path)
+
+    def test_cross_validation_runs(self) -> None:
+        result = cross_validate(four_class_dataset(noise=0.05), k=3)
+        assert 0.5 <= result.mean_accuracy <= 1.0
+        assert result.min_accuracy <= result.max_accuracy
+
+
+class TestBoosting:
+    def test_boosted_at_least_as_good_on_noisy_data(self) -> None:
+        ds = four_class_dataset(n=40, noise=0.15)
+        single = train_model(ds, min_leaf=2)
+        boosted = train_boosted(ds, rounds=8, min_leaf=2, seed=1)
+        assert boosted.accuracy(ds) >= single.accuracy(ds) - 0.05
+
+    def test_boosting_validation(self) -> None:
+        with pytest.raises(LearningError, match="rounds"):
+            train_boosted(four_class_dataset(5), rounds=0)
+        with pytest.raises(LearningError, match="empty"):
+            train_boosted(TrainingDataset(()), rounds=2)

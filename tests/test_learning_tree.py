@@ -1,0 +1,141 @@
+"""Decision-tree learner tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError
+from repro.features.parameters import FeatureVector
+from repro.learning import TrainingDataset, TreeLearner
+from repro.learning.tree import _pessimistic_errors
+from repro.types import FormatName
+
+
+def make_record(**overrides) -> FeatureVector:
+    base = dict(
+        m=1000, n=1000, ndiags=200, ntdiags_ratio=0.1, nnz=8000,
+        aver_rd=8.0, max_rd=20, var_rd=4.0, er_dia=0.04, er_ell=0.4,
+        r=math.inf, best_format=FormatName.CSR,
+    )
+    base.update(overrides)
+    return FeatureVector(**base)
+
+
+def separable_dataset(n: int = 40) -> TrainingDataset:
+    """DIA iff ntdiags_ratio > 0.5; CSR otherwise."""
+    rng = np.random.default_rng(0)
+    records = []
+    for _ in range(n):
+        ratio = float(rng.uniform(0.6, 1.0))
+        records.append(
+            make_record(ntdiags_ratio=ratio, best_format=FormatName.DIA)
+        )
+        ratio = float(rng.uniform(0.0, 0.4))
+        records.append(
+            make_record(ntdiags_ratio=ratio, best_format=FormatName.CSR)
+        )
+    return TrainingDataset(tuple(records))
+
+
+class TestTreeLearning:
+    def test_learns_separable_boundary(self) -> None:
+        tree = TreeLearner(min_leaf=2).fit(separable_dataset())
+        assert tree.accuracy(separable_dataset()) == 1.0
+        root = tree.root
+        assert root.attribute == "ntdiags_ratio"
+        assert root.threshold is not None and 0.4 <= root.threshold <= 0.6
+
+    def test_pure_dataset_yields_single_leaf(self) -> None:
+        ds = TrainingDataset(tuple(make_record() for _ in range(10)))
+        tree = TreeLearner().fit(ds)
+        assert tree.root.is_leaf
+        assert tree.root.prediction is FormatName.CSR
+
+    def test_min_leaf_limits_growth(self) -> None:
+        ds = separable_dataset(20)
+        big_leaf = TreeLearner(min_leaf=50).fit(ds)
+        assert big_leaf.root.is_leaf  # cannot split 40 records at min 50
+
+    def test_max_depth_respected(self) -> None:
+        rng = np.random.default_rng(1)
+        records = []
+        for _ in range(200):
+            # Noisy labels force deep growth if unbounded.
+            records.append(
+                make_record(
+                    aver_rd=float(rng.uniform(1, 100)),
+                    var_rd=float(rng.uniform(0, 50)),
+                    best_format=rng.choice(
+                        [FormatName.CSR, FormatName.COO]
+                    ),
+                )
+            )
+        tree = TreeLearner(max_depth=3, prune=False).fit(
+            TrainingDataset(tuple(records))
+        )
+        assert tree.root.depth() <= 4  # depth counts nodes, root included
+
+    def test_pruning_shrinks_noisy_tree(self) -> None:
+        rng = np.random.default_rng(2)
+        records = []
+        for _ in range(150):
+            # 15% label noise on the separable problem.
+            ratio = float(rng.uniform(0, 1))
+            label = FormatName.DIA if ratio > 0.5 else FormatName.CSR
+            if rng.random() < 0.15:
+                label = (
+                    FormatName.CSR if label is FormatName.DIA else FormatName.DIA
+                )
+            records.append(
+                make_record(ntdiags_ratio=ratio, best_format=label)
+            )
+        ds = TrainingDataset(tuple(records))
+        unpruned = TreeLearner(min_leaf=2, prune=False).fit(ds)
+        pruned = TreeLearner(min_leaf=2, prune=True).fit(ds)
+        assert pruned.root.n_leaves() <= unpruned.root.n_leaves()
+
+    def test_inf_r_routes_to_not_scale_free_branch(self) -> None:
+        records = []
+        for i in range(20):
+            records.append(
+                make_record(r=2.0 + 0.01 * i, best_format=FormatName.COO)
+            )
+            records.append(
+                make_record(r=math.inf, best_format=FormatName.CSR)
+            )
+        tree = TreeLearner(min_leaf=2).fit(TrainingDataset(tuple(records)))
+        assert tree.predict(make_record(r=2.5)) is FormatName.COO
+        assert tree.predict(make_record(r=math.inf)) is FormatName.CSR
+
+    def test_empty_dataset_rejected(self) -> None:
+        with pytest.raises(LearningError, match="empty"):
+            TreeLearner().fit(TrainingDataset(()))
+
+    def test_bad_min_leaf_rejected(self) -> None:
+        with pytest.raises(LearningError, match="min_leaf"):
+            TreeLearner(min_leaf=0).fit(separable_dataset(5))
+
+    def test_default_class_is_majority(self) -> None:
+        ds = TrainingDataset(
+            tuple([make_record()] * 5 + [make_record(best_format=FormatName.DIA)])
+        )
+        assert TreeLearner().fit(ds).default_class is FormatName.CSR
+
+
+class TestPessimisticErrors:
+    def test_zero_observed_errors_still_positive(self) -> None:
+        assert _pessimistic_errors(10, 0) > 0.0
+
+    def test_upper_bound_above_observed(self) -> None:
+        assert _pessimistic_errors(100, 10) > 10.0
+
+    def test_more_data_tightens_bound(self) -> None:
+        loose = _pessimistic_errors(10, 1) / 10
+        tight = _pessimistic_errors(1000, 100) / 1000
+        assert tight < loose
+
+    def test_empty_node(self) -> None:
+        assert _pessimistic_errors(0, 0) == 0.0

@@ -1,0 +1,226 @@
+"""Cost-model tests: the qualitative rules of Section 4 must fall out."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.features.parameters import FeatureVector
+from repro.kernels.strategies import Strategy
+from repro.machine import (
+    AMD_OPTERON_6168,
+    INTEL_XEON_X5680,
+    SimulatedBackend,
+    cost_breakdown,
+    estimate_gflops,
+    estimate_spmv_time,
+    gflops,
+    platform,
+)
+from repro.types import BASIC_FORMATS, FormatName, Precision
+
+FULL = frozenset({Strategy.VECTORIZE, Strategy.PARALLEL})
+
+
+def features(**overrides) -> FeatureVector:
+    base = dict(
+        m=100_000, n=100_000, ndiags=50_000, ntdiags_ratio=0.0,
+        nnz=1_000_000, aver_rd=10.0, max_rd=40, var_rd=30.0,
+        er_dia=0.0002, er_ell=0.25, r=math.inf,
+    )
+    base.update(overrides)
+    return FeatureVector(**base)
+
+
+BANDED = features(
+    ndiags=9, ntdiags_ratio=1.0, aver_rd=9.0, max_rd=9, var_rd=0.2,
+    er_dia=0.99, er_ell=0.99, nnz=900_000,
+)
+UNIFORM = features(
+    ndiags=60_000, ntdiags_ratio=0.0, aver_rd=4.0, max_rd=4, var_rd=0.0,
+    er_dia=0.00002, er_ell=1.0, nnz=400_000,
+)
+POWER_LAW = features(
+    aver_rd=3.0, max_rd=5_000, var_rd=10_000.0, er_ell=0.0006,
+    nnz=300_000, r=2.1,
+)
+IRREGULAR = features()
+
+
+def best_format(fv: FeatureVector, arch=INTEL_XEON_X5680) -> FormatName:
+    return min(
+        BASIC_FORMATS,
+        key=lambda f: estimate_spmv_time(
+            arch, f, fv, Precision.SINGLE, FULL
+        ),
+    )
+
+
+class TestFormatAffinity:
+    def test_banded_prefers_dia(self) -> None:
+        assert best_format(BANDED) is FormatName.DIA
+
+    def test_uniform_rows_prefer_ell(self) -> None:
+        assert best_format(UNIFORM) is FormatName.ELL
+
+    def test_power_law_prefers_coo(self) -> None:
+        assert best_format(POWER_LAW) is FormatName.COO
+
+    def test_irregular_prefers_csr(self) -> None:
+        assert best_format(IRREGULAR) is FormatName.CSR
+
+    def test_affinities_hold_on_amd_too(self) -> None:
+        assert best_format(BANDED, AMD_OPTERON_6168) is FormatName.DIA
+        assert best_format(POWER_LAW, AMD_OPTERON_6168) is FormatName.COO
+
+
+class TestMonotonicity:
+    """Each Table 2 arrow: the parameter moves performance as documented."""
+
+    def test_more_diagonals_hurt_dia(self) -> None:
+        fast = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.DIA, BANDED, Precision.SINGLE, FULL
+        )
+        worse = features(
+            ndiags=900, ntdiags_ratio=1.0, er_dia=0.0099, nnz=900_000,
+            aver_rd=9.0, max_rd=9, var_rd=0.2,
+        )
+        slow = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.DIA, worse, Precision.SINGLE, FULL
+        )
+        assert slow > fast
+
+    def test_larger_max_rd_hurts_ell(self) -> None:
+        fast = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.ELL, UNIFORM, Precision.SINGLE, FULL
+        )
+        worse = features(
+            ndiags=60_000, aver_rd=4.0, max_rd=400, var_rd=800.0,
+            er_ell=0.01, nnz=400_000,
+        )
+        slow = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.ELL, worse, Precision.SINGLE, FULL
+        )
+        assert slow > fast
+
+    def test_variance_hurts_parallel_csr_not_coo(self) -> None:
+        # Compare jitter-free breakdowns: the imbalance factor is the
+        # quantity under test.
+        skewed = features(var_rd=10_000.0, aver_rd=3.0, nnz=300_000, r=2.1)
+        balanced = features(var_rd=0.5, aver_rd=3.0, nnz=300_000, r=2.1)
+        csr_ratio = cost_breakdown(
+            INTEL_XEON_X5680, FormatName.CSR, skewed, Precision.SINGLE, FULL
+        ).total_s / cost_breakdown(
+            INTEL_XEON_X5680, FormatName.CSR, balanced, Precision.SINGLE, FULL
+        ).total_s
+        coo_ratio = cost_breakdown(
+            INTEL_XEON_X5680, FormatName.COO, skewed, Precision.SINGLE, FULL
+        ).total_s / cost_breakdown(
+            INTEL_XEON_X5680, FormatName.COO, balanced, Precision.SINGLE, FULL
+        ).total_s
+        assert csr_ratio > 1.5
+        assert coo_ratio == pytest.approx(1.0)
+
+
+class TestStrategies:
+    def test_vectorize_speeds_up_every_format(self) -> None:
+        for fmt in BASIC_FORMATS:
+            plain = estimate_spmv_time(
+                INTEL_XEON_X5680, fmt, IRREGULAR, Precision.SINGLE,
+                frozenset({Strategy.PARALLEL}),
+            )
+            vec = estimate_spmv_time(
+                INTEL_XEON_X5680, fmt, IRREGULAR, Precision.SINGLE, FULL
+            )
+            assert vec <= plain, fmt
+
+    def test_parallel_speeds_up(self) -> None:
+        serial = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.CSR, IRREGULAR, Precision.SINGLE,
+            frozenset({Strategy.VECTORIZE}),
+        )
+        par = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.CSR, IRREGULAR, Precision.SINGLE, FULL
+        )
+        assert par < serial
+
+    def test_prefetch_has_no_effect(self) -> None:
+        base = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.CSR, IRREGULAR, Precision.SINGLE, FULL
+        )
+        with_prefetch = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.CSR, IRREGULAR, Precision.SINGLE,
+            FULL | {Strategy.PREFETCH},
+        )
+        assert with_prefetch == pytest.approx(base)
+
+    def test_row_block_helps_unblocked_dia(self) -> None:
+        plain = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.DIA, BANDED, Precision.SINGLE, FULL
+        )
+        blocked = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.DIA, BANDED, Precision.SINGLE,
+            FULL | {Strategy.ROW_BLOCK},
+        )
+        assert blocked <= plain
+
+
+class TestMagnitudes:
+    def test_intel_sp_peak_in_paper_range(self) -> None:
+        # The paper's headline: up to ~51 GFLOPS SP on Intel.
+        g = estimate_gflops(
+            INTEL_XEON_X5680, FormatName.DIA,
+            features(
+                m=14_000, n=14_000, ndiags=40, ntdiags_ratio=0.95,
+                nnz=491_000, aver_rd=35.0, max_rd=40, var_rd=4.0,
+                er_dia=0.87, er_ell=0.87,
+            ),
+            Precision.SINGLE, FULL,
+        )
+        assert 35.0 < g < 70.0
+
+    def test_double_precision_slower(self) -> None:
+        for fmt in BASIC_FORMATS:
+            sp = estimate_spmv_time(
+                INTEL_XEON_X5680, fmt, BANDED, Precision.SINGLE, FULL
+            )
+            dp = estimate_spmv_time(
+                INTEL_XEON_X5680, fmt, BANDED, Precision.DOUBLE, FULL
+            )
+            assert dp > sp, fmt
+
+    def test_gflops_helper(self) -> None:
+        assert gflops(1_000_000, 1e-3) == pytest.approx(2.0)
+        assert gflops(100, 0.0) == 0.0
+
+
+class TestBackendAndPresets:
+    def test_simulated_backend_uses_cost_model(self) -> None:
+        from repro.kernels import find_kernel, strategy_set
+
+        backend = SimulatedBackend(INTEL_XEON_X5680, Precision.SINGLE)
+        kernel = find_kernel(
+            FormatName.CSR, strategy_set(Strategy.VECTORIZE, Strategy.PARALLEL)
+        )
+        measured = backend.measure(kernel, None, IRREGULAR)
+        expected = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.CSR, IRREGULAR,
+            Precision.SINGLE, FULL,
+        )
+        assert measured == pytest.approx(expected)
+
+    def test_platform_lookup(self) -> None:
+        assert platform("intel") is INTEL_XEON_X5680
+        assert platform("AMD") is AMD_OPTERON_6168
+        with pytest.raises(KeyError, match="unknown platform"):
+            platform("sparc")
+
+    def test_cost_breakdown_components_positive(self) -> None:
+        bd = cost_breakdown(
+            INTEL_XEON_X5680, FormatName.CSR, IRREGULAR,
+            Precision.DOUBLE, FULL,
+        )
+        assert bd.memory_s > 0 and bd.compute_s > 0 and bd.overhead_s > 0
+        assert bd.imbalance >= 1.0
+        assert bd.total_s >= max(bd.memory_s, bd.compute_s)

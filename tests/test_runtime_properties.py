@@ -1,0 +1,90 @@
+"""Property-based tests on the runtime decision procedure.
+
+Whatever matrix comes in, the tuner must produce a usable decision: a
+format the matrix was actually converted to, a kernel matching that format,
+non-negative overhead accounting, and a numerically correct product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collection import banded, generate_collection, graphs, random_sparse
+from repro.formats.csr import CSRMatrix
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.tuner import SMAT
+from repro.types import Precision
+
+
+@pytest.fixture(scope="module")
+def smat():
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+    return SMAT.train(
+        generate_collection(scale=0.08, size_scale=0.4, seed=77),
+        backend=backend,
+    )
+
+
+@st.composite
+def arbitrary_matrices(draw):
+    """Random small matrices spanning every structural family."""
+    kind = draw(st.sampled_from(
+        ["banded", "uniform", "powerlaw", "random", "road", "circuit"]
+    ))
+    seed = draw(st.integers(0, 2**31 - 1))
+    n = draw(st.integers(min_value=60, max_value=900))
+    if kind == "banded":
+        return banded.banded_matrix(
+            n, draw(st.integers(1, 9)), seed=seed,
+            occupancy=draw(st.floats(0.3, 1.0)),
+        )
+    if kind == "uniform":
+        return graphs.uniform_bipartite(
+            n, max(16, n // 2), draw(st.integers(1, 6)), seed=seed
+        )
+    if kind == "powerlaw":
+        return graphs.power_law_graph(
+            n, exponent=draw(st.floats(1.6, 3.0)), seed=seed
+        )
+    if kind == "road":
+        return graphs.road_network(n, seed=seed)
+    if kind == "circuit":
+        return graphs.circuit_matrix(n, seed=seed)
+    return random_sparse.uniform_random(
+        n, n, draw(st.floats(1.0, 20.0)), seed=seed
+    )
+
+
+@given(arbitrary_matrices())
+@settings(max_examples=40, deadline=None)
+def test_decision_is_always_usable(smat, matrix: CSRMatrix) -> None:
+    decision = smat.decide(matrix)
+    assert decision.matrix is not None
+    assert decision.matrix.format_name is decision.format_name
+    assert decision.kernel.format_name is decision.format_name
+    assert decision.overhead_units >= 0.0
+    assert 0.0 <= decision.confidence <= 1.0
+    # The converted matrix is the same logical operator.
+    assert decision.matrix.nnz == matrix.nnz
+    assert decision.matrix.shape == matrix.shape
+
+
+@given(arbitrary_matrices(), st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_tuned_spmv_always_correct(smat, matrix: CSRMatrix, seed: int) -> None:
+    x = np.random.default_rng(seed).standard_normal(matrix.n_cols)
+    y, _ = smat.spmv(matrix, x)
+    np.testing.assert_allclose(y, matrix.spmv(x), atol=1e-8)
+
+
+@given(arbitrary_matrices())
+@settings(max_examples=25, deadline=None)
+def test_decisions_are_deterministic(smat, matrix: CSRMatrix) -> None:
+    first = smat.decide(matrix)
+    second = smat.decide(matrix)
+    assert first.format_name is second.format_name
+    assert first.used_fallback == second.used_fallback
+    assert first.overhead_units == pytest.approx(second.overhead_units)

@@ -1,0 +1,165 @@
+"""Runtime-procedure and SMAT facade tests (Figure 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collection import banded, generate_collection, graphs
+from repro.features import extract_features
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.tuner import SMAT, SmatConfig
+from repro.tuner.smat import label_matrix
+from repro.types import FormatName, Precision
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+
+
+@pytest.fixture(scope="module")
+def smat(backend) -> SMAT:
+    """A small but real SMAT trained on a reduced collection."""
+    return SMAT.train(
+        generate_collection(scale=0.08, size_scale=0.4, seed=77),
+        backend=backend,
+    )
+
+
+class TestDecisions:
+    def test_banded_matrix_goes_dia(self, smat) -> None:
+        matrix = banded.banded_matrix(3000, 7, seed=3)
+        decision = smat.decide(matrix)
+        assert decision.format_name is FormatName.DIA
+        assert decision.matrix is not None
+        assert decision.matrix.format_name is FormatName.DIA
+
+    def test_uniform_graph_goes_ell(self, smat) -> None:
+        matrix = graphs.uniform_bipartite(4000, 4000, 3, seed=4)
+        decision = smat.decide(matrix)
+        assert decision.format_name is FormatName.ELL
+
+    def test_power_law_goes_coo(self, smat) -> None:
+        matrix = graphs.power_law_graph(6000, exponent=2.1, seed=5)
+        decision = smat.decide(matrix)
+        assert decision.format_name is FormatName.COO
+
+    def test_decision_matches_exhaustive_best_mostly(self, smat, backend):
+        hits = 0
+        cases = list(
+            generate_collection(scale=0.01, size_scale=0.4, seed=31337)
+        )
+        for _, matrix in cases:
+            decision = smat.decide(matrix)
+            actual = label_matrix(
+                matrix, extract_features(matrix), smat.kernels, backend
+            )
+            hits += decision.format_name is actual
+        # The paper reports 82-92% end-to-end accuracy.
+        assert hits / len(cases) >= 0.75
+
+    def test_lazy_extraction_skips_powerlaw_for_dia(self, smat) -> None:
+        matrix = banded.banded_matrix(3000, 7, seed=3)
+        decision = smat.decide(matrix)
+        # DIA model hit: only step-one extraction (1.0 unit), no R fit.
+        assert decision.extraction_units == pytest.approx(1.0)
+
+    def test_overhead_small_on_model_hit(self, smat) -> None:
+        matrix = banded.banded_matrix(3000, 7, seed=3)
+        decision = smat.decide(matrix)
+        assert not decision.used_fallback
+        assert decision.overhead_units < 6.0
+
+    def test_fallback_overhead_larger_but_bounded(self, smat) -> None:
+        config = SmatConfig(always_measure=True)
+        forced = SMAT(smat.model, smat.kernels, smat.backend, config)
+        matrix = banded.banded_matrix(3000, 7, seed=3)
+        decision = forced.decide(matrix)
+        assert decision.used_fallback
+        assert 2.0 < decision.overhead_units < 60.0
+
+    def test_never_measure_trusts_model(self, smat) -> None:
+        config = SmatConfig(never_measure=True)
+        trusting = SMAT(smat.model, smat.kernels, smat.backend, config)
+        for _, matrix in generate_collection(
+            scale=0.005, size_scale=0.4, seed=9
+        ):
+            assert not trusting.decide(matrix).used_fallback
+
+    def test_fallback_measures_cheap_candidates_only(self, smat) -> None:
+        config = SmatConfig(always_measure=True)
+        forced = SMAT(smat.model, smat.kernels, smat.backend, config)
+        matrix = graphs.power_law_graph(4000, exponent=2.2, seed=6)
+        decision = forced.decide(matrix)
+        assert set(decision.measurements) <= {
+            FormatName.CSR, FormatName.COO, FormatName.DIA, FormatName.ELL,
+        }
+        assert FormatName.CSR in decision.measurements
+
+
+class TestSpmvCorrectness:
+    def test_spmv_matches_reference(self, smat, rng) -> None:
+        for _, matrix in generate_collection(
+            scale=0.005, size_scale=0.3, seed=4
+        ):
+            x = rng.standard_normal(matrix.n_cols)
+            y, decision = smat.spmv(matrix, x)
+            np.testing.assert_allclose(
+                y, matrix.spmv(x), atol=1e-9,
+                err_msg=str(decision.format_name),
+            )
+
+    def test_prepared_operator_reusable(self, smat, rng) -> None:
+        matrix = banded.banded_matrix(1000, 5, seed=8)
+        op = smat.prepare(matrix)
+        for _ in range(3):
+            x = rng.standard_normal(1000)
+            np.testing.assert_allclose(op(x), matrix.spmv(x), atol=1e-9)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, smat, tmp_path) -> None:
+        smat.save(tmp_path / "smat")
+        loaded = SMAT.load(tmp_path / "smat", backend=smat.backend)
+        for _, matrix in generate_collection(
+            scale=0.005, size_scale=0.3, seed=12
+        ):
+            assert (
+                loaded.decide(matrix).format_name
+                is smat.decide(matrix).format_name
+            )
+
+
+class TestConfigValidation:
+    def test_bad_threshold(self) -> None:
+        with pytest.raises(ValueError, match="confidence_threshold"):
+            SmatConfig(confidence_threshold=1.5)
+
+    def test_bad_repeats(self) -> None:
+        with pytest.raises(ValueError, match="fallback_repeats"):
+            SmatConfig(fallback_repeats=0)
+
+    def test_conflicting_modes(self) -> None:
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            SmatConfig(always_measure=True, never_measure=True)
+
+
+class TestUnifiedInterface:
+    def test_unified_csr_interface(self, smat) -> None:
+        from repro.tuner import smat_dcsr_spmv, smat_scsr_spmv
+
+        matrix = banded.banded_matrix(500, 3, seed=2)
+        x = np.ones(500)
+        y = smat_dcsr_spmv(
+            matrix.ptr, matrix.indices, matrix.data, matrix.shape, x,
+            smat=smat,
+        )
+        np.testing.assert_allclose(y, matrix.spmv(x), atol=1e-9)
+
+        y32 = smat_scsr_spmv(
+            matrix.ptr, matrix.indices, matrix.data, matrix.shape, x,
+            smat=smat,
+        )
+        assert y32.dtype == np.float32
+        np.testing.assert_allclose(y32, matrix.spmv(x), rtol=1e-4)

@@ -1,0 +1,124 @@
+"""Scoreboard algorithm and kernel-search tests (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TuningError
+from repro.kernels import Strategy, kernels_for, strategy_set
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.tuner import (
+    PerformanceTable,
+    probe_matrix,
+    run_scoreboard,
+    search_kernels,
+)
+from repro.types import BASIC_FORMATS, FormatName, Precision
+
+V, P, B, U, F = (
+    Strategy.VECTORIZE,
+    Strategy.PARALLEL,
+    Strategy.ROW_BLOCK,
+    Strategy.UNROLL,
+    Strategy.PREFETCH,
+)
+
+
+def table_from(times: dict) -> PerformanceTable:
+    table = PerformanceTable(format_name=FormatName.CSR)
+    for strategies, seconds in times.items():
+        table.record(frozenset(strategies), seconds)
+    return table
+
+
+class TestScoreboard:
+    def test_single_strategy_gain_scores_plus_one(self) -> None:
+        result = run_scoreboard(table_from({(): 1.0, (V,): 0.5}))
+        assert result.strategy_scores[V] == 1
+        assert result.best_strategies == {V}
+
+    def test_single_strategy_loss_scores_minus_one(self) -> None:
+        result = run_scoreboard(table_from({(): 1.0, (U,): 1.4}))
+        assert result.strategy_scores[U] == -1
+        assert result.best_strategies == frozenset()
+
+    def test_sub_one_percent_gap_neglected(self) -> None:
+        # The paper: "performance gap ... less than 0.01 ... neglect it".
+        result = run_scoreboard(table_from({(): 1.0, (F,): 0.995}))
+        assert result.strategy_scores[F] == 0
+
+    def test_multi_strategy_compares_one_less(self) -> None:
+        result = run_scoreboard(
+            table_from({(): 1.0, (V,): 0.5, (V, P): 0.1})
+        )
+        # PARALLEL is judged by (V, P) vs (V,).
+        assert result.strategy_scores[P] == 1
+        assert result.best_strategies == {V, P}
+
+    def test_implementation_score_sums_strategies(self) -> None:
+        result = run_scoreboard(
+            table_from({(): 1.0, (V,): 0.5, (P,): 0.7, (V, P): 0.2})
+        )
+        assert result.score_of(frozenset({V, P})) == 2
+
+    def test_harmful_strategy_excluded_from_winner(self) -> None:
+        result = run_scoreboard(
+            table_from({(): 1.0, (V,): 0.5, (U,): 1.5, (V, U): 0.8})
+        )
+        assert result.best_strategies == {V}
+
+    def test_tie_breaks_toward_fastest(self) -> None:
+        # F is neglected (gap < 1%), so {V} and {V, F} tie on score; the
+        # faster measurement wins.
+        result = run_scoreboard(
+            table_from({(): 1.0, (V,): 0.500, (F,): 1.0, (V, F): 0.501})
+        )
+        assert result.best_strategies == {V}
+
+    def test_empty_table_rejected(self) -> None:
+        with pytest.raises(TuningError, match="empty"):
+            run_scoreboard(PerformanceTable(format_name=FormatName.CSR))
+
+    def test_non_positive_measurement_rejected(self) -> None:
+        table = PerformanceTable(format_name=FormatName.CSR)
+        with pytest.raises(TuningError, match="non-positive"):
+            table.record(frozenset(), 0.0)
+
+    def test_fastest_lookup(self) -> None:
+        table = table_from({(): 1.0, (V,): 0.25})
+        strategies, seconds = table.fastest()
+        assert strategies == {V}
+        assert seconds == 0.25
+
+
+class TestKernelSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+        return search_kernels(backend)
+
+    def test_one_kernel_per_basic_format(self, result) -> None:
+        assert set(result.kernels) == set(BASIC_FORMATS)
+
+    def test_winners_use_vectorize_and_parallel(self, result) -> None:
+        for fmt in BASIC_FORMATS:
+            winner = result.kernel_for(fmt)
+            assert Strategy.VECTORIZE in winner.strategies, fmt
+            assert Strategy.PARALLEL in winner.strategies, fmt
+
+    def test_prefetch_never_wins(self, result) -> None:
+        # PREFETCH has no effect; the neglect rule must keep it out.
+        for fmt in BASIC_FORMATS:
+            assert Strategy.PREFETCH not in result.kernel_for(fmt).strategies
+
+    def test_tables_cover_all_registered_kernels(self, result) -> None:
+        for fmt in BASIC_FORMATS:
+            assert len(result.tables[fmt].times) == len(kernels_for(fmt))
+
+    def test_probe_matrices_match_format_structure(self) -> None:
+        from repro.features import extract_features
+
+        dia_probe = extract_features(probe_matrix(FormatName.DIA))
+        assert dia_probe.ntdiags_ratio > 0.5
+        ell_probe = extract_features(probe_matrix(FormatName.ELL))
+        assert ell_probe.var_rd == 0.0

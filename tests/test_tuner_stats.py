@@ -1,0 +1,85 @@
+"""DecisionLog / LoggingSmat and ruleset C-export tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collection import banded, generate_collection, graphs
+from repro.io.ruleset_export import export_ruleset_c
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.tuner import SMAT
+from repro.tuner.stats import DecisionLog, LoggingSmat
+from repro.types import FormatName, Precision
+
+
+@pytest.fixture(scope="module")
+def smat():
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+    return SMAT.train(
+        generate_collection(scale=0.08, size_scale=0.4, seed=77),
+        backend=backend,
+    )
+
+
+class TestDecisionLog:
+    def test_empty_log(self) -> None:
+        log = DecisionLog()
+        assert len(log) == 0
+        assert log.fallback_rate() == 0.0
+        assert log.mean_confidence() is None
+        assert log.describe() == "no decisions recorded"
+
+    def test_logging_smat_records_decisions(self, smat) -> None:
+        logged = LoggingSmat(smat)
+        matrices = [
+            banded.banded_matrix(1500, 5, seed=1),
+            graphs.power_law_graph(2500, exponent=2.2, seed=2),
+            graphs.uniform_bipartite(2000, 2000, 3, seed=3),
+        ]
+        for matrix in matrices:
+            y, decision = logged.spmv(matrix, np.ones(matrix.n_cols))
+            np.testing.assert_allclose(y, matrix.spmv(np.ones(matrix.n_cols)),
+                                       atol=1e-9)
+        assert len(logged.log) == 3
+        counts = logged.log.format_counts()
+        assert sum(counts.values()) == 3
+        assert FormatName.DIA in counts
+
+    def test_aggregates(self, smat) -> None:
+        logged = LoggingSmat(smat)
+        for seed in range(4):
+            logged.decide(banded.banded_matrix(1200, 5, seed=seed))
+        assert logged.log.total_overhead_units() > 0
+        assert 0.0 <= logged.log.fallback_rate() <= 1.0
+        assert "decisions" in logged.log.describe()
+
+    def test_wrapper_delegates_attributes(self, smat) -> None:
+        logged = LoggingSmat(smat)
+        assert logged.model is smat.model
+        assert logged.kernels is smat.kernels
+
+
+class TestRulesetExport:
+    def test_c_export_structure(self, smat) -> None:
+        code = export_ruleset_c(smat.model)
+        assert "enum smat_format smat_decide" in code
+        assert "typedef struct" in code
+        assert "NTdiags_ratio" in code or "var_RD" in code
+        # Every group with rules appears as a comment.
+        for group in smat.model.grouped.groups:
+            if group.rules:
+                assert f"{group.format_name.value} group" in code
+
+    def test_low_confidence_groups_return_measure(self, smat) -> None:
+        code = export_ruleset_c(smat.model, confidence_threshold=1.1)
+        # With an impossible threshold every rule routes to measurement.
+        assert "SMAT_MEASURE" in code
+        assert "return SMAT_DIA" not in code
+
+    def test_infinite_thresholds_rendered(self, smat) -> None:
+        code = export_ruleset_c(smat.model)
+        assert "nan" not in code.lower().replace("infinity", "")
+
+    def test_export_is_deterministic(self, smat) -> None:
+        assert export_ruleset_c(smat.model) == export_ruleset_c(smat.model)

@@ -1,0 +1,132 @@
+"""Tests for the shared utilities (timing, rng, stats, validation)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.util import Timer, make_rng, median_time
+from repro.util.rng import derive_rng
+from repro.util.stats import (
+    gini_like_variance,
+    interval_histogram,
+)
+from repro.util.validation import (
+    check_index_range,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+    check_sorted_within_rows,
+)
+
+
+class TestTiming:
+    def test_timer_accumulates(self) -> None:
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed > first >= 0.01
+
+    def test_median_time_positive(self) -> None:
+        seconds = median_time(lambda: sum(range(1000)), repeats=3, warmup=1)
+        assert seconds > 0.0
+
+    def test_median_time_odd_and_even_repeats(self) -> None:
+        for repeats in (3, 4):
+            assert median_time(lambda: None, repeats=repeats) >= 0.0
+
+    def test_median_time_validates_repeats(self) -> None:
+        with pytest.raises(ValueError, match="repeats"):
+            median_time(lambda: None, repeats=0)
+
+
+class TestRng:
+    def test_make_rng_from_seed_deterministic(self) -> None:
+        assert (
+            make_rng(42).integers(0, 1000) == make_rng(42).integers(0, 1000)
+        )
+
+    def test_make_rng_passthrough(self) -> None:
+        rng = np.random.default_rng(1)
+        assert make_rng(rng) is rng
+
+    def test_derive_rng_independent_streams(self) -> None:
+        parent = make_rng(7)
+        child_a = derive_rng(parent, 1)
+        child_b = derive_rng(parent, 2)
+        assert child_a.integers(0, 10**9) != child_b.integers(0, 10**9)
+
+
+class TestStats:
+    def test_interval_histogram_buckets(self) -> None:
+        hist = interval_histogram([1, 5, 15, 100], edges=[0, 10, 50])
+        assert hist.counts == (2, 1, 1)
+        assert hist.labels == ["[0, 10)", "[10, 50)", ">=50"]
+
+    def test_histogram_fractions(self) -> None:
+        hist = interval_histogram([1, 1, 9], edges=[0, 5])
+        assert hist.fractions == [pytest.approx(2 / 3), pytest.approx(1 / 3)]
+
+    def test_histogram_empty_values(self) -> None:
+        hist = interval_histogram([], edges=[0, 1])
+        assert hist.fractions == [0.0, 0.0]
+
+    def test_histogram_rejects_no_edges(self) -> None:
+        with pytest.raises(ValueError, match="edges"):
+            interval_histogram([1.0], edges=[])
+
+    def test_below_range_clamped_to_first(self) -> None:
+        hist = interval_histogram([-5.0], edges=[0, 10])
+        assert hist.counts == (1, 0)
+
+    def test_gini_like_variance_matches_numpy(self) -> None:
+        degrees = np.array([2, 2, 3, 2])
+        assert gini_like_variance(degrees, 2.25) == pytest.approx(
+            np.var(degrees)
+        )
+
+    def test_gini_like_variance_empty(self) -> None:
+        assert gini_like_variance(np.zeros(0), 0.0) == 0.0
+
+
+class TestValidation:
+    def test_check_positive(self) -> None:
+        assert check_positive("x", 3) == 3
+        with pytest.raises(FormatError, match="positive"):
+            check_positive("x", 0)
+
+    def test_check_nonnegative(self) -> None:
+        assert check_nonnegative("x", 0) == 0
+        with pytest.raises(FormatError, match="non-negative"):
+            check_nonnegative("x", -1)
+
+    def test_check_index_range_empty_ok(self) -> None:
+        check_index_range("idx", np.zeros(0, dtype=np.int64), 5)
+
+    def test_check_index_range_bounds(self) -> None:
+        with pytest.raises(FormatError, match="out of range"):
+            check_index_range("idx", np.array([5]), 5)
+
+    def test_check_same_length(self) -> None:
+        with pytest.raises(FormatError, match="equal length"):
+            check_same_length(("a", "b"), (np.zeros(2), np.zeros(3)))
+
+    def test_sorted_within_rows_boundary_reset_ok(self) -> None:
+        # Indices restart at a row boundary: valid.
+        ptr = np.array([0, 2, 4])
+        indices = np.array([0, 5, 0, 5])
+        assert check_sorted_within_rows(ptr, indices)
+
+    def test_sorted_within_rows_detects_duplicates(self) -> None:
+        ptr = np.array([0, 2])
+        indices = np.array([3, 3])
+        assert not check_sorted_within_rows(ptr, indices)
+
+    def test_sorted_within_rows_single_entry(self) -> None:
+        assert check_sorted_within_rows(np.array([0, 1]), np.array([7]))
