@@ -7,10 +7,12 @@ CSR matrix — format selection and kernel selection happen automatically.
 """
 
 from repro.errors import (
+    BackpressureError,
     ConversionError,
     FormatError,
     KernelError,
     LearningError,
+    ServeError,
     SmatError,
     SolverError,
     TuningError,
@@ -40,6 +42,10 @@ def __getattr__(name: str):
         "smat_scsr_spmv": ("repro.tuner", "smat_scsr_spmv"),
         "smat_dcsr_spmv": ("repro.tuner", "smat_dcsr_spmv"),
         "AMGSolver": ("repro.amg", "AMGSolver"),
+        "ServingEngine": ("repro.serve", "ServingEngine"),
+        "ServeConfig": ("repro.serve", "ServeConfig"),
+        "PlanCache": ("repro.serve", "PlanCache"),
+        "MetricsRegistry": ("repro.serve", "MetricsRegistry"),
         "SimulatedBackend": ("repro.machine", "SimulatedBackend"),
         "WallClockBackend": ("repro.machine", "WallClockBackend"),
         "extract_features": ("repro.features", "extract_features"),
@@ -54,11 +60,14 @@ def __getattr__(name: str):
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
-__version__ = "1.0.0"
+from repro.util.version import package_version
+
+__version__ = package_version()
 
 __all__ = [
     "BASIC_FORMATS",
     "BCSRMatrix",
+    "BackpressureError",
     "COOMatrix",
     "CSRMatrix",
     "ConversionError",
@@ -70,6 +79,7 @@ __all__ = [
     "KernelError",
     "LearningError",
     "Precision",
+    "ServeError",
     "SmatError",
     "SolverError",
     "SparseMatrix",

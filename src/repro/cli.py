@@ -10,7 +10,9 @@
   demo matrix) with a saved model,
 * ``evaluate``   — confusion matrix / per-class report of a saved model on
   a feature database,
-* ``stats``      — domain and format-affinity distribution of a database.
+* ``stats``      — domain and format-affinity distribution of a database,
+* ``serve-bench``— replay a synthetic concurrent workload through the
+  ``repro.serve`` engine and print its scoreboard.
 
 Every command prints what it did and where artifacts landed; all
 randomness is seeded, so runs are reproducible.
@@ -27,9 +29,16 @@ from repro.types import Precision
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.util.version import package_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SMAT sparse SpMV auto-tuner (PLDI 2013 reproduction)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -74,6 +83,30 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="database distribution summary")
     stats.add_argument("--db", type=Path, required=True)
 
+    serve = sub.add_parser(
+        "serve-bench",
+        help="replay a synthetic workload through the serving engine",
+    )
+    serve.add_argument("--matrices", type=int, default=20,
+                       help="distinct matrices in the pool (default 20)")
+    serve.add_argument("--requests", type=int, default=400,
+                       help="total SpMV requests to replay (default 400)")
+    serve.add_argument("--clients", type=int, default=4,
+                       help="concurrent client threads (default 4)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="engine worker threads (default 4)")
+    serve.add_argument("--cache-entries", type=int, default=64,
+                       help="plan-cache entry cap (default 64)")
+    serve.add_argument("--cache-bytes", type=int, default=None,
+                       help="plan-cache byte budget (default unlimited)")
+    serve.add_argument("--train-scale", type=float, default=0.05,
+                       help="training collection fraction (default 0.05)")
+    serve.add_argument("--online", action="store_true",
+                       help="serve through OnlineSmat (learn from fallbacks)")
+    serve.add_argument("--platform", default="intel",
+                       choices=["intel", "amd"])
+    serve.add_argument("--seed", type=int, default=2013)
+
     return parser
 
 
@@ -85,6 +118,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "predict": _cmd_predict,
         "evaluate": _cmd_evaluate,
         "stats": _cmd_stats,
+        "serve-bench": _cmd_serve_bench,
     }[args.command]
     return handler(args)
 
@@ -220,6 +254,78 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print("top domains:")
     for domain, count in domains.most_common(8):
         print(f"  {domain:35s} {count:5d}")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.collection import generate_collection
+    from repro.serve import (
+        ServeConfig,
+        ServingEngine,
+        build_matrix_pool,
+        popularity_schedule,
+        replay,
+    )
+    from repro.tuner import SMAT, OnlineSmat
+
+    if args.requests < args.matrices:
+        print(
+            f"error: --requests ({args.requests}) must be >= --matrices "
+            f"({args.matrices}) so every matrix is requested at least once",
+            file=sys.stderr,
+        )
+        return 1
+
+    backend = _backend(args.platform)
+    print(f"training tuner (scale {args.train_scale}, {args.platform})...")
+    tuner = SMAT.train(
+        generate_collection(
+            seed=args.seed, scale=args.train_scale, size_scale=0.4
+        ),
+        backend=backend,
+    )
+    if args.online:
+        tuner = OnlineSmat(tuner)
+
+    pool = build_matrix_pool(args.matrices, seed=args.seed)
+    schedule = popularity_schedule(
+        args.matrices, args.requests, seed=args.seed
+    )
+    config = ServeConfig(
+        workers=args.workers,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes,
+    )
+    print(
+        f"replaying {args.requests} requests over {args.matrices} matrices "
+        f"({args.clients} clients, {args.workers} workers)..."
+    )
+    with ServingEngine(tuner, config) as engine:
+        report = replay(
+            engine, pool, schedule, clients=args.clients, seed=args.seed
+        )
+        scoreboard = engine.scoreboard()
+
+    print()
+    print(scoreboard)
+    print()
+    print(f"served     : {report.requests} requests "
+          f"in {report.wall_seconds:.2f}s "
+          f"({report.throughput_rps:.0f} req/s)")
+    print(f"cache hits : {report.cache_hit_rate:.1%} of requests")
+    print(f"verified   : {report.requests - report.mismatches}/"
+          f"{report.requests} products match the reference kernel")
+    if args.online:
+        print(f"online     : {tuner.observations} fallback records, "
+              f"{tuner.retrain_count} retrains")
+    if report.errors:
+        print(f"error: {len(report.errors)} requests failed "
+              f"({report.errors[0]!r})", file=sys.stderr)
+        return 1
+    if report.mismatches:
+        print(f"error: {report.mismatches} product mismatches",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -53,3 +53,20 @@ class TuningError(SmatError):
 
 class SolverError(SmatError):
     """The AMG solver failed to set up a hierarchy or did not converge."""
+
+
+class ServeError(SmatError):
+    """The serving engine was misused or is in the wrong lifecycle state.
+
+    Examples: submitting to an engine that was never started or already
+    shut down, or configuring a non-positive worker count.
+    """
+
+
+class BackpressureError(ServeError):
+    """The serving engine's bounded submission queue stayed full.
+
+    Raised by :meth:`repro.serve.ServingEngine.submit` when the queue does
+    not drain within the caller's timeout — the engine sheds load instead
+    of buffering unboundedly.
+    """

@@ -14,7 +14,13 @@ from repro.features.parameters import FeatureVector
 from repro.features.powerlaw import estimate_power_law_exponent
 from repro.formats.csr import CSRMatrix
 from repro.types import INDEX_DTYPE
+from repro.util.events import EventCounter
 from repro.util.stats import gini_like_variance
+
+#: Ticks once per step-one extraction pass (both the eager and the lazy
+#: path funnel through :func:`extract_structure_features`).  The serving
+#: layer reads this meter to prove plan-cache hits skip extraction.
+EXTRACTION_EVENTS = EventCounter("feature_extractions")
 
 #: A diagonal is "true" when at least this fraction of its in-matrix length
 #: is occupied by non-zeros.  The paper defines a true diagonal as "occupied
@@ -30,6 +36,7 @@ def extract_structure_features(matrix: CSRMatrix) -> dict:
     Returns a plain dict so :class:`repro.features.incremental.LazyFeatures`
     can hold a partial record before deciding whether step two is needed.
     """
+    EXTRACTION_EVENTS.increment()
     m, n = matrix.shape
     nnz = matrix.nnz
     degrees = matrix.row_degrees()

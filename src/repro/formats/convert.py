@@ -26,6 +26,12 @@ from repro.formats.ell import ELLMatrix
 from repro.formats.hyb import HYBMatrix
 from repro.formats.sky import SKYMatrix
 from repro.types import INDEX_DTYPE, FormatName
+from repro.util.events import EventCounter
+
+#: Ticks once per materialised format conversion (identity conversions are
+#: free and do not count).  The serving layer reads this meter to prove
+#: plan-cache hits reuse the already-converted matrix.
+CONVERSION_EVENTS = EventCounter("format_conversions")
 
 #: Refuse DIA/ELL conversions whose padded storage exceeds this multiple of
 #: nnz.  Guards the execute-and-measure fallback from pathological blowups
@@ -581,6 +587,7 @@ def convert(
     """
     if matrix.format_name is target:
         return matrix, ConversionCost(target, target, matrix.nnz, 0)
+    CONVERSION_EVENTS.increment()
 
     if isinstance(matrix, CSRMatrix):
         csr, to_csr_cost = matrix, None

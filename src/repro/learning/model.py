@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 from repro.errors import LearningError
 from repro.features.parameters import FeatureVector
 from repro.learning.dataset import TrainingDataset
-from repro.learning.rules import Condition, Rule, RuleSet, extract_rules
+from repro.learning.rules import Rule, RuleSet, extract_rules
 from repro.learning.tailor import (
     DEFAULT_ACCURACY_GAP,
     GroupedRules,
@@ -140,24 +140,8 @@ def train_tree(
 
 
 def _rule_json(rule: Rule) -> dict:
-    return {
-        "format": rule.format_name.value,
-        "covered": rule.covered,
-        "correct": rule.correct,
-        "conditions": [
-            {"attr": c.attribute, "op": c.operator, "threshold": c.threshold}
-            for c in rule.conditions
-        ],
-    }
+    return rule.to_dict()
 
 
 def _rule_from_json(payload: dict) -> Rule:
-    return Rule(
-        conditions=tuple(
-            Condition(c["attr"], c["op"], float(c["threshold"]))
-            for c in payload["conditions"]
-        ),
-        format_name=FormatName(payload["format"]),
-        covered=int(payload["covered"]),
-        correct=int(payload["correct"]),
-    )
+    return Rule.from_dict(payload)

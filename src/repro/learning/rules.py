@@ -37,6 +37,21 @@ class Condition:
         name = PAPER_NAMES.get(self.attribute, self.attribute)
         return f"{name} {self.operator} {self.threshold:g}"
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "attr": self.attribute,
+            "op": self.operator,
+            "threshold": self.threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Condition":
+        return cls(
+            str(payload["attr"]),
+            str(payload["op"]),
+            float(payload["threshold"]),  # type: ignore[arg-type]
+        )
+
 
 @dataclass
 class Rule:
@@ -86,6 +101,27 @@ class Rule:
         return (
             f"IF {body} THEN {self.format_name.value} "
             f"[conf={self.confidence:.2f}, n={self.covered}]"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload (model files, decision logs)."""
+        return {
+            "format": self.format_name.value,
+            "covered": self.covered,
+            "correct": self.correct,
+            "conditions": [c.to_dict() for c in self.conditions],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Rule":
+        return cls(
+            conditions=tuple(
+                Condition.from_dict(c)
+                for c in payload["conditions"]  # type: ignore[union-attr]
+            ),
+            format_name=FormatName(payload["format"]),
+            covered=int(payload["covered"]),  # type: ignore[arg-type]
+            correct=int(payload["correct"]),  # type: ignore[arg-type]
         )
 
 

@@ -1,0 +1,57 @@
+"""``repro.serve`` — a concurrent SpMV serving layer.
+
+SMAT's premise is that the tuning decision is made once per matrix and
+amortized over many products (Table 3's overhead column).  This package
+turns that premise into a service: a fingerprint-keyed plan cache in front
+of the tuner, a bounded request queue with worker threads and
+same-fingerprint batching, and a metrics registry that makes the
+amortization observable.
+
+>>> from repro.serve import ServingEngine
+>>> with ServingEngine(smat) as engine:
+...     y = engine.spmv(matrix, x).y
+...     print(engine.scoreboard())
+"""
+
+from repro.serve.engine import (
+    ServeConfig,
+    ServeResult,
+    ServingEngine,
+)
+from repro.serve.fingerprint import (
+    Fingerprint,
+    fingerprint,
+    structural_digest,
+)
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.serve.plancache import CachedPlan, PlanCache
+from repro.serve.workload import (
+    ReplayReport,
+    build_matrix_pool,
+    popularity_schedule,
+    replay,
+)
+
+__all__ = [
+    "CachedPlan",
+    "Counter",
+    "Fingerprint",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PlanCache",
+    "ReplayReport",
+    "ServeConfig",
+    "ServeResult",
+    "ServingEngine",
+    "build_matrix_pool",
+    "fingerprint",
+    "popularity_schedule",
+    "replay",
+    "structural_digest",
+]

@@ -1,0 +1,471 @@
+"""The serving engine: concurrent tuned SpMV behind a bounded queue.
+
+``ServingEngine`` turns the one-shot :meth:`repro.tuner.SMAT.spmv` call
+into a persistent service.  The pipeline per request:
+
+1. **fingerprint** the matrix (memory-bandwidth hash, no tuning work),
+2. **enqueue** into a bounded submission queue — full queue means
+   :class:`repro.errors.BackpressureError`, the engine sheds load rather
+   than buffering unboundedly,
+3. a **worker** pops the request and drains every queued request with the
+   same fingerprint into one batch, so one plan lookup serves many vectors,
+4. **plan resolution** — plan-cache hit executes immediately (no feature
+   extraction, no conversion: the amortization of Table 3); a miss runs the
+   full Figure 7 decision once, converts once, and caches the plan.  Misses
+   for the same fingerprint are single-flighted so concurrent first
+   requests build the plan only once,
+5. **execute** the chosen kernel and resolve the caller's future.
+
+The tuner can be a plain :class:`~repro.tuner.SMAT` or an
+:class:`~repro.tuner.OnlineSmat`; with the latter, fallback measurements
+recorded while serving retrain the model safely under its internal lock.
+
+Every stage is metered (see :mod:`repro.serve.metrics`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import BackpressureError, ServeError
+from repro.formats.convert import convert
+from repro.formats.csr import CSRMatrix
+from repro.serve.fingerprint import Fingerprint, fingerprint
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.plancache import CachedPlan, PlanCache
+from repro.tuner.runtime import Decision
+from repro.types import FormatName
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Sizing and policy of one serving engine."""
+
+    #: Worker threads executing SpMV requests.
+    workers: int = 4
+    #: Bounded submission-queue capacity (the backpressure point).
+    queue_capacity: int = 256
+    #: Max requests coalesced into one batch per plan lookup.
+    max_batch: int = 32
+    #: Plan-cache entry cap.
+    cache_entries: int = 128
+    #: Plan-cache byte budget over converted matrices (None = unlimited).
+    cache_bytes: Optional[int] = None
+    #: Default seconds ``submit`` waits for queue space (None = forever).
+    submit_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+
+
+@dataclass
+class ServeResult:
+    """What the engine hands back for one request."""
+
+    y: np.ndarray
+    fingerprint: Fingerprint
+    format_name: FormatName
+    kernel_name: str
+    cache_hit: bool
+    used_fallback: bool
+    #: Seconds spent waiting in the submission queue.
+    queued_seconds: float
+    #: Seconds resolving the plan (≈0 on a cache hit).
+    plan_seconds: float
+    #: Seconds inside the SpMV kernel.
+    execute_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.queued_seconds + self.plan_seconds + self.execute_seconds
+
+
+class _Request:
+    __slots__ = ("key", "matrix", "x", "future", "enqueued_at")
+
+    def __init__(
+        self,
+        key: Fingerprint,
+        matrix: CSRMatrix,
+        x: np.ndarray,
+        future: "Future[ServeResult]",
+    ) -> None:
+        self.key = key
+        self.matrix = matrix
+        self.x = x
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+class _SubmissionQueue:
+    """Bounded FIFO with same-fingerprint batch extraction.
+
+    ``take_batch`` pops the head and then *removes* (not merely reads)
+    every queued request sharing the head's fingerprint, preserving FIFO
+    order among the rest — the coalescing that lets one plan lookup serve
+    many vectors.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._items: Deque[_Request] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    def put(self, request: _Request, timeout: Optional[float]) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_full:
+            while len(self._items) >= self._capacity and not self._closed:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        raise BackpressureError(
+                            f"submission queue full "
+                            f"({self._capacity} requests) for {timeout}s"
+                        )
+                self._not_full.wait(remaining)
+            if self._closed:
+                raise ServeError("engine is shutting down")
+            self._items.append(request)
+            self._not_empty.notify()
+
+    def take_batch(self, max_batch: int) -> Optional[List[_Request]]:
+        """Next batch of same-fingerprint requests; None when drained+closed."""
+        with self._not_empty:
+            while not self._items and not self._closed:
+                self._not_empty.wait()
+            if not self._items:
+                return None  # closed and drained
+            head = self._items.popleft()
+            batch = [head]
+            if len(batch) < max_batch:
+                keep: List[_Request] = []
+                for request in self._items:
+                    if (
+                        request.key == head.key
+                        and len(batch) < max_batch
+                    ):
+                        batch.append(request)
+                    else:
+                        keep.append(request)
+                if len(batch) > 1:
+                    self._items = deque(keep)
+            self._not_full.notify(len(batch))
+            return batch
+
+    def drain(self) -> List[_Request]:
+        with self._lock:
+            remaining = list(self._items)
+            self._items.clear()
+            self._not_full.notify_all()
+            return remaining
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class ServingEngine:
+    """A persistent, thread-safe SpMV service over one tuner.
+
+    >>> with ServingEngine(smat) as engine:
+    ...     y = engine.spmv(matrix, x).y            # synchronous
+    ...     future = engine.submit(matrix, x)       # asynchronous
+    ...     print(engine.metrics.report())
+    """
+
+    def __init__(
+        self,
+        tuner,
+        config: ServeConfig = ServeConfig(),
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not hasattr(tuner, "decide"):
+            raise ServeError(
+                f"tuner must expose decide(); got {type(tuner).__name__}"
+            )
+        self.tuner = tuner
+        self.config = config
+        self.metrics = metrics or MetricsRegistry()
+        self.cache = PlanCache(
+            max_entries=config.cache_entries, max_bytes=config.cache_bytes
+        )
+        self._queue = _SubmissionQueue(config.queue_capacity)
+        self._workers: List[threading.Thread] = []
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+        # Single-flight plan builds: fingerprint -> lock.
+        self._build_locks: Dict[Fingerprint, threading.Lock] = {}
+        self._build_locks_guard = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingEngine":
+        with self._state_lock:
+            if self._stopped:
+                raise ServeError("engine cannot be restarted after stop()")
+            if self._started:
+                raise ServeError("engine already started")
+            self._started = True
+            for i in range(self.config.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"smat-serve-{i}",
+                    daemon=True,
+                )
+                thread.start()
+                self._workers.append(thread)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down; with ``drain`` the backlog is served first, without
+        it pending requests fail with :class:`ServeError`."""
+        with self._state_lock:
+            if not self._started or self._stopped:
+                self._stopped = True
+                return
+            self._stopped = True
+        if not drain:
+            for request in self._queue.drain():
+                request.future.set_exception(
+                    ServeError("engine stopped before request ran")
+                )
+        self._queue.close()
+        for thread in self._workers:
+            thread.join()
+        self._update_gauges()
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        with self._state_lock:
+            return self._started and not self._stopped
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        matrix: CSRMatrix,
+        x: np.ndarray,
+        timeout: Optional[float] = None,
+    ) -> "Future[ServeResult]":
+        """Enqueue one SpMV; returns a future resolving to a ServeResult.
+
+        ``timeout`` bounds the wait for queue space (defaults to the
+        config's ``submit_timeout``); exhausting it raises
+        :class:`BackpressureError`.
+        """
+        if not self.running:
+            raise ServeError("engine is not running (call start())")
+        key = fingerprint(matrix)
+        future: "Future[ServeResult]" = Future()
+        request = _Request(key, matrix, x, future)
+        effective = (
+            timeout if timeout is not None else self.config.submit_timeout
+        )
+        try:
+            self._queue.put(request, effective)
+        except BackpressureError:
+            self.metrics.counter("requests_rejected").inc()
+            raise
+        self.metrics.counter("requests_submitted").inc()
+        self.metrics.gauge("queue_depth").set(len(self._queue))
+        return future
+
+    def spmv(
+        self,
+        matrix: CSRMatrix,
+        x: np.ndarray,
+        timeout: Optional[float] = None,
+    ) -> ServeResult:
+        """Synchronous convenience wrapper over :meth:`submit`."""
+        return self.submit(matrix, x, timeout=timeout).result()
+
+    def spmv_many(
+        self, requests: Iterable[Tuple[CSRMatrix, np.ndarray]]
+    ) -> List[ServeResult]:
+        """Submit a sequence of (matrix, x) pairs; wait for all results."""
+        futures = [self.submit(matrix, x) for matrix, x in requests]
+        return [f.result() for f in futures]
+
+    def invalidate(self, matrix: CSRMatrix) -> bool:
+        """Drop the cached plan for ``matrix`` (call after mutating it)."""
+        invalidated = self.cache.invalidate(fingerprint(matrix))
+        if invalidated:
+            self.metrics.counter("plans_invalidated").inc()
+            self._update_gauges()
+        return invalidated
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.take_batch(self.config.max_batch)
+            if batch is None:
+                return
+            self.metrics.gauge("queue_depth").set(len(self._queue))
+            if len(batch) > 1:
+                self.metrics.counter("requests_batched").inc(len(batch) - 1)
+            self.metrics.histogram(
+                "batch_size", buckets=(1, 2, 4, 8, 16, 32, 64)
+            ).observe(len(batch))
+            self._process_batch(batch)
+
+    def _process_batch(self, batch: Sequence[_Request]) -> None:
+        head = batch[0]
+        dequeued_at = time.perf_counter()
+        try:
+            plan, cache_hit, plan_seconds = self._resolve_plan(
+                head.key, head.matrix
+            )
+        except Exception as exc:  # tuning/conversion failure fails the batch
+            self.metrics.counter("requests_failed").inc(len(batch))
+            for request in batch:
+                if not request.future.cancelled():
+                    request.future.set_exception(exc)
+            return
+        for i, request in enumerate(batch):
+            if not request.future.set_running_or_notify_cancel():
+                continue
+            queued = dequeued_at - request.enqueued_at
+            try:
+                started = time.perf_counter()
+                y = plan.execute(request.x)
+                execute_seconds = time.perf_counter() - started
+            except Exception as exc:
+                self.metrics.counter("requests_failed").inc()
+                request.future.set_exception(exc)
+                continue
+            result = ServeResult(
+                y=y,
+                fingerprint=request.key,
+                format_name=plan.decision.format_name,
+                kernel_name=plan.decision.kernel.name,
+                cache_hit=cache_hit or i > 0,
+                used_fallback=plan.decision.used_fallback,
+                queued_seconds=queued,
+                plan_seconds=plan_seconds if i == 0 else 0.0,
+                execute_seconds=execute_seconds,
+            )
+            self._observe(result)
+            request.future.set_result(result)
+
+    def _observe(self, result: ServeResult) -> None:
+        self.metrics.counter("requests_served").inc()
+        self.metrics.histogram("queue_wait_seconds").observe(
+            result.queued_seconds
+        )
+        self.metrics.histogram("plan_seconds").observe(result.plan_seconds)
+        self.metrics.histogram("execute_seconds").observe(
+            result.execute_seconds
+        )
+        self.metrics.histogram("total_seconds").observe(result.total_seconds)
+
+    # ------------------------------------------------------------------
+    # Plan resolution
+    # ------------------------------------------------------------------
+    def _resolve_plan(
+        self, key: Fingerprint, matrix: CSRMatrix
+    ) -> Tuple[CachedPlan, bool, float]:
+        """(plan, was_cache_hit, seconds_spent_resolving)."""
+        started = time.perf_counter()
+        plan = self.cache.get(key)
+        if plan is not None:
+            self.metrics.counter("cache_hits").inc()
+            return plan, True, time.perf_counter() - started
+
+        build_lock = self._build_lock_for(key)
+        try:
+            with build_lock:
+                # Double-check: another worker may have built it while we
+                # waited on the single-flight lock.
+                plan = self.cache.get(key, record_stats=False)
+                if plan is not None:
+                    self.metrics.counter("cache_hits").inc()
+                    return plan, True, time.perf_counter() - started
+                self.metrics.counter("cache_misses").inc()
+                plan = self._build_plan(key, matrix)
+                if self.cache.put(plan):
+                    self.metrics.counter("plans_cached").inc()
+                else:
+                    self.metrics.counter("plans_uncacheable").inc()
+        finally:
+            self._release_build_lock(key)
+        self._update_gauges()
+        return plan, False, time.perf_counter() - started
+
+    def _build_plan(self, key: Fingerprint, matrix: CSRMatrix) -> CachedPlan:
+        decision: Decision = self.tuner.decide(matrix)
+        if decision.used_fallback:
+            self.metrics.counter("fallback_decisions").inc()
+        if decision.matrix is None:
+            decision.matrix, _ = convert(
+                matrix, decision.format_name, fill_budget=None
+            )
+        self.metrics.counter("plans_built").inc()
+        return CachedPlan(
+            key=key,
+            decision=decision,
+            matrix_bytes=decision.matrix.memory_bytes(),
+        )
+
+    def _build_lock_for(self, key: Fingerprint) -> threading.Lock:
+        with self._build_locks_guard:
+            return self._build_locks.setdefault(key, threading.Lock())
+
+    def _release_build_lock(self, key: Fingerprint) -> None:
+        with self._build_locks_guard:
+            self._build_locks.pop(key, None)
+
+    def _update_gauges(self) -> None:
+        stats = self.cache.stats()
+        self.metrics.gauge("cache_entries").set(stats["entries"])
+        self.metrics.gauge("cache_bytes").set(stats["bytes"])
+
+    # ------------------------------------------------------------------
+    def scoreboard(self) -> str:
+        """Cache + request scoreboard (the serve-bench output)."""
+        stats = self.cache.stats()
+        lines = [
+            "plan cache:",
+            f"  entries {int(stats['entries'])} "
+            f"({int(stats['bytes'])} bytes)",
+            f"  hit rate {stats['hit_rate']:.1%} "
+            f"({int(stats['hits'])} hits / {int(stats['misses'])} misses)",
+            f"  evictions {int(stats['evictions'])}, "
+            f"rejected {int(stats['rejected'])}",
+            self.metrics.report(),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Matrix fingerprints: cache keys for tuned SpMV plans.
+
+SMAT's decision is a function of the matrix alone, so a serving layer can
+key "decision + converted matrix" by a digest of the matrix.  The
+fingerprint has two parts:
+
+* cheap scalars (shape, nnz, dtype) that reject most non-matches without
+  hashing anything, and
+* a BLAKE2b digest over the CSR arrays — the row pointer (structure), the
+  column indices (pattern) and the value bytes.
+
+Values are included deliberately: the cache stores the *converted matrix*,
+so two matrices with identical structure but different values must not
+collide (they would silently serve each other's products).  Hashing runs at
+memory bandwidth, a fraction of one feature-extraction pass — see
+DESIGN.md's plan-cache section for the cost accounting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+#: Digest size in bytes.  16 bytes (128 bits) makes accidental collisions
+#: astronomically unlikely at any realistic cache population.
+_DIGEST_SIZE = 16
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """A compact, hashable identity for one CSR matrix."""
+
+    shape: Tuple[int, int]
+    nnz: int
+    dtype: str
+    digest: str
+
+    def __str__(self) -> str:
+        m, n = self.shape
+        return f"{m}x{n}/{self.nnz}nnz/{self.dtype}/{self.digest[:10]}"
+
+
+def fingerprint(matrix: CSRMatrix) -> Fingerprint:
+    """Fingerprint a CSR matrix (one streaming pass over its arrays)."""
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for array in (matrix.ptr, matrix.indices, matrix.data):
+        h.update(np.ascontiguousarray(array).tobytes())
+    return Fingerprint(
+        shape=matrix.shape,
+        nnz=matrix.nnz,
+        dtype=str(matrix.dtype),
+        digest=h.hexdigest(),
+    )
+
+
+def structural_digest(matrix: CSRMatrix) -> str:
+    """Digest of the sparsity structure only (ptr + indices, no values).
+
+    Two matrices with the same structural digest get the same tuning
+    decision even when their values differ — diagnostics use this to spot
+    re-tuning work that a structure-keyed decision cache could share.
+    """
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    h.update(np.ascontiguousarray(matrix.ptr).tobytes())
+    h.update(np.ascontiguousarray(matrix.indices).tobytes())
+    return h.hexdigest()

@@ -1,0 +1,171 @@
+"""The plan cache: tuned decisions + converted matrices, keyed by fingerprint.
+
+This is where SMAT's amortization story (Table 3) becomes a serving
+guarantee: feature extraction, rule walking and format conversion run once
+per distinct matrix; every further request for the same fingerprint reuses
+the stored :class:`CachedPlan` and pays only the kernel execution.
+
+Eviction is LRU under two budgets — an entry cap and an optional byte cap
+over the converted matrices' storage (``memory_bytes()`` includes padding,
+so a cached ELL plan is charged for its zero fill).  A plan larger than the
+whole byte budget is simply never admitted; the engine still serves it,
+uncached.  ``invalidate`` exists for callers that mutate a matrix in place
+and know its fingerprint no longer describes it.
+
+All operations are O(1) under one lock; the cache is shared by every
+engine worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.serve.fingerprint import Fingerprint
+from repro.tuner.runtime import Decision
+
+
+@dataclass
+class CachedPlan:
+    """One tuned, ready-to-execute SpMV plan.
+
+    ``decision.matrix`` holds the matrix already converted to the chosen
+    format; executing the plan is a single kernel call.
+    """
+
+    key: Fingerprint
+    decision: Decision
+    #: Storage footprint of the converted matrix (padding included).
+    matrix_bytes: int
+    hits: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.decision.matrix is None:
+            raise ValueError("a CachedPlan needs the converted matrix")
+
+    def execute(self, x):
+        """Run the plan's kernel on one operand vector."""
+        return self.decision.kernel(self.decision.matrix, x)
+
+
+class PlanCache:
+    """A thread-safe LRU cache of :class:`CachedPlan` objects."""
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._plans: "OrderedDict[Fingerprint, CachedPlan]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._rejected = 0
+
+    # ------------------------------------------------------------------
+    def get(
+        self, key: Fingerprint, record_stats: bool = True
+    ) -> Optional[CachedPlan]:
+        """The cached plan for ``key``, refreshing its recency; else None.
+
+        ``record_stats=False`` still refreshes LRU recency but leaves the
+        hit/miss statistics alone — for the engine's single-flight
+        double-check, which would otherwise count one miss twice.
+        """
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                if record_stats:
+                    self._misses += 1
+                return None
+            self._plans.move_to_end(key)
+            if record_stats:
+                self._hits += 1
+            plan.hits += 1
+            return plan
+
+    def put(self, plan: CachedPlan) -> bool:
+        """Admit ``plan``, evicting LRU entries to fit; False if too large.
+
+        Re-inserting an existing key replaces the stored plan (the
+        invalidate-then-retune path).
+        """
+        with self._lock:
+            if (
+                self.max_bytes is not None
+                and plan.matrix_bytes > self.max_bytes
+            ):
+                self._rejected += 1
+                return False
+            old = self._plans.pop(plan.key, None)
+            if old is not None:
+                self._bytes -= old.matrix_bytes
+            self._plans[plan.key] = plan
+            self._bytes += plan.matrix_bytes
+            while len(self._plans) > self.max_entries or (
+                self.max_bytes is not None and self._bytes > self.max_bytes
+            ):
+                _, evicted = self._plans.popitem(last=False)
+                self._bytes -= evicted.matrix_bytes
+                self._evictions += 1
+            return True
+
+    def invalidate(self, key: Fingerprint) -> bool:
+        """Drop one plan (e.g. its matrix was mutated in place)."""
+        with self._lock:
+            plan = self._plans.pop(key, None)
+            if plan is None:
+                return False
+            self._bytes -= plan.matrix_bytes
+            return True
+
+    def clear(self) -> int:
+        """Drop everything; returns how many plans were dropped."""
+        with self._lock:
+            dropped = len(self._plans)
+            self._plans.clear()
+            self._bytes = 0
+            return dropped
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key: Fingerprint) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "entries": len(self._plans),
+                "bytes": self._bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": self._hits / total if total else 0.0,
+                "evictions": self._evictions,
+                "rejected": self._rejected,
+            }

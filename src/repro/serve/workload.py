@@ -1,0 +1,189 @@
+"""Synthetic serving workloads and the replay driver behind serve-bench.
+
+A serving workload is characterised by two distributions: *which* matrices
+recur (popularity — realistic traffic is heavily skewed, a few operators
+take most calls) and *what* requests arrive (a fresh operand vector per
+call).  ``build_matrix_pool`` draws structurally diverse matrices from the
+repo's synthetic collection generators; ``replay`` pushes a popularity-
+skewed request stream through a :class:`~repro.serve.ServingEngine` from
+several client threads and verifies every product against the reference
+CSR kernel.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.collection import banded, graphs, grids, random_sparse
+from repro.formats.csr import CSRMatrix
+from repro.serve.engine import ServeResult, ServingEngine
+
+
+def build_matrix_pool(
+    count: int, seed: int = 2013, size_scale: float = 1.0
+) -> List[CSRMatrix]:
+    """``count`` structurally diverse matrices (banded / grid / graph / random).
+
+    Cycling through the four structure families makes the pool exercise
+    every rule group of the model — DIA- and ELL-friendly operators as well
+    as the CSR/COO default paths.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    pool: List[CSRMatrix] = []
+    for i in range(count):
+        kind = i % 4
+        size = int((400 + 150 * (i // 4)) * size_scale)
+        item_seed = int(rng.integers(0, 2**31 - 1))
+        if kind == 0:
+            bands = 3 + 2 * ((i // 4) % 4)
+            pool.append(banded.banded_matrix(size, bands, seed=item_seed))
+        elif kind == 1:
+            side = max(8, int(np.sqrt(size)))
+            pool.append(grids.laplacian_5pt(side))
+        elif kind == 2:
+            pool.append(
+                graphs.power_law_graph(size, exponent=2.2, seed=item_seed)
+            )
+        else:
+            pool.append(
+                random_sparse.uniform_random(size, size, 6.0, seed=item_seed)
+            )
+    return pool
+
+
+def popularity_schedule(
+    n_matrices: int, n_requests: int, seed: int = 7, skew: float = 1.1
+) -> List[int]:
+    """A Zipf-like sequence of matrix indices, every matrix appearing once.
+
+    The first ``n_matrices`` slots cover each matrix once (so cold misses
+    are deterministic); the rest are drawn with probability ∝ rank^-skew.
+    """
+    if n_requests < n_matrices:
+        raise ValueError(
+            f"need >= {n_matrices} requests to cover every matrix, "
+            f"got {n_requests}"
+        )
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_matrices + 1, dtype=float)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    tail = rng.choice(n_matrices, size=n_requests - n_matrices, p=weights)
+    schedule = list(range(n_matrices)) + [int(i) for i in tail]
+    rng.shuffle(schedule)
+    return schedule
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one workload replay."""
+
+    results: List[ServeResult]
+    mismatches: int
+    errors: List[BaseException]
+    wall_seconds: float
+
+    @property
+    def requests(self) -> int:
+        return len(self.results)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.cache_hit for r in self.results) / len(self.results)
+
+
+def replay(
+    engine: ServingEngine,
+    pool: Sequence[CSRMatrix],
+    schedule: Sequence[int],
+    clients: int = 4,
+    seed: int = 99,
+    verify: bool = True,
+) -> ReplayReport:
+    """Drive ``schedule`` through ``engine`` from ``clients`` threads.
+
+    Each client owns a contiguous slice of the schedule and submits it
+    synchronously (one outstanding request per client), which is how real
+    callers use a shared engine.  With ``verify`` every result is checked
+    against the reference CSR kernel.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    operands = _operands_for(pool, seed)
+    import time
+
+    slices = _split(schedule, clients)
+    results: List[List[ServeResult]] = [[] for _ in slices]
+    mismatch_counts = [0] * len(slices)
+    errors: List[BaseException] = []
+    errors_lock = threading.Lock()
+
+    def client(slot: int, indices: Sequence[int]) -> None:
+        for index in indices:
+            matrix, x = pool[index], operands[index]
+            try:
+                result = engine.spmv(matrix, x)
+            except BaseException as exc:  # collected, not raised: the
+                with errors_lock:        # report decides pass/fail
+                    errors.append(exc)
+                continue
+            results[slot].append(result)
+            # allclose, not array_equal: the tuned kernel may sum in a
+            # different order than the reference CSR loop.  (Bitwise
+            # equality *does* hold against direct SMAT.spmv calls, which
+            # run the same kernel — the stress test asserts that.)
+            if verify and not np.allclose(
+                result.y, matrix.spmv(x), atol=1e-9
+            ):
+                mismatch_counts[slot] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(slot, indices), daemon=True)
+        for slot, indices in enumerate(slices)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return ReplayReport(
+        results=[r for bucket in results for r in bucket],
+        mismatches=sum(mismatch_counts),
+        errors=errors,
+        wall_seconds=wall,
+    )
+
+
+def _operands_for(
+    pool: Sequence[CSRMatrix], seed: int
+) -> List[np.ndarray]:
+    """One fixed operand vector per matrix (bitwise-reproducible replays)."""
+    rng = np.random.default_rng(seed)
+    return [
+        rng.standard_normal(matrix.n_cols).astype(matrix.dtype)
+        for matrix in pool
+    ]
+
+
+def _split(schedule: Sequence[int], parts: int) -> List[List[int]]:
+    chunk = max(1, -(-len(schedule) // parts))
+    slices = [
+        list(schedule[i : i + chunk])
+        for i in range(0, len(schedule), chunk)
+    ]
+    return slices or [[]]

@@ -11,7 +11,8 @@ in the regions where it was unsure.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import threading
+from typing import List, Optional, Tuple
 
 from repro.features.extract import extract_features
 from repro.features.parameters import FeatureVector
@@ -23,7 +24,15 @@ from repro.tuner.smat import SMAT
 
 
 class OnlineSmat:
-    """An SMAT wrapper that learns from its own fallback measurements."""
+    """An SMAT wrapper that learns from its own fallback measurements.
+
+    Safe for concurrent use: the record store and the retrain trigger sit
+    behind one lock, so threads sharing an instance (e.g. the workers of a
+    :class:`repro.serve.ServingEngine`) can never corrupt the accumulated
+    records or observe a half-built dataset.  The expensive parts — the
+    decision itself and the feature extraction — run outside the lock; only
+    the append/retrain critical section serializes.
+    """
 
     def __init__(
         self,
@@ -46,6 +55,9 @@ class OnlineSmat:
         self.min_leaf = min_leaf
         self.max_depth = max_depth
         self.retrain_count = 0
+        #: Guards new_records and the retrain trigger; reentrant so a
+        #: caller holding the lock can still read ``observations``.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def decide(self, matrix: CSRMatrix) -> Decision:
@@ -57,9 +69,10 @@ class OnlineSmat:
                 decision.measurements,
                 key=lambda fmt: decision.measurements[fmt],
             )
-            self.new_records.append(features.with_label(best))
-            if len(self.new_records) % self.retrain_every == 0:
-                self._retrain()
+            with self._lock:
+                self.new_records.append(features.with_label(best))
+                if len(self.new_records) % self.retrain_every == 0:
+                    self._retrain()
         return decision
 
     def spmv(self, matrix: CSRMatrix, x):
@@ -74,6 +87,12 @@ class OnlineSmat:
 
     # ------------------------------------------------------------------
     def _retrain(self) -> None:
+        """Rebuild the model from all records; caller holds the lock.
+
+        The model swap is a single attribute assignment, so concurrent
+        ``decide`` calls running outside the lock see either the old or
+        the new model, never a partial one.
+        """
         records = tuple(self.base_records) + tuple(self.new_records)
         if not records:
             return
@@ -88,7 +107,13 @@ class OnlineSmat:
     @property
     def observations(self) -> int:
         """Fallback-derived records accumulated so far."""
-        return len(self.new_records)
+        with self._lock:
+            return len(self.new_records)
+
+    def records_snapshot(self) -> Tuple[FeatureVector, ...]:
+        """A consistent copy of the accumulated fallback records."""
+        with self._lock:
+            return tuple(self.new_records)
 
     def __getattr__(self, name: str):
         return getattr(self.smat, name)

@@ -64,6 +64,72 @@ class Decision:
             + self.measurement_units
         )
 
+    # ------------------------------------------------------------------
+    # Serialization — decisions are loggable/inspectable records.  The
+    # converted matrix is deliberately *not* serialized (it can be huge
+    # and is rebuildable from the source matrix); ``from_dict`` resolves
+    # the kernel from a KernelSearchResult and leaves ``matrix`` None.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready record of this decision (no matrix payload)."""
+        return {
+            "format": self.format_name.value,
+            "kernel_strategies": sorted(
+                s.value for s in self.kernel.strategies
+            ),
+            "confidence": self.confidence,
+            "matched_rule": (
+                self.matched_rule.to_dict()
+                if self.matched_rule is not None
+                else None
+            ),
+            "used_fallback": self.used_fallback,
+            "predicted_format": self.predicted_format.value,
+            "measurements": {
+                fmt.value: seconds
+                for fmt, seconds in self.measurements.items()
+            },
+            "extraction_units": self.extraction_units,
+            "conversion_units": self.conversion_units,
+            "measurement_units": self.measurement_units,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Decision":
+        """Rebuild a decision record from :meth:`to_dict` output.
+
+        The kernel is resolved from the registered kernel library by
+        (format, strategy set) — the same resolution :meth:`SMAT.load`
+        uses — so the record stays portable across processes.
+        """
+        from repro.kernels.base import find_kernel
+        from repro.kernels.strategies import Strategy
+
+        fmt = FormatName(payload["format"])
+        strategies = frozenset(
+            Strategy(s) for s in payload["kernel_strategies"]  # type: ignore[union-attr]
+        )
+        rule_payload = payload.get("matched_rule")
+        return cls(
+            format_name=fmt,
+            kernel=find_kernel(fmt, strategies),
+            confidence=float(payload["confidence"]),  # type: ignore[arg-type]
+            matched_rule=(
+                Rule.from_dict(rule_payload)  # type: ignore[arg-type]
+                if rule_payload is not None
+                else None
+            ),
+            used_fallback=bool(payload["used_fallback"]),
+            predicted_format=FormatName(payload["predicted_format"]),
+            measurements={
+                FormatName(name): float(seconds)
+                for name, seconds in payload["measurements"].items()  # type: ignore[union-attr]
+            },
+            extraction_units=float(payload["extraction_units"]),  # type: ignore[arg-type]
+            conversion_units=float(payload["conversion_units"]),  # type: ignore[arg-type]
+            measurement_units=float(payload["measurement_units"]),  # type: ignore[arg-type]
+        )
+
 
 def rule_matches_lazy(rule: Rule, lazy: LazyFeatures) -> bool:
     """Evaluate a rule against lazily-extracted features.

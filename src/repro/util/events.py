@@ -1,0 +1,41 @@
+"""Process-wide event meters for expensive library operations.
+
+The serving layer's amortization claim — "on a plan-cache hit no feature
+extraction and no format conversion happens" (Table 3's overhead column,
+amortized) — must be *observable*, not assumed.  The hot modules therefore
+tick a named :class:`EventCounter` whenever they do the expensive thing;
+tests and the serving metrics read the meters before and after a request
+to prove the cached path really skipped the work.
+
+Meters are monotonic and thread-safe.  They count events, not cost: use
+the tuner's overhead accounting for cost.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class EventCounter:
+    """A named, monotonically increasing, thread-safe event counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def increment(self, n: int = 1) -> None:
+        with self._lock:
+            self._count += n
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def delta_since(self, baseline: int) -> int:
+        """Events since a previously captured ``count``."""
+        return self.count - baseline
+
+    def __repr__(self) -> str:
+        return f"EventCounter({self.name!r}, count={self.count})"

@@ -1,0 +1,33 @@
+"""Single source of truth for the package version.
+
+The authoritative number lives in ``pyproject.toml``.  An installed
+package reads it back through ``importlib.metadata`` (which is literally
+the pyproject value at build time); a source checkout (``PYTHONPATH=src``)
+parses pyproject directly.  Either way there is no second hand-maintained
+constant to drift.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+_FALLBACK = "0.0.0+unknown"
+
+
+def package_version() -> str:
+    """The installed (or source-tree) version of this package."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        pass
+    # Source checkout: src/repro/util/version.py -> repo root.
+    pyproject = Path(__file__).resolve().parents[3] / "pyproject.toml"
+    try:
+        text = pyproject.read_text()
+    except OSError:
+        return _FALLBACK
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+    return match.group(1) if match else _FALLBACK

@@ -104,3 +104,55 @@ class TestEvaluateAndStats:
         empty = tmp_path / "e.jsonl"
         empty.write_text("")
         assert main(["stats", "--db", str(empty)]) == 1
+
+
+class TestVersion:
+    def test_version_matches_pyproject(self, capsys) -> None:
+        import re
+        from pathlib import Path
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        printed = capsys.readouterr().out.strip()
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        declared = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        ).group(1)
+        assert printed == f"repro {declared}"
+
+    def test_dunder_version_matches_pyproject(self) -> None:
+        import re
+        from pathlib import Path
+
+        import repro
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        declared = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        ).group(1)
+        assert repro.__version__ == declared
+
+
+class TestServeBench:
+    def test_small_replay_succeeds(self, capsys) -> None:
+        code = main([
+            "serve-bench",
+            "--matrices", "6", "--requests", "40",
+            "--clients", "2", "--workers", "2",
+            "--train-scale", "0.04",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "plan cache:" in printed
+        assert "hit rate" in printed
+        assert "cache_hits" in printed
+        assert "40/40 products match" in printed
+
+    def test_rejects_too_few_requests(self, capsys) -> None:
+        code = main([
+            "serve-bench", "--matrices", "10", "--requests", "5",
+        ])
+        assert code == 1
+        assert "must be >=" in capsys.readouterr().err

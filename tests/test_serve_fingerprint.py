@@ -1,0 +1,75 @@
+"""Fingerprint tests: identity, sensitivity, structural digests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats import CSRMatrix
+from repro.serve import fingerprint, structural_digest
+
+from tests.conftest import random_csr
+
+
+class TestFingerprint:
+    def test_deterministic(self, rng) -> None:
+        matrix = random_csr(rng)
+        assert fingerprint(matrix) == fingerprint(matrix)
+
+    def test_equal_for_identical_copies(self, paper_dense) -> None:
+        a = CSRMatrix.from_dense(paper_dense)
+        b = CSRMatrix.from_dense(paper_dense.copy())
+        assert fingerprint(a) == fingerprint(b)
+        assert hash(fingerprint(a)) == hash(fingerprint(b))
+
+    def test_value_change_changes_digest(self, paper_dense) -> None:
+        a = CSRMatrix.from_dense(paper_dense)
+        changed = paper_dense.copy()
+        changed[0, 0] = 42.0
+        b = CSRMatrix.from_dense(changed)
+        # Same structure, different values: scalars agree, digest differs.
+        assert fingerprint(a).shape == fingerprint(b).shape
+        assert fingerprint(a).nnz == fingerprint(b).nnz
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_structure_change_changes_digest(self, paper_dense) -> None:
+        a = CSRMatrix.from_dense(paper_dense)
+        moved = paper_dense.copy()
+        moved[0, 1] = 0.0
+        moved[0, 2] = 5.0  # same value set, different column
+        b = CSRMatrix.from_dense(moved)
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_dtype_distinguishes(self, paper_dense) -> None:
+        a = CSRMatrix.from_dense(paper_dense.astype(np.float64))
+        b = CSRMatrix.from_dense(paper_dense.astype(np.float32))
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_distinct_across_random_pool(self, rng) -> None:
+        prints = {
+            fingerprint(random_csr(rng, n_rows=30 + i)) for i in range(25)
+        }
+        assert len(prints) == 25
+
+    def test_is_usable_as_dict_key(self, rng) -> None:
+        matrix = random_csr(rng)
+        table = {fingerprint(matrix): "plan"}
+        assert table[fingerprint(matrix)] == "plan"
+
+    def test_str_is_compact(self, paper_csr) -> None:
+        text = str(fingerprint(paper_csr))
+        assert "4x4" in text and "9nnz" in text
+
+
+class TestStructuralDigest:
+    def test_values_do_not_matter(self, paper_dense) -> None:
+        a = CSRMatrix.from_dense(paper_dense)
+        scaled = CSRMatrix.from_dense(paper_dense * 3.5)
+        assert structural_digest(a) == structural_digest(scaled)
+        assert fingerprint(a) != fingerprint(scaled)
+
+    def test_structure_matters(self, paper_dense) -> None:
+        a = CSRMatrix.from_dense(paper_dense)
+        moved = paper_dense.copy()
+        moved[3, 0] = 1.0
+        b = CSRMatrix.from_dense(moved)
+        assert structural_digest(a) != structural_digest(b)

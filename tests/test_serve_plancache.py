@@ -1,0 +1,175 @@
+"""Plan-cache tests: LRU under entry and byte budgets, invalidation,
+thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.serve import CachedPlan, PlanCache, fingerprint
+from repro.tuner.runtime import Decision
+from repro.types import FormatName
+
+from tests.conftest import random_csr
+
+
+def _plan(matrix: CSRMatrix, kernel) -> CachedPlan:
+    decision = Decision(
+        format_name=FormatName.CSR,
+        kernel=kernel,
+        confidence=1.0,
+        matched_rule=None,
+        used_fallback=False,
+        predicted_format=FormatName.CSR,
+        matrix=matrix,
+    )
+    return CachedPlan(
+        key=fingerprint(matrix),
+        decision=decision,
+        matrix_bytes=matrix.memory_bytes(),
+    )
+
+
+@pytest.fixture(scope="module")
+def csr_kernel():
+    from repro.kernels.base import kernels_for
+
+    return kernels_for(FormatName.CSR)[0]
+
+
+@pytest.fixture()
+def matrices(rng):
+    return [random_csr(rng, n_rows=30 + i) for i in range(8)]
+
+
+class TestBasics:
+    def test_get_miss_then_hit(self, matrices, csr_kernel) -> None:
+        cache = PlanCache(max_entries=4)
+        plan = _plan(matrices[0], csr_kernel)
+        assert cache.get(plan.key) is None
+        assert cache.put(plan)
+        assert cache.get(plan.key) is plan
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert cache.hit_rate == 0.5
+
+    def test_plan_executes(self, matrices, csr_kernel) -> None:
+        matrix = matrices[0]
+        plan = _plan(matrix, csr_kernel)
+        x = np.ones(matrix.n_cols)
+        np.testing.assert_allclose(plan.execute(x), matrix.spmv(x), atol=1e-9)
+
+    def test_requires_converted_matrix(self, csr_kernel) -> None:
+        decision = Decision(
+            format_name=FormatName.CSR,
+            kernel=csr_kernel,
+            confidence=1.0,
+            matched_rule=None,
+            used_fallback=False,
+            predicted_format=FormatName.CSR,
+            matrix=None,
+        )
+        with pytest.raises(ValueError, match="converted matrix"):
+            CachedPlan(key=None, decision=decision, matrix_bytes=0)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError, match="max_entries"):
+            PlanCache(max_entries=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            PlanCache(max_bytes=0)
+
+
+class TestLru:
+    def test_entry_cap_evicts_lru(self, matrices, csr_kernel) -> None:
+        cache = PlanCache(max_entries=3)
+        plans = [_plan(m, csr_kernel) for m in matrices[:4]]
+        for plan in plans[:3]:
+            cache.put(plan)
+        cache.get(plans[0].key)  # refresh 0: now 1 is LRU
+        cache.put(plans[3])
+        assert plans[1].key not in cache
+        assert plans[0].key in cache
+        assert len(cache) == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_byte_budget_evicts(self, matrices, csr_kernel) -> None:
+        plans = [_plan(m, csr_kernel) for m in matrices[:3]]
+        budget = plans[0].matrix_bytes + plans[1].matrix_bytes
+        cache = PlanCache(max_entries=100, max_bytes=budget)
+        assert cache.put(plans[0]) and cache.put(plans[1])
+        cache.put(plans[2])  # overflows the byte budget -> evict LRU
+        assert plans[0].key not in cache
+        assert cache.bytes_used <= budget
+
+    def test_oversized_plan_rejected(self, matrices, csr_kernel) -> None:
+        plan = _plan(matrices[0], csr_kernel)
+        cache = PlanCache(max_entries=4, max_bytes=plan.matrix_bytes - 1)
+        assert not cache.put(plan)
+        assert len(cache) == 0
+        assert cache.stats()["rejected"] == 1
+
+    def test_reinsert_replaces(self, matrices, csr_kernel) -> None:
+        cache = PlanCache(max_entries=4)
+        first = _plan(matrices[0], csr_kernel)
+        second = _plan(matrices[0], csr_kernel)
+        cache.put(first)
+        cache.put(second)
+        assert len(cache) == 1
+        assert cache.get(first.key) is second
+        assert cache.bytes_used == second.matrix_bytes
+
+
+class TestInvalidation:
+    def test_invalidate_and_clear(self, matrices, csr_kernel) -> None:
+        cache = PlanCache(max_entries=8)
+        plans = [_plan(m, csr_kernel) for m in matrices[:3]]
+        for plan in plans:
+            cache.put(plan)
+        assert cache.invalidate(plans[1].key)
+        assert not cache.invalidate(plans[1].key)
+        assert plans[1].key not in cache
+        assert cache.clear() == 2
+        assert len(cache) == 0 and cache.bytes_used == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get_invalidate(self, csr_kernel, rng) -> None:
+        matrices = [random_csr(rng, n_rows=20 + i) for i in range(16)]
+        plans = [_plan(m, csr_kernel) for m in matrices]
+        cache = PlanCache(max_entries=8)
+        errors = []
+
+        def worker(seed: int) -> None:
+            local = np.random.default_rng(seed)
+            try:
+                for _ in range(300):
+                    plan = plans[int(local.integers(len(plans)))]
+                    op = int(local.integers(3))
+                    if op == 0:
+                        cache.put(plan)
+                    elif op == 1:
+                        got = cache.get(plan.key)
+                        assert got is None or got.key == plan.key
+                    else:
+                        cache.invalidate(plan.key)
+            except BaseException as exc:  # surfaced in the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 8
+        stats = cache.stats()
+        assert stats["bytes"] == sum(
+            p.matrix_bytes
+            for p in plans
+            if p.key in cache
+        )

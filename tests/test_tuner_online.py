@@ -81,6 +81,101 @@ class TestOnlineSmat:
         assert online.kernels is smat.kernels
 
 
+class TestOnlineSmatConcurrency:
+    """ISSUE satellite: threads sharing one OnlineSmat (e.g. through a
+    serving engine) must not corrupt the record store or observe a
+    half-retrained model."""
+
+    def test_concurrent_decides_lose_no_records(self, smat) -> None:
+        import threading
+
+        config = SmatConfig(always_measure=True)
+        forced = SMAT(smat.model, smat.kernels, smat.backend, config)
+        online = OnlineSmat(forced, retrain_every=10)
+        per_thread, threads_n = 20, 4
+        errors = []
+
+        def worker(slot: int) -> None:
+            try:
+                for i in range(per_thread):
+                    matrix = random_sparse.uniform_random(
+                        600, 600, 6.0, seed=1000 * slot + i
+                    )
+                    online.decide(matrix)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        # Every fallback observation survived: no lost updates.
+        assert online.observations == per_thread * threads_n
+        records = online.records_snapshot()
+        assert len(records) == per_thread * threads_n
+        assert all(r.best_format is not None for r in records)
+
+    def test_reads_during_concurrent_retrain(self, smat) -> None:
+        import threading
+
+        config = SmatConfig(always_measure=True)
+        forced = SMAT(smat.model, smat.kernels, smat.backend, config)
+        online = OnlineSmat(forced, retrain_every=5)
+        stop = threading.Event()
+        errors = []
+
+        def reader() -> None:
+            try:
+                previous = 0
+                while not stop.is_set():
+                    snapshot = online.records_snapshot()
+                    # Monotone growth, never a torn read.
+                    assert len(snapshot) >= previous
+                    previous = len(snapshot)
+                    # The model reference is always a complete model.
+                    assert online.smat.model.grouped is not None
+            except BaseException as exc:
+                errors.append(exc)
+
+        def writer(slot: int) -> None:
+            try:
+                for i in range(12):
+                    if slot % 2 == 0:
+                        matrix = random_sparse.uniform_random(
+                            700, 700, 7.0, seed=300 * slot + i
+                        )
+                    else:
+                        matrix = graphs.power_law_graph(
+                            900, exponent=2.2, seed=300 * slot + i
+                        )
+                    online.decide(matrix)
+            except BaseException as exc:
+                errors.append(exc)
+
+        reader_thread = threading.Thread(target=reader)
+        writers = [
+            threading.Thread(target=writer, args=(slot,))
+            for slot in range(2)
+        ]
+        reader_thread.start()
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        reader_thread.join()
+
+        assert not errors
+        assert online.observations == 24
+        assert online.retrain_count >= 2
+
+
 class TestCalibration:
     def test_calibrated_architecture_sane(self) -> None:
         result = calibrate_host(repeats=2)

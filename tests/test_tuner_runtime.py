@@ -98,6 +98,50 @@ class TestDecisions:
         assert FormatName.CSR in decision.measurements
 
 
+class TestDecisionSerialization:
+    """ISSUE satellite: decisions are loggable/inspectable records."""
+
+    def test_model_hit_round_trip(self, smat) -> None:
+        import json
+
+        matrix = banded.banded_matrix(3000, 7, seed=3)
+        decision = smat.decide(matrix)
+        payload = json.loads(json.dumps(decision.to_dict()))
+        restored = type(decision).from_dict(payload)
+        assert restored.format_name is decision.format_name
+        assert restored.kernel is decision.kernel  # same registry object
+        assert restored.confidence == decision.confidence
+        assert restored.used_fallback == decision.used_fallback
+        assert restored.predicted_format is decision.predicted_format
+        assert restored.extraction_units == decision.extraction_units
+        assert restored.conversion_units == decision.conversion_units
+        # The converted matrix is intentionally not serialized.
+        assert restored.matrix is None
+
+    def test_matched_rule_survives(self, smat) -> None:
+        matrix = banded.banded_matrix(3000, 7, seed=3)
+        decision = smat.decide(matrix)
+        assert decision.matched_rule is not None
+        restored = type(decision).from_dict(decision.to_dict())
+        assert restored.matched_rule is not None
+        assert str(restored.matched_rule) == str(decision.matched_rule)
+        assert (
+            restored.matched_rule.confidence
+            == decision.matched_rule.confidence
+        )
+
+    def test_fallback_measurements_survive(self, smat) -> None:
+        config = SmatConfig(always_measure=True)
+        forced = SMAT(smat.model, smat.kernels, smat.backend, config)
+        matrix = graphs.power_law_graph(4000, exponent=2.2, seed=6)
+        decision = forced.decide(matrix)
+        assert decision.used_fallback and decision.measurements
+        restored = type(decision).from_dict(decision.to_dict())
+        assert restored.measurements == decision.measurements
+        assert restored.measurement_units == decision.measurement_units
+        assert restored.matched_rule == decision.matched_rule
+
+
 class TestSpmvCorrectness:
     def test_spmv_matches_reference(self, smat, rng) -> None:
         for _, matrix in generate_collection(
