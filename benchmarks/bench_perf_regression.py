@@ -1,0 +1,46 @@
+"""Perf-regression bench: vectorized cold path vs the Python-loop oracles.
+
+Pytest wrapper around :mod:`repro.perfbench` (the engine behind
+``repro bench-perf``). Runs the quick suite, saves the op table to
+``benchmarks/results/`` plus the machine-readable ``BENCH_perf.json``,
+and asserts the acceptance gate: the CSR->ELL and CSR->DIA conversions —
+the padded formats whose conversion dominates the tuner's cold path —
+must beat their retained loop references by at least 5x.
+
+Also runnable standalone (``python benchmarks/bench_perf_regression.py``),
+which forwards to the ``repro bench-perf`` CLI.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro import perfbench
+
+#: The CI gate: vectorized conversions must beat the loop oracle by this.
+MIN_SPEEDUP = 5.0
+
+
+def test_perf_regression_quick(report_dir, capsys, benchmark) -> None:
+    report = perfbench.run_suite("quick", repeats=3)
+    emit(
+        capsys,
+        report_dir,
+        "perf_regression",
+        perfbench.format_report(report),
+    )
+    perfbench.write_report(report, report_dir / "BENCH_perf.json")
+    failures = perfbench.check_speedups(report, MIN_SPEEDUP)
+    assert not failures, failures
+
+    # The benchmarked operation: the gated CSR->ELL conversion.
+    from repro.collection import banded
+    from repro.formats.convert import csr_to_ell
+
+    matrix = banded.banded_matrix(25_000, 9, seed=2013)
+    benchmark(lambda: csr_to_ell(matrix, fill_budget=None))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(perfbench.main())

@@ -12,7 +12,10 @@
   a feature database,
 * ``stats``      — domain and format-affinity distribution of a database,
 * ``serve-bench``— replay a synthetic concurrent workload through the
-  ``repro.serve`` engine and print its scoreboard.
+  ``repro.serve`` engine and print its scoreboard,
+* ``bench-perf`` — time the vectorized cold path (conversions, feature
+  extraction, plan build, SpMV kernels) against the retained Python-loop
+  references and write ``BENCH_perf.json``.
 
 Every command prints what it did and where artifacts landed; all
 randomness is seeded, so runs are reproducible.
@@ -107,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["intel", "amd"])
     serve.add_argument("--seed", type=int, default=2013)
 
+    bench = sub.add_parser(
+        "bench-perf",
+        help="perf-regression benchmark of the vectorized cold path",
+    )
+    bench.add_argument("--out", type=Path, default=Path("BENCH_perf.json"),
+                       help="output JSON report (default BENCH_perf.json)")
+    bench.add_argument("--suite", default=None,
+                       choices=["smoke", "quick", "full"],
+                       help="benchmark suite (default full)")
+    bench.add_argument("--quick", action="store_true",
+                       help="shorthand for --suite quick (the CI smoke run)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repeats per vectorized op (default 3)")
+    bench.add_argument("--assert-speedup", type=float, default=None,
+                       metavar="X",
+                       help="exit 1 unless CSR->ELL and CSR->DIA conversion "
+                            "beat the loop reference by at least Xx")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="THREAD-kernel worker count (default: cpu count)")
+    bench.add_argument("--seed", type=int, default=2013)
+
     return parser
 
 
@@ -119,6 +143,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "stats": _cmd_stats,
         "serve-bench": _cmd_serve_bench,
+        "bench-perf": _cmd_bench_perf,
     }[args.command]
     return handler(args)
 
@@ -326,6 +351,34 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"error: {report.mismatches} product mismatches",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_bench_perf(args: argparse.Namespace) -> int:
+    from repro import perfbench
+
+    if args.quick and args.suite not in (None, "quick"):
+        print("error: --quick conflicts with --suite "
+              f"{args.suite}", file=sys.stderr)
+        return 1
+    suite = "quick" if args.quick else (args.suite or "full")
+    report = perfbench.run_suite(
+        suite,
+        repeats=args.repeats,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    print(perfbench.format_report(report))
+    perfbench.write_report(report, args.out)
+    print(f"wrote {args.out}")
+    if args.assert_speedup is not None:
+        failures = perfbench.check_speedups(report, args.assert_speedup)
+        if failures:
+            for failure in failures:
+                print(f"error: {failure}", file=sys.stderr)
+            return 1
+        print(f"speedup gate passed (>= {args.assert_speedup:.1f}x on "
+              + ", ".join(perfbench.GATED_OPS) + ")")
     return 0
 
 

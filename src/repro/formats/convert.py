@@ -119,25 +119,21 @@ def csr_to_dia(
 
 
 def dia_to_csr(matrix: DIAMatrix) -> Tuple[CSRMatrix, ConversionCost]:
-    """Drop the padding and re-compress by row."""
-    rows_list = []
-    cols_list = []
-    vals_list = []
-    for i, k in enumerate(matrix.offsets):
-        k = int(k)
-        r_start = max(0, -k)
-        r_end = min(matrix.n_rows, matrix.n_cols - k)
-        if r_end <= r_start:
-            continue
-        segment = matrix.data[i, r_start:r_end]
-        nz = np.nonzero(segment)[0]
-        rows_list.append(nz + r_start)
-        cols_list.append(nz + r_start + k)
-        vals_list.append(segment[nz])
-    if rows_list:
-        rows = np.concatenate(rows_list)
-        cols = np.concatenate(cols_list)
-        vals = np.concatenate(vals_list)
+    """Drop the padding and re-compress by row.
+
+    Loop-free: diagonal offsets broadcast against the row index give every
+    stored slot's column; one mask keeps the in-bounds non-zeros.
+    """
+    if matrix.data.size:
+        offsets = matrix.offsets.astype(np.int64)
+        row_grid = np.arange(matrix.n_rows, dtype=np.int64)[None, :]
+        col_grid = row_grid + offsets[:, None]
+        valid = (
+            (col_grid >= 0) & (col_grid < matrix.n_cols) & (matrix.data != 0)
+        )
+        diag_of, rows = np.nonzero(valid)
+        cols = rows + offsets[diag_of]
+        vals = matrix.data[diag_of, rows]
     else:
         rows = np.zeros(0, dtype=INDEX_DTYPE)
         cols = np.zeros(0, dtype=INDEX_DTYPE)
@@ -261,23 +257,22 @@ def csr_to_bcsr(
 
 
 def bcsr_to_csr(matrix: BCSRMatrix) -> Tuple[CSRMatrix, ConversionCost]:
-    """Scatter dense blocks back into triplets, dropping block padding."""
+    """Scatter dense blocks back into triplets, dropping block padding.
+
+    Loop-free: one ``nonzero`` over the 3-D block array; each surviving
+    slot's global row/column follows from its block's row (expanded from
+    the block pointer) and stored block column.
+    """
     r, c = matrix.block_shape
-    rows_list = []
-    cols_list = []
-    vals_list = []
-    for brow in range(matrix.n_block_rows):
-        start, end = int(matrix.block_ptr[brow]), int(matrix.block_ptr[brow + 1])
-        for k in range(start, end):
-            block = matrix.blocks[k]
-            rr, cc = np.nonzero(block)
-            rows_list.append(rr + brow * r)
-            cols_list.append(cc + int(matrix.block_cols[k]) * c)
-            vals_list.append(block[rr, cc])
-    if rows_list:
-        rows = np.concatenate(rows_list).astype(INDEX_DTYPE)
-        cols = np.concatenate(cols_list).astype(INDEX_DTYPE)
-        vals = np.concatenate(vals_list)
+    if matrix.blocks.size:
+        brow_of = np.repeat(
+            np.arange(matrix.n_block_rows, dtype=INDEX_DTYPE),
+            np.diff(matrix.block_ptr),
+        )
+        block_of, rr, cc = np.nonzero(matrix.blocks)
+        rows = (brow_of[block_of] * r + rr).astype(INDEX_DTYPE)
+        cols = (matrix.block_cols[block_of] * c + cc).astype(INDEX_DTYPE)
+        vals = matrix.blocks[block_of, rr, cc]
     else:
         rows = np.zeros(0, dtype=INDEX_DTYPE)
         cols = np.zeros(0, dtype=INDEX_DTYPE)
@@ -349,18 +344,24 @@ def csr_to_sky(
 
 
 def sky_to_csr(matrix: SKYMatrix) -> Tuple[CSRMatrix, ConversionCost]:
-    """Drop in-profile zeros and merge the upper remainder back in."""
+    """Drop in-profile zeros and merge the upper remainder back in.
+
+    Loop-free: every profile slot's (row, column) is reconstructed with
+    rank-within-row index arithmetic over the skyline pointer, then one
+    boolean mask drops the in-profile zeros.
+    """
     first = matrix.first_columns()
-    rows_list = []
-    cols_list = []
-    vals_list = []
-    for i in range(matrix.n_rows):
-        start, end = int(matrix.pointers[i]), int(matrix.pointers[i + 1])
-        segment = matrix.profile[start:end]
-        nz = np.nonzero(segment)[0]
-        rows_list.append(np.full(nz.shape[0], i, dtype=INDEX_DTYPE))
-        cols_list.append(nz + int(first[i]))
-        vals_list.append(segment[nz])
+    widths = np.diff(matrix.pointers)
+    row_of = np.repeat(np.arange(matrix.n_rows, dtype=INDEX_DTYPE), widths)
+    # Rank of each profile slot within its row: slot index minus row start.
+    rank = np.arange(matrix.profile_size, dtype=INDEX_DTYPE) - np.repeat(
+        matrix.pointers[:-1], widths
+    )
+    col_of = np.repeat(first, widths) + rank
+    keep = matrix.profile != 0
+    rows_list = [row_of[keep]]
+    cols_list = [col_of[keep]]
+    vals_list = [matrix.profile[keep]]
     if matrix.upper is not None:
         upper_rows = np.repeat(
             np.arange(matrix.n_rows, dtype=INDEX_DTYPE),
@@ -369,13 +370,9 @@ def sky_to_csr(matrix: SKYMatrix) -> Tuple[CSRMatrix, ConversionCost]:
         rows_list.append(upper_rows)
         cols_list.append(matrix.upper.indices)
         vals_list.append(matrix.upper.data)
-    rows = np.concatenate(rows_list) if rows_list else np.zeros(0, INDEX_DTYPE)
-    cols = np.concatenate(cols_list) if cols_list else np.zeros(0, INDEX_DTYPE)
-    vals = (
-        np.concatenate(vals_list)
-        if vals_list
-        else np.zeros(0, dtype=matrix.dtype)
-    )
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    vals = np.concatenate(vals_list)
     csr = CSRMatrix.from_triplets(rows, cols, vals, matrix.shape)
     cost = ConversionCost(
         FormatName.SKY, FormatName.CSR, csr.nnz,
@@ -462,18 +459,17 @@ def bdia_to_csr(matrix) -> Tuple[CSRMatrix, ConversionCost]:
     rows_list = []
     cols_list = []
     vals_list = []
+    row_grid = np.arange(matrix.n_rows, dtype=np.int64)[None, :]
     for start, band in zip(matrix.offsets, matrix.bands):
-        for j in range(band.shape[0]):
-            k = int(start) + j
-            r_start = max(0, -k)
-            r_end = min(matrix.n_rows, matrix.n_cols - k)
-            if r_end <= r_start:
-                continue
-            segment = band[j, r_start:r_end]
-            nz = np.nonzero(segment)[0]
-            rows_list.append(nz + r_start)
-            cols_list.append(nz + r_start + k)
-            vals_list.append(segment[nz])
+        # One broadcast per band: offset + row index gives every slot's
+        # column, one mask keeps the in-bounds non-zeros.
+        offsets = int(start) + np.arange(band.shape[0], dtype=np.int64)
+        col_grid = row_grid + offsets[:, None]
+        valid = (col_grid >= 0) & (col_grid < matrix.n_cols) & (band != 0)
+        diag_of, rows = np.nonzero(valid)
+        rows_list.append(rows)
+        cols_list.append(rows + offsets[diag_of])
+        vals_list.append(band[diag_of, rows])
     rows = np.concatenate(rows_list) if rows_list else np.zeros(0, INDEX_DTYPE)
     cols = np.concatenate(cols_list) if cols_list else np.zeros(0, INDEX_DTYPE)
     vals = (
@@ -498,7 +494,9 @@ def csr_to_hyb(
     covering at least 2/3 of rows) keeps the regular part in ELL."""
     degrees = matrix.row_degrees()
     if ell_width is None:
-        if matrix.nnz == 0:
+        # Guard the empty-degrees case *before* np.percentile: an all-empty
+        # or zero-row matrix must not warn or produce a NaN width.
+        if matrix.nnz == 0 or degrees.size == 0:
             ell_width = 0
         else:
             ell_width = int(np.percentile(degrees, 67))
@@ -507,38 +505,32 @@ def csr_to_hyb(
     n_rows = matrix.n_rows
     indices = np.zeros((ell_width, n_rows), dtype=INDEX_DTYPE)
     data = np.zeros((ell_width, n_rows), dtype=matrix.dtype)
-    coo_rows = []
-    coo_cols = []
-    coo_vals = []
-    ell_nnz = 0
-    for i in range(n_rows):
-        start, end = int(matrix.ptr[i]), int(matrix.ptr[i + 1])
-        width = min(end - start, ell_width)
-        indices[:width, i] = matrix.indices[start : start + width]
-        data[:width, i] = matrix.data[start : start + width]
-        ell_nnz += width
-        if end - start > ell_width:
-            overflow = slice(start + ell_width, end)
-            coo_rows.append(
-                np.full(end - start - ell_width, i, dtype=INDEX_DTYPE)
-            )
-            coo_cols.append(matrix.indices[overflow])
-            coo_vals.append(matrix.data[overflow])
-    ell = ELLMatrix(indices, data, matrix.shape, ell_nnz)
-    if coo_rows:
+    if matrix.nnz:
+        row_of = np.repeat(np.arange(n_rows, dtype=INDEX_DTYPE), degrees)
+        # Rank of each entry within its row decides the ELL/COO split.
+        rank = np.arange(matrix.nnz, dtype=INDEX_DTYPE) - np.repeat(
+            matrix.ptr[:-1], degrees
+        )
+        in_ell = rank < ell_width
+        indices[rank[in_ell], row_of[in_ell]] = matrix.indices[in_ell]
+        data[rank[in_ell], row_of[in_ell]] = matrix.data[in_ell]
+        ell_nnz = int(np.count_nonzero(in_ell))
+        overflow = ~in_ell
         coo = COOMatrix(
-            np.concatenate(coo_rows),
-            np.concatenate(coo_cols),
-            np.concatenate(coo_vals),
+            row_of[overflow],
+            matrix.indices[overflow],
+            matrix.data[overflow],
             matrix.shape,
         )
     else:
+        ell_nnz = 0
         coo = COOMatrix(
             np.zeros(0, dtype=INDEX_DTYPE),
             np.zeros(0, dtype=INDEX_DTYPE),
             np.zeros(0, dtype=matrix.dtype),
             matrix.shape,
         )
+    ell = ELLMatrix(indices, data, matrix.shape, ell_nnz)
     hyb = HYBMatrix(ell, coo)
     cost = ConversionCost(
         FormatName.CSR,

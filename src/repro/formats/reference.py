@@ -1,0 +1,365 @@
+"""Loop-based reference implementations of the cold-path conversions.
+
+The converters in :mod:`repro.formats.convert` are loop-free NumPy index
+arithmetic; these are the per-row/per-element Python loops they replaced,
+retained deliberately as
+
+* **correctness oracles** — the property tests assert the vectorized
+  converters produce bitwise-identical ``ptr``/``indices``/``data`` arrays
+  and identical :class:`~repro.formats.convert.ConversionCost` accounting
+  against these, and
+* **benchmark baselines** — ``repro bench-perf`` reports every vectorized
+  operation's speedup over its retained loop reference (the
+  ``speedup_vs_python_loop`` column of ``BENCH_perf.json``).
+
+Each function mirrors its vectorized twin's signature, fill-budget guard
+and ``touched_slots`` formula exactly; only the traversal differs.  None
+of them tick the conversion/extraction event meters — oracles must not
+perturb the serving layer's bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConversionError, FormatError
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.convert import DEFAULT_FILL_BUDGET, ConversionCost
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.formats.sky import SKYMatrix
+from repro.types import INDEX_DTYPE, FormatName
+
+
+def csr_to_ell_loop(
+    matrix: CSRMatrix, fill_budget: Optional[float] = DEFAULT_FILL_BUDGET
+) -> Tuple[ELLMatrix, ConversionCost]:
+    """Per-row packing loop (the pre-vectorization ``csr_to_ell``)."""
+    degrees = matrix.row_degrees()
+    max_rd = int(degrees.max()) if matrix.n_rows and matrix.nnz else 0
+    padded = max_rd * matrix.n_rows
+    if fill_budget is not None and matrix.nnz and padded > fill_budget * matrix.nnz:
+        raise ConversionError(
+            f"CSR->ELL would allocate {padded} slots for {matrix.nnz} "
+            f"non-zeros ({padded / matrix.nnz:.1f}x, budget "
+            f"{fill_budget:.1f}x); refusing"
+        )
+    indices = np.zeros((max_rd, matrix.n_rows), dtype=INDEX_DTYPE)
+    data = np.zeros((max_rd, matrix.n_rows), dtype=matrix.dtype)
+    for i in range(matrix.n_rows):
+        start, end = int(matrix.ptr[i]), int(matrix.ptr[i + 1])
+        for slot, jj in enumerate(range(start, end)):
+            indices[slot, i] = matrix.indices[jj]
+            data[slot, i] = matrix.data[jj]
+    ell = ELLMatrix(indices, data, matrix.shape, matrix.nnz)
+    cost = ConversionCost(
+        FormatName.CSR,
+        FormatName.ELL,
+        matrix.nnz,
+        touched_slots=2 * matrix.nnz + 2 * padded,
+    )
+    return ell, cost
+
+
+def csr_to_dia_loop(
+    matrix: CSRMatrix, fill_budget: Optional[float] = DEFAULT_FILL_BUDGET
+) -> Tuple[DIAMatrix, ConversionCost]:
+    """Per-element diagonal scatter loop (the pre-vectorization path)."""
+    seen = set()
+    for i in range(matrix.n_rows):
+        for jj in range(int(matrix.ptr[i]), int(matrix.ptr[i + 1])):
+            seen.add(int(matrix.indices[jj]) - i)
+    offsets = np.asarray(sorted(seen), dtype=INDEX_DTYPE)
+    num_diags = int(offsets.shape[0])
+    padded = num_diags * matrix.n_rows
+    if fill_budget is not None and matrix.nnz and padded > fill_budget * matrix.nnz:
+        raise ConversionError(
+            f"CSR->DIA would allocate {padded} slots for {matrix.nnz} "
+            f"non-zeros ({padded / matrix.nnz:.1f}x, budget "
+            f"{fill_budget:.1f}x); refusing"
+        )
+    slot_of = {int(k): s for s, k in enumerate(offsets)}
+    data = np.zeros((max(num_diags, 0), matrix.n_rows), dtype=matrix.dtype)
+    for i in range(matrix.n_rows):
+        for jj in range(int(matrix.ptr[i]), int(matrix.ptr[i + 1])):
+            k = int(matrix.indices[jj]) - i
+            data[slot_of[k], i] = matrix.data[jj]
+    dia = DIAMatrix(offsets, data, matrix.shape)
+    cost = ConversionCost(
+        FormatName.CSR,
+        FormatName.DIA,
+        matrix.nnz,
+        touched_slots=2 * matrix.nnz + padded,
+    )
+    return dia, cost
+
+
+def csr_to_bcsr_loop(
+    matrix: CSRMatrix,
+    block_shape: Tuple[int, int] = (2, 2),
+    fill_budget: Optional[float] = DEFAULT_FILL_BUDGET,
+) -> Tuple[BCSRMatrix, ConversionCost]:
+    """Per-element block-tiling loop (the pre-vectorization path)."""
+    r, c = int(block_shape[0]), int(block_shape[1])
+    if r <= 0 or c <= 0:
+        raise FormatError(f"block dims must be positive, got {block_shape}")
+    n_block_rows = -(-matrix.n_rows // r)
+    if matrix.nnz == 0:
+        empty = BCSRMatrix(
+            np.zeros(n_block_rows + 1, dtype=INDEX_DTYPE),
+            np.zeros(0, dtype=INDEX_DTYPE),
+            np.zeros((0, r, c), dtype=matrix.dtype),
+            matrix.shape,
+            0,
+        )
+        return empty, ConversionCost(FormatName.CSR, FormatName.BCSR, 0, 0)
+
+    n_block_cols = -(-matrix.n_cols // c)
+    keys = set()
+    for i in range(matrix.n_rows):
+        for jj in range(int(matrix.ptr[i]), int(matrix.ptr[i + 1])):
+            keys.add((i // r) * n_block_cols + int(matrix.indices[jj]) // c)
+    sorted_keys = sorted(keys)
+    n_blocks = len(sorted_keys)
+    padded = n_blocks * r * c
+    if fill_budget is not None and padded > fill_budget * matrix.nnz:
+        raise ConversionError(
+            f"CSR->BCSR{block_shape} would allocate {padded} slots for "
+            f"{matrix.nnz} non-zeros; refusing"
+        )
+    block_of = {key: b for b, key in enumerate(sorted_keys)}
+    blocks = np.zeros((n_blocks, r, c), dtype=matrix.dtype)
+    for i in range(matrix.n_rows):
+        for jj in range(int(matrix.ptr[i]), int(matrix.ptr[i + 1])):
+            j = int(matrix.indices[jj])
+            b = block_of[(i // r) * n_block_cols + j // c]
+            blocks[b, i % r, j % c] = matrix.data[jj]
+
+    block_rows = [key // n_block_cols for key in sorted_keys]
+    block_cols = np.asarray(
+        [key % n_block_cols for key in sorted_keys], dtype=INDEX_DTYPE
+    )
+    block_ptr = np.zeros(n_block_rows + 1, dtype=INDEX_DTYPE)
+    for brow in block_rows:
+        block_ptr[brow + 1] += 1
+    np.cumsum(block_ptr, out=block_ptr)
+
+    bcsr = BCSRMatrix(block_ptr, block_cols, blocks, matrix.shape, matrix.nnz)
+    cost = ConversionCost(
+        FormatName.CSR,
+        FormatName.BCSR,
+        matrix.nnz,
+        touched_slots=2 * matrix.nnz + padded,
+    )
+    return bcsr, cost
+
+
+def csr_to_sky_loop(
+    matrix: CSRMatrix, fill_budget: Optional[float] = DEFAULT_FILL_BUDGET
+) -> Tuple[SKYMatrix, ConversionCost]:
+    """Per-row profile-packing loop (the pre-vectorization path)."""
+    if matrix.n_rows != matrix.n_cols:
+        raise ConversionError(
+            f"skyline needs a square matrix, got {matrix.shape}"
+        )
+    n = matrix.n_rows
+    pointers = np.zeros(n + 1, dtype=INDEX_DTYPE)
+    first_col = np.zeros(n, dtype=INDEX_DTYPE)
+    for i in range(n):
+        first = i
+        for jj in range(int(matrix.ptr[i]), int(matrix.ptr[i + 1])):
+            j = int(matrix.indices[jj])
+            if j <= i and j < first:
+                first = j
+        first_col[i] = first
+        pointers[i + 1] = pointers[i] + (i - first + 1)
+
+    profile = np.zeros(int(pointers[-1]), dtype=matrix.dtype)
+    upper_rows, upper_cols, upper_vals = [], [], []
+    for i in range(n):
+        for jj in range(int(matrix.ptr[i]), int(matrix.ptr[i + 1])):
+            j = int(matrix.indices[jj])
+            if j <= i:
+                profile[int(pointers[i]) + (j - int(first_col[i]))] = (
+                    matrix.data[jj]
+                )
+            else:
+                upper_rows.append(i)
+                upper_cols.append(j)
+                upper_vals.append(matrix.data[jj])
+    if upper_rows:
+        upper = CSRMatrix.from_triplets(
+            np.asarray(upper_rows, dtype=INDEX_DTYPE),
+            np.asarray(upper_cols, dtype=INDEX_DTYPE),
+            np.asarray(upper_vals, dtype=matrix.dtype),
+            matrix.shape,
+        )
+    else:
+        upper = None
+    sky = SKYMatrix(pointers, profile, matrix.shape, upper=upper, nnz=matrix.nnz)
+    stored = sky.profile_size + (sky.upper.nnz if sky.upper else 0)
+    if (
+        fill_budget is not None
+        and matrix.nnz
+        and stored > fill_budget * matrix.nnz
+    ):
+        raise ConversionError(
+            f"CSR->SKY would store {stored} slots for {matrix.nnz} "
+            f"non-zeros ({stored / matrix.nnz:.1f}x, budget "
+            f"{fill_budget:.1f}x); refusing"
+        )
+    cost = ConversionCost(
+        FormatName.CSR, FormatName.SKY, matrix.nnz,
+        touched_slots=2 * matrix.nnz + stored,
+    )
+    return sky, cost
+
+
+def sky_to_csr_loop(matrix: SKYMatrix) -> Tuple[CSRMatrix, ConversionCost]:
+    """Per-row profile-scan loop (the pre-vectorization ``sky_to_csr``)."""
+    first = matrix.first_columns()
+    rows_list = []
+    cols_list = []
+    vals_list = []
+    for i in range(matrix.n_rows):
+        start, end = int(matrix.pointers[i]), int(matrix.pointers[i + 1])
+        segment = matrix.profile[start:end]
+        nz = np.nonzero(segment)[0]
+        rows_list.append(np.full(nz.shape[0], i, dtype=INDEX_DTYPE))
+        cols_list.append(nz + int(first[i]))
+        vals_list.append(segment[nz])
+    if matrix.upper is not None:
+        upper_rows = np.repeat(
+            np.arange(matrix.n_rows, dtype=INDEX_DTYPE),
+            matrix.upper.row_degrees(),
+        )
+        rows_list.append(upper_rows)
+        cols_list.append(matrix.upper.indices)
+        vals_list.append(matrix.upper.data)
+    rows = np.concatenate(rows_list) if rows_list else np.zeros(0, INDEX_DTYPE)
+    cols = np.concatenate(cols_list) if cols_list else np.zeros(0, INDEX_DTYPE)
+    vals = (
+        np.concatenate(vals_list)
+        if vals_list
+        else np.zeros(0, dtype=matrix.dtype)
+    )
+    csr = CSRMatrix.from_triplets(rows, cols, vals, matrix.shape)
+    cost = ConversionCost(
+        FormatName.SKY, FormatName.CSR, csr.nnz,
+        touched_slots=matrix.profile_size + 3 * csr.nnz,
+    )
+    return csr, cost
+
+
+def csr_to_hyb_loop(
+    matrix: CSRMatrix, ell_width: Optional[int] = None
+) -> Tuple[HYBMatrix, ConversionCost]:
+    """Per-row split loop (the pre-vectorization ``csr_to_hyb``)."""
+    degrees = matrix.row_degrees()
+    if ell_width is None:
+        if matrix.nnz == 0 or degrees.size == 0:
+            ell_width = 0
+        else:
+            ell_width = int(np.percentile(degrees, 67))
+    ell_width = max(int(ell_width), 0)
+
+    n_rows = matrix.n_rows
+    indices = np.zeros((ell_width, n_rows), dtype=INDEX_DTYPE)
+    data = np.zeros((ell_width, n_rows), dtype=matrix.dtype)
+    coo_rows = []
+    coo_cols = []
+    coo_vals = []
+    ell_nnz = 0
+    for i in range(n_rows):
+        start, end = int(matrix.ptr[i]), int(matrix.ptr[i + 1])
+        width = min(end - start, ell_width)
+        indices[:width, i] = matrix.indices[start : start + width]
+        data[:width, i] = matrix.data[start : start + width]
+        ell_nnz += width
+        if end - start > ell_width:
+            overflow = slice(start + ell_width, end)
+            coo_rows.append(
+                np.full(end - start - ell_width, i, dtype=INDEX_DTYPE)
+            )
+            coo_cols.append(matrix.indices[overflow])
+            coo_vals.append(matrix.data[overflow])
+    ell = ELLMatrix(indices, data, matrix.shape, ell_nnz)
+    if coo_rows:
+        coo = COOMatrix(
+            np.concatenate(coo_rows),
+            np.concatenate(coo_cols),
+            np.concatenate(coo_vals),
+            matrix.shape,
+        )
+    else:
+        coo = COOMatrix(
+            np.zeros(0, dtype=INDEX_DTYPE),
+            np.zeros(0, dtype=INDEX_DTYPE),
+            np.zeros(0, dtype=matrix.dtype),
+            matrix.shape,
+        )
+    hyb = HYBMatrix(ell, coo)
+    cost = ConversionCost(
+        FormatName.CSR,
+        FormatName.HYB,
+        matrix.nnz,
+        touched_slots=2 * matrix.nnz + 2 * ell.padded_size + 3 * coo.nnz,
+    )
+    return hyb, cost
+
+
+def extract_structure_features_loop(matrix: CSRMatrix) -> dict:
+    """Per-row/per-element Table 2 feature pass (benchmark baseline).
+
+    Walks the structure with Python loops, then applies the *same* summary
+    formulas as :func:`repro.features.extract.extract_structure_features`
+    on the collected arrays, so results match to the last bit.  Does not
+    tick the extraction event meter.
+    """
+    from repro.features.extract import TRUE_DIAGONAL_THRESHOLD
+    from repro.util.stats import gini_like_variance
+
+    m, n = matrix.shape
+    nnz = matrix.nnz
+
+    degrees = np.zeros(m, dtype=INDEX_DTYPE)
+    diag_counts: dict = {}
+    for i in range(m):
+        start, end = int(matrix.ptr[i]), int(matrix.ptr[i + 1])
+        degrees[i] = end - start
+        for jj in range(start, end):
+            k = int(matrix.indices[jj]) - i
+            diag_counts[k] = diag_counts.get(k, 0) + 1
+
+    aver_rd = nnz / m
+    max_rd = int(degrees.max()) if degrees.size else 0
+    var_rd = gini_like_variance(degrees, aver_rd)
+
+    ndiags = len(diag_counts)
+    n_true = 0
+    for k, count in diag_counts.items():
+        length = min(m, n - k) - max(0, -k)
+        if count / max(length, 1) >= TRUE_DIAGONAL_THRESHOLD:
+            n_true += 1
+    ntdiags_ratio = (n_true / ndiags) if ndiags else 0.0
+
+    er_dia = nnz / (ndiags * m) if ndiags else 1.0
+    er_ell = nnz / (max_rd * m) if max_rd else 1.0
+
+    return {
+        "m": int(m),
+        "n": int(n),
+        "ndiags": int(ndiags),
+        "ntdiags_ratio": float(ntdiags_ratio),
+        "nnz": int(nnz),
+        "aver_rd": float(aver_rd),
+        "max_rd": int(max_rd),
+        "var_rd": float(var_rd),
+        "er_dia": float(er_dia),
+        "er_ell": float(er_ell),
+    }

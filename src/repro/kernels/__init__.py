@@ -13,6 +13,7 @@ from repro.kernels import coo_kernels  # noqa: F401
 from repro.kernels import csr_kernels  # noqa: F401
 from repro.kernels import dia_kernels  # noqa: F401
 from repro.kernels import ell_kernels  # noqa: F401
+from repro.kernels import parallel  # noqa: F401
 from repro.kernels.base import (
     Kernel,
     find_kernel,

@@ -168,7 +168,11 @@ def cost_breakdown(
     f = features
     b = precision.bytes_per_value
     vectorized = Strategy.VECTORIZE in strategies
-    parallel = Strategy.PARALLEL in strategies
+    # THREAD (real ThreadPoolExecutor chunks) scales like PARALLEL (the
+    # modelled static row partition): both split rows across the cores.
+    parallel = (
+        Strategy.PARALLEL in strategies or Strategy.THREAD in strategies
+    )
     blocked = Strategy.ROW_BLOCK in strategies
     unrolled = Strategy.UNROLL in strategies
     threads = arch.cores if parallel else 1

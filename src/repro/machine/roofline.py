@@ -53,7 +53,10 @@ def roofline_point(
 ) -> RooflinePoint:
     """Place one (matrix, format) SpMV on ``arch``'s roofline."""
     blocked = Strategy.ROW_BLOCK in strategies
-    threads = arch.cores if Strategy.PARALLEL in strategies else 1
+    threaded = (
+        Strategy.PARALLEL in strategies or Strategy.THREAD in strategies
+    )
+    threads = arch.cores if threaded else 1
 
     padded = _padded_size(fmt, features)
     matrix_bytes, x_bytes, y_bytes = _traffic(

@@ -1,0 +1,293 @@
+"""Perf-regression benchmark: cold-path conversions, features, kernels.
+
+``repro bench-perf`` (and the ``benchmarks/bench_perf_regression.py``
+wrapper) time every cold-path operation the auto-tuner performs on a
+plan-cache miss — format conversion, Table 2 feature extraction, the full
+plan build — plus the per-format SpMV kernels, on a fixed synthetic suite.
+Each vectorized operation is timed against its retained Python-loop
+reference (:mod:`repro.formats.reference`, the ``*_basic`` kernels), and
+the results land in ``BENCH_perf.json`` with the schema::
+
+    op -> {median_s, loop_median_s, speedup_vs_python_loop}
+
+so every subsequent PR has a perf trajectory to append to, and CI can
+assert the vectorized cold path never regresses back to loop speed
+(``--assert-speedup``).
+
+Suites: ``smoke`` (sub-second, for tests), ``quick`` (the medium suite CI
+runs), ``full`` (adds a large tier and the >=2M-nnz THREAD-kernel case —
+skipped, not failed, on hosts with fewer than 4 cores).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.collection import banded, graphs
+from repro.features.extract import extract_structure_features
+from repro.formats import reference
+from repro.formats.convert import (
+    csr_to_bcsr,
+    csr_to_dia,
+    csr_to_ell,
+    csr_to_hyb,
+    csr_to_sky,
+    sky_to_csr,
+)
+from repro.kernels.base import find_kernel
+from repro.kernels.parallel import csr_spmv_thread, default_workers
+from repro.kernels.strategies import Strategy, strategy_set
+from repro.types import FormatName
+from repro.util.timing import median_time
+
+#: Minimum workers (and host cores) for the THREAD-kernel comparison; the
+#: acceptance criterion is skip-not-fail below this.
+THREAD_MIN_WORKERS = 4
+
+#: Non-zeros of the THREAD-kernel matrix (the ">=2M nnz" tier).
+THREAD_ROWS = 300_000
+THREAD_DIAGS = 7
+
+#: (n, n_diags) of the banded conversion/kernel matrix per suite, plus the
+#: power-law node count for the feature-extraction case.
+SUITE_SIZES = {
+    "smoke": {"banded": (2_000, 5), "powerlaw": 1_500},
+    "quick": {"banded": (25_000, 9), "powerlaw": 15_000},
+    "full": {"banded": (25_000, 9), "powerlaw": 15_000},
+}
+
+#: The two conversions the acceptance gate checks (PAPER §7.3's worst
+#: offenders: ELL/DIA are the padded formats whose conversion blows up).
+GATED_OPS = ("convert/csr_to_ell", "convert/csr_to_dia")
+
+
+def _time(fn: Callable[[], object], repeats: int, warmup: int = 1) -> float:
+    return median_time(fn, repeats=max(1, repeats), warmup=warmup)
+
+
+def run_suite(
+    suite: str = "full",
+    repeats: int = 3,
+    loop_repeats: int = 1,
+    workers: Optional[int] = None,
+    seed: int = 2013,
+) -> Dict[str, object]:
+    """Run one benchmark suite; returns the JSON-serializable report."""
+    if suite not in SUITE_SIZES:
+        raise ValueError(
+            f"unknown suite {suite!r}; pick one of {sorted(SUITE_SIZES)}"
+        )
+    sizes = SUITE_SIZES[suite]
+    n, n_diags = sizes["banded"]
+    band = banded.banded_matrix(n, n_diags, seed=seed)
+    power = graphs.power_law_graph(sizes["powerlaw"], exponent=2.2, seed=seed)
+    x = np.ones(band.n_cols, dtype=band.dtype)
+
+    ops: Dict[str, Dict[str, object]] = {}
+
+    def record(
+        name: str,
+        vec: Callable[[], object],
+        loop: Optional[Callable[[], object]] = None,
+        **extra: object,
+    ) -> None:
+        entry: Dict[str, object] = {
+            "median_s": _time(vec, repeats),
+        }
+        if loop is not None:
+            loop_s = _time(loop, loop_repeats, warmup=0)
+            entry["loop_median_s"] = loop_s
+            entry["speedup_vs_python_loop"] = (
+                loop_s / entry["median_s"] if entry["median_s"] > 0 else 0.0
+            )
+        entry.update(extra)
+        ops[name] = entry
+
+    # -- conversions (the cold path's dominant cost) --------------------
+    record(
+        "convert/csr_to_ell",
+        lambda: csr_to_ell(band, fill_budget=None),
+        lambda: reference.csr_to_ell_loop(band, fill_budget=None),
+    )
+    record(
+        "convert/csr_to_dia",
+        lambda: csr_to_dia(band, fill_budget=None),
+        lambda: reference.csr_to_dia_loop(band, fill_budget=None),
+    )
+    record(
+        "convert/csr_to_bcsr",
+        lambda: csr_to_bcsr(band, fill_budget=None),
+        lambda: reference.csr_to_bcsr_loop(band, fill_budget=None),
+    )
+    record(
+        "convert/csr_to_sky",
+        lambda: csr_to_sky(band, fill_budget=None),
+        lambda: reference.csr_to_sky_loop(band, fill_budget=None),
+    )
+    sky, _ = csr_to_sky(band, fill_budget=None)
+    record(
+        "convert/sky_to_csr",
+        lambda: sky_to_csr(sky),
+        lambda: reference.sky_to_csr_loop(sky),
+    )
+    record(
+        "convert/csr_to_hyb",
+        lambda: csr_to_hyb(power),
+        lambda: reference.csr_to_hyb_loop(power),
+    )
+
+    # -- Table 2 feature pass -------------------------------------------
+    record(
+        "features/structure",
+        lambda: extract_structure_features(power),
+        lambda: reference.extract_structure_features_loop(power),
+    )
+
+    # -- full plan build: extraction + conversion (a serve cache miss) --
+    record(
+        "plan/build",
+        lambda: (
+            extract_structure_features(band),
+            csr_to_dia(band, fill_budget=None),
+        ),
+        lambda: (
+            reference.extract_structure_features_loop(band),
+            reference.csr_to_dia_loop(band, fill_budget=None),
+        ),
+    )
+
+    # -- per-format SpMV: vectorized kernels vs the *_basic loops -------
+    vec = strategy_set(Strategy.VECTORIZE)
+    csr_fast = find_kernel(FormatName.CSR, vec)
+    csr_slow = find_kernel(FormatName.CSR, strategy_set())
+    record(
+        "spmv/csr",
+        lambda: csr_fast(band, x),
+        lambda: csr_slow(band, x),
+    )
+    ell, _ = csr_to_ell(band, fill_budget=None)
+    ell_fast = find_kernel(FormatName.ELL, vec)
+    ell_slow = find_kernel(FormatName.ELL, strategy_set())
+    record("spmv/ell", lambda: ell_fast(ell, x), lambda: ell_slow(ell, x))
+    dia, _ = csr_to_dia(band, fill_budget=None)
+    dia_fast = find_kernel(FormatName.DIA, vec)
+    dia_slow = find_kernel(FormatName.DIA, strategy_set())
+    record("spmv/dia", lambda: dia_fast(dia, x), lambda: dia_slow(dia, x))
+
+    # -- THREAD kernel: real concurrency on a >=2M-nnz matrix -----------
+    if suite == "full":
+        n_workers = workers if workers is not None else default_workers()
+        if n_workers < THREAD_MIN_WORKERS:
+            ops["spmv/csr_thread"] = {
+                "skipped": (
+                    f"needs >= {THREAD_MIN_WORKERS} workers, "
+                    f"host offers {n_workers}"
+                ),
+                "workers": n_workers,
+            }
+        else:
+            big = banded.banded_matrix(THREAD_ROWS, THREAD_DIAGS, seed=seed)
+            xb = np.ones(big.n_cols, dtype=big.dtype)
+            single_s = _time(lambda: csr_fast(big, xb), repeats)
+            thread_s = _time(
+                lambda: csr_spmv_thread(big, xb, workers=n_workers), repeats
+            )
+            ops["spmv/csr_thread"] = {
+                "median_s": thread_s,
+                "single_chunk_median_s": single_s,
+                "speedup_vs_vectorized": (
+                    single_s / thread_s if thread_s > 0 else 0.0
+                ),
+                "workers": n_workers,
+                "nnz": big.nnz,
+            }
+    else:
+        ops["spmv/csr_thread"] = {
+            "skipped": f"suite {suite!r} (run the full suite)",
+        }
+
+    return {
+        "bench": "perf_regression",
+        "suite": suite,
+        "repeats": repeats,
+        "matrix": {
+            "banded": {"n": n, "n_diags": n_diags, "nnz": band.nnz},
+            "powerlaw": {"n": sizes["powerlaw"], "nnz": power.nnz},
+        },
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "ops": ops,
+    }
+
+
+def check_speedups(
+    report: Dict[str, object], min_speedup: float
+) -> List[str]:
+    """Failure messages for gated ops below ``min_speedup`` (empty = pass)."""
+    failures = []
+    ops = report["ops"]
+    for name in GATED_OPS:
+        entry = ops.get(name)
+        if entry is None or "speedup_vs_python_loop" not in entry:
+            failures.append(f"{name}: no speedup recorded")
+            continue
+        speedup = float(entry["speedup_vs_python_loop"])
+        if speedup < min_speedup:
+            failures.append(
+                f"{name}: {speedup:.1f}x < required {min_speedup:.1f}x"
+            )
+    return failures
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Fixed-width text table of one benchmark report."""
+    lines = [
+        f"perf-regression suite '{report['suite']}' "
+        f"(numpy {report['host']['numpy']}, "
+        f"{report['host']['cpu_count']} cpu)",
+        f"{'op':26s} {'median':>10s} {'loop ref':>10s} {'speedup':>9s}",
+    ]
+    for name, entry in report["ops"].items():
+        if "skipped" in entry:
+            lines.append(f"{name:26s} {'skipped':>10s}  ({entry['skipped']})")
+            continue
+        median = _fmt_seconds(float(entry["median_s"]))
+        if "loop_median_s" in entry:
+            loop = _fmt_seconds(float(entry["loop_median_s"]))
+            speed = f"{float(entry['speedup_vs_python_loop']):.1f}x"
+        elif "single_chunk_median_s" in entry:
+            loop = _fmt_seconds(float(entry["single_chunk_median_s"]))
+            speed = f"{float(entry['speedup_vs_vectorized']):.2f}x"
+        else:
+            loop, speed = "-", "-"
+        lines.append(f"{name:26s} {median:>10s} {loop:>10s} {speed:>9s}")
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, object], out: Path) -> None:
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """Standalone entry point (used by benchmarks/bench_perf_regression.py)."""
+    from repro.cli import main as cli_main
+
+    return cli_main(["bench-perf"] + list(argv or sys.argv[1:]))

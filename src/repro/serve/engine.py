@@ -416,7 +416,15 @@ class ServingEngine:
                     self.metrics.counter("cache_hits").inc()
                     return plan, True, time.perf_counter() - started
                 self.metrics.counter("cache_misses").inc()
+                build_started = time.perf_counter()
                 plan = self._build_plan(key, matrix)
+                # Cold-path latency: decision (feature extraction + model
+                # walk or fallback) plus the format conversion.  Only a
+                # cache miss pays this, so the histogram isolates exactly
+                # the cost the vectorized cold path is meant to shrink.
+                self.metrics.histogram("plan_build_seconds").observe(
+                    time.perf_counter() - build_started
+                )
                 if self.cache.put(plan):
                     self.metrics.counter("plans_cached").inc()
                 else:

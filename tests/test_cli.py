@@ -156,3 +156,48 @@ class TestServeBench:
         ])
         assert code == 1
         assert "must be >=" in capsys.readouterr().err
+
+
+class TestBenchPerf:
+    def test_smoke_suite_writes_report(self, tmp_path, capsys) -> None:
+        out = tmp_path / "BENCH_perf.json"
+        code = main([
+            "bench-perf", "--suite", "smoke", "--repeats", "1",
+            "--out", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "convert/csr_to_ell" in captured
+
+        import json
+
+        report = json.loads(out.read_text())
+        ops = report["ops"]
+        for op in ("convert/csr_to_ell", "convert/csr_to_dia", "spmv/csr"):
+            assert ops[op]["median_s"] > 0
+            assert "speedup_vs_python_loop" in ops[op]
+        # smoke suite never runs the THREAD case — recorded as a skip.
+        assert "skipped" in ops["spmv/csr_thread"]
+
+    def test_assert_speedup_gate(self, tmp_path, capsys) -> None:
+        out = tmp_path / "BENCH_perf.json"
+        code = main([
+            "bench-perf", "--suite", "smoke", "--repeats", "1",
+            "--out", str(out), "--assert-speedup", "2",
+        ])
+        assert code == 0
+        assert "speedup gate passed" in capsys.readouterr().out
+
+    def test_impossible_gate_fails(self, tmp_path, capsys) -> None:
+        out = tmp_path / "BENCH_perf.json"
+        code = main([
+            "bench-perf", "--suite", "smoke", "--repeats", "1",
+            "--out", str(out), "--assert-speedup", "1000000",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_quick_conflicts_with_other_suite(self, capsys) -> None:
+        code = main(["bench-perf", "--quick", "--suite", "full"])
+        assert code == 1
+        assert "conflicts" in capsys.readouterr().err

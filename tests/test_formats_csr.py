@@ -130,3 +130,47 @@ class TestStructureQueries:
 
     def test_flop_count(self, paper_csr: CSRMatrix) -> None:
         assert paper_csr.flop_count() == 2 * paper_csr.nnz
+
+
+class TestReferenceOracles:
+    """The vectorized to_dense/spmv defaults vs their loop oracles.
+
+    The duplicate-entry matrices go through ``from_triplets``, which sums
+    duplicates at construction; values are small integers, so both code
+    paths are exact and the comparison can be bitwise (``np.array_equal``).
+    """
+
+    def _duplicate_matrix(self) -> CSRMatrix:
+        rows = np.array([0, 0, 0, 1, 2, 2, 3, 3, 3, 3])
+        cols = np.array([1, 1, 3, 2, 0, 0, 3, 3, 3, 0])
+        data = np.array([1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 3.0, 5.0, 7.0, 9.0])
+        return CSRMatrix.from_triplets(rows, cols, data, (4, 4))
+
+    def test_to_dense_matches_reference(self) -> None:
+        matrix = self._duplicate_matrix()
+        assert np.array_equal(
+            matrix.to_dense(), matrix.to_dense(reference=True)
+        )
+
+    def test_to_dense_sums_duplicates(self) -> None:
+        matrix = self._duplicate_matrix()
+        dense = matrix.to_dense()
+        assert dense[0, 1] == 3.0   # 1 + 2 summed at construction
+        assert dense[2, 0] == 48.0  # 16 + 32
+        assert dense[3, 3] == 15.0  # 3 + 5 + 7
+
+    def test_spmv_matches_reference(self) -> None:
+        matrix = self._duplicate_matrix()
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        assert np.array_equal(
+            matrix.spmv(x), matrix.spmv(x, reference=True)
+        )
+
+    def test_spmv_empty_rows_and_zero_nnz(self) -> None:
+        empty = CSRMatrix.from_dense(np.zeros((3, 3)))
+        x = np.ones(3)
+        assert np.array_equal(empty.spmv(x), np.zeros(3))
+        assert np.array_equal(empty.spmv(x), empty.spmv(x, reference=True))
+        assert np.array_equal(
+            empty.to_dense(), empty.to_dense(reference=True)
+        )

@@ -1,0 +1,152 @@
+"""Tests for the chunked thread-parallel SpMV executor (Strategy.THREAD)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.collection import banded, graphs, random_sparse
+from repro.features.parameters import FeatureVector
+from repro.formats.csr import CSRMatrix
+from repro.kernels.base import find_kernel
+from repro.kernels.parallel import (
+    MIN_PARALLEL_NNZ,
+    chunk_ranges,
+    csr_spmv_thread,
+    default_workers,
+    nnz_balanced_chunks,
+    shared_executor,
+)
+from repro.kernels.strategies import Strategy, strategy_set
+from repro.machine import INTEL_XEON_X5680, estimate_spmv_time
+from repro.types import INDEX_DTYPE, FormatName, Precision
+
+
+def _csr(dense) -> CSRMatrix:
+    return CSRMatrix.from_dense(np.asarray(dense, dtype=np.float64))
+
+
+class TestNnzBalancedChunks:
+    def test_bounds_shape_and_endpoints(self) -> None:
+        matrix = banded.banded_matrix(100, 5, seed=1)
+        bounds = nnz_balanced_chunks(matrix.ptr, 4)
+        assert bounds.shape == (5,)
+        assert bounds[0] == 0
+        assert bounds[-1] == matrix.n_rows
+        assert np.all(np.diff(bounds) >= 0)
+
+    def test_chunks_cover_all_rows_exactly_once(self) -> None:
+        matrix = graphs.power_law_graph(500, exponent=2.2, seed=3)
+        for n_chunks in (1, 2, 3, 7, 16, 600):
+            ranges = chunk_ranges(matrix.ptr, n_chunks)
+            covered = np.concatenate(
+                [np.arange(lo, hi) for lo, hi in ranges]
+            )
+            assert np.array_equal(
+                covered, np.arange(matrix.n_rows)
+            ), n_chunks
+
+    def test_chunks_are_nnz_balanced(self) -> None:
+        matrix = random_sparse.uniform_random(2000, 2000, 8.0, seed=5)
+        bounds = nnz_balanced_chunks(matrix.ptr, 8)
+        per_chunk = np.diff(matrix.ptr[bounds])
+        target = matrix.nnz / 8
+        max_degree = int(matrix.row_degrees().max())
+        # Each chunk is within one row's worth of nnz of the ideal split.
+        assert np.all(per_chunk <= target + max_degree)
+
+    def test_one_huge_row_collapses_other_chunks(self) -> None:
+        # 10 rows; row 3 holds nearly all nnz: boundaries must stay monotone
+        # and still cover every row even when searchsorted collides.
+        dense = np.zeros((10, 200))
+        dense[3, :150] = 1.0
+        dense[0, 0] = dense[9, 5] = 1.0
+        matrix = _csr(dense)
+        bounds = nnz_balanced_chunks(matrix.ptr, 6)
+        assert np.all(np.diff(bounds) >= 0)
+        assert bounds[0] == 0 and bounds[-1] == 10
+
+    def test_zero_nnz_splits_rows(self) -> None:
+        matrix = _csr(np.zeros((12, 12)))
+        bounds = nnz_balanced_chunks(matrix.ptr, 4)
+        assert bounds[0] == 0 and bounds[-1] == 12
+        assert np.all(np.diff(bounds) >= 0)
+
+    def test_empty_matrix(self) -> None:
+        ptr = np.zeros(1, dtype=INDEX_DTYPE)  # zero rows
+        bounds = nnz_balanced_chunks(ptr, 3)
+        assert np.all(bounds == 0)
+        assert chunk_ranges(ptr, 3) == []
+
+
+class TestThreadSpmv:
+    def test_matches_basic_kernel_small(self) -> None:
+        # Below MIN_PARALLEL_NNZ: falls back to the vectorized kernel but
+        # must still agree with the reference loop.
+        matrix = graphs.power_law_graph(300, exponent=2.1, seed=7)
+        x = np.linspace(-1, 1, matrix.n_cols)
+        basic = find_kernel(FormatName.CSR, strategy_set())
+        np.testing.assert_allclose(
+            csr_spmv_thread(matrix, x), basic(matrix, x), atol=1e-12
+        )
+
+    def test_matches_vectorized_above_threshold(self) -> None:
+        matrix = banded.banded_matrix(30_000, 5, seed=2)
+        assert matrix.nnz >= MIN_PARALLEL_NNZ
+        x = np.random.default_rng(0).normal(size=matrix.n_cols)
+        vec = find_kernel(
+            FormatName.CSR, strategy_set(Strategy.VECTORIZE)
+        )
+        got = csr_spmv_thread(matrix, x, workers=4)
+        np.testing.assert_allclose(got, vec(matrix, x), atol=1e-9)
+
+    def test_forced_workers_cover_empty_rows(self) -> None:
+        dense = np.zeros((64, 64))
+        dense[::4, 1] = 2.0  # three of four rows empty
+        matrix = _csr(dense)
+        x = np.arange(64, dtype=np.float64)
+        got = csr_spmv_thread(matrix, x, workers=8)
+        np.testing.assert_allclose(got, matrix.spmv(x, reference=True))
+
+    def test_registered_under_vectorize_thread(self) -> None:
+        kernel = find_kernel(
+            FormatName.CSR, strategy_set(Strategy.VECTORIZE, Strategy.THREAD)
+        )
+        assert kernel.name == "CSR/thread+vectorize"
+        matrix = banded.banded_matrix(200, 3, seed=4)
+        x = np.ones(matrix.n_cols)
+        basic = find_kernel(FormatName.CSR, strategy_set())
+        np.testing.assert_allclose(
+            kernel(matrix, x), basic(matrix, x), atol=1e-12
+        )
+
+    def test_shared_executor_is_singleton(self) -> None:
+        assert shared_executor() is shared_executor()
+
+    def test_default_workers_positive(self) -> None:
+        assert 1 <= default_workers() <= 16
+
+
+class TestThreadCostModel:
+    def test_thread_scales_like_parallel(self) -> None:
+        fv = FeatureVector(
+            m=200_000, n=200_000, ndiags=9, ntdiags_ratio=1.0,
+            nnz=1_800_000, aver_rd=9.0, max_rd=9, var_rd=0.1,
+            er_dia=0.99, er_ell=0.99, r=math.inf,
+        )
+        single = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.CSR, fv, Precision.DOUBLE,
+            strategy_set(Strategy.VECTORIZE),
+        )
+        threaded = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.CSR, fv, Precision.DOUBLE,
+            strategy_set(Strategy.VECTORIZE, Strategy.THREAD),
+        )
+        parallel = estimate_spmv_time(
+            INTEL_XEON_X5680, FormatName.CSR, fv, Precision.DOUBLE,
+            strategy_set(Strategy.VECTORIZE, Strategy.PARALLEL),
+        )
+        assert threaded < single
+        assert threaded == pytest.approx(parallel)

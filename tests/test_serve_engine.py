@@ -327,3 +327,32 @@ class TestOnlineIntegration:
         assert engine.metrics.counter("fallback_decisions").value == len(
             matrices
         )
+
+
+class TestPlanBuildMetrics:
+    """Satellite: only cache misses pay (and record) plan-build latency."""
+
+    def test_miss_populates_plan_build_histogram(self, engine, rng) -> None:
+        histogram = engine.metrics.histogram("plan_build_seconds")
+        assert histogram.count == 0
+
+        matrix = random_csr(rng, n_rows=60, n_cols=60)
+        x = np.ones(60)
+        cold = engine.spmv(matrix, x)
+        assert not cold.cache_hit
+        assert histogram.count == 1
+        assert histogram.sum > 0.0
+
+        for _ in range(3):
+            assert engine.spmv(matrix, x).cache_hit
+        assert histogram.count == 1  # hits never touch the build path
+
+        other = random_csr(rng, n_rows=61, n_cols=61)
+        engine.spmv(other, np.ones(61))
+        assert histogram.count == 2
+
+    def test_plan_build_latency_in_report(self, engine, rng) -> None:
+        matrix = random_csr(rng, n_rows=40, n_cols=40)
+        engine.spmv(matrix, np.ones(40))
+        report = engine.metrics.report()
+        assert "plan_build_seconds" in report
