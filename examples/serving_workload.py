@@ -9,6 +9,13 @@ distinct matrix pays for feature extraction, the Figure-7 decision, and
 format conversion exactly once; every later request for the same
 structure reuses the cached plan and goes straight to the kernel.
 
+A second stage demonstrates the failure semantics: every request gets an
+end-to-end deadline, and a seeded fault plan forces the first plan
+builds to fail — the engine degrades to the always-correct CSR reference
+plan (metered as ``degraded_requests``), the per-fingerprint circuit
+breaker stops re-tuning, and once the fault window passes a half-open
+probe restores tuned serving.
+
 Run:  python examples/serving_workload.py
 """
 
@@ -21,6 +28,8 @@ from repro.features.extract import EXTRACTION_EVENTS
 from repro.formats.convert import CONVERSION_EVENTS
 from repro.machine import INTEL_XEON_X5680, SimulatedBackend
 from repro.serve import (
+    FaultPlan,
+    FaultRule,
     ServeConfig,
     ServingEngine,
     build_matrix_pool,
@@ -70,9 +79,35 @@ def main() -> None:
     x = np.ones(sample.n_cols)
     direct, _ = smat.spmv(sample, x)
     with ServingEngine(smat) as engine:
-        served = engine.spmv(sample, x)
+        # Every request can carry an end-to-end deadline (seconds over
+        # queue wait + plan build + execute); a generous one here.
+        served = engine.spmv(sample, x, deadline=30.0)
     assert np.array_equal(served.y, direct), "served != direct SMAT.spmv"
     print("\nServed results are bitwise identical to direct SMAT.spmv().")
+
+    print("\nResilience stage: forcing the first 3 plan builds to fail...")
+    faults = FaultPlan(
+        [FaultRule(site="decide", kind="transient", start=0, stop=3)]
+    )
+    config = ServeConfig(
+        workers=1, breaker_threshold=2, breaker_probe_interval=1,
+        default_deadline=30.0,
+    )
+    with ServingEngine(smat, config, faults=faults) as engine:
+        reference = sample.spmv(x, reference=True)
+        for i in range(5):
+            result = engine.spmv(sample, x)
+            assert np.allclose(result.y, reference, atol=1e-9)
+            print(f"  request {i}: "
+                  + ("degraded -> CSR reference plan"
+                     if result.degraded else
+                     f"tuned plan ({result.format_name.value}"
+                     f"/{result.kernel_name})"))
+        counters = engine.metrics.snapshot()["counters"]
+    print(f"  degraded_requests={counters['degraded_requests']}, "
+          f"plan_build_failures={counters['plan_build_failures']}, "
+          f"breaker recovered={counters['breaker_recovered']} — "
+          "every request answered correctly throughout.")
 
 
 if __name__ == "__main__":

@@ -106,6 +106,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="training collection fraction (default 0.05)")
     serve.add_argument("--online", action="store_true",
                        help="serve through OnlineSmat (learn from fallbacks)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="end-to-end per-request deadline in seconds "
+                            "(queue wait + plan build + execute)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="retries for transient execute failures "
+                            "(default 2)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive plan-build failures that open a "
+                            "fingerprint's circuit breaker (default 3)")
+    serve.add_argument("--faults", action="append", default=None,
+                       metavar="SPEC",
+                       help="inject deterministic faults for chaos replay; "
+                            "SPEC is 'SITE[,key=value...]' with SITE in "
+                            "{decide,convert,execute}, e.g. "
+                            "'decide,rate=0.5,stop=20' or "
+                            "'execute,kind=latency,latency=0.002'; "
+                            "repeatable")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for probabilistic fault rules (default 0)")
     serve.add_argument("--platform", default="intel",
                        choices=["intel", "amd"])
     serve.add_argument("--seed", type=int, default=2013)
@@ -285,6 +304,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.collection import generate_collection
     from repro.serve import (
+        FaultPlan,
         ServeConfig,
         ServingEngine,
         build_matrix_pool,
@@ -300,6 +320,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultPlan.parse(args.faults, seed=args.fault_seed)
+        except ValueError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 1
 
     backend = _backend(args.platform)
     print(f"training tuner (scale {args.train_scale}, {args.platform})...")
@@ -320,16 +348,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_entries=args.cache_entries,
         cache_bytes=args.cache_bytes,
+        default_deadline=args.deadline,
+        max_retries=args.max_retries,
+        breaker_threshold=args.breaker_threshold,
     )
     print(
         f"replaying {args.requests} requests over {args.matrices} matrices "
-        f"({args.clients} clients, {args.workers} workers)..."
+        f"({args.clients} clients, {args.workers} workers"
+        + (f", {len(faults.rules)} fault rules" if faults else "")
+        + ")..."
     )
-    with ServingEngine(tuner, config) as engine:
+    with ServingEngine(tuner, config, faults=faults) as engine:
         report = replay(
             engine, pool, schedule, clients=args.clients, seed=args.seed
         )
         scoreboard = engine.scoreboard()
+        counters = engine.metrics.snapshot()["counters"]
 
     print()
     print(scoreboard)
@@ -340,17 +374,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"cache hits : {report.cache_hit_rate:.1%} of requests")
     print(f"verified   : {report.requests - report.mismatches}/"
           f"{report.requests} products match the reference kernel")
+    print(f"resilience : {counters['degraded_requests']} degraded, "
+          f"{counters['retries']} retries, "
+          f"{counters['deadline_exceeded']} deadline-expired")
     if args.online:
         print(f"online     : {tuner.observations} fallback records, "
               f"{tuner.retrain_count} retrains")
-    if report.errors:
-        print(f"error: {len(report.errors)} requests failed "
-              f"({report.errors[0]!r})", file=sys.stderr)
-        return 1
     if report.mismatches:
         print(f"error: {report.mismatches} product mismatches",
               file=sys.stderr)
         return 1
+    if report.errors:
+        # Under chaos replay failed requests are the experiment, not a
+        # broken benchmark: report them and keep exit 0 so fault sweeps
+        # can be scripted.  Without --faults any failure is a real error.
+        print(f"{'note' if faults else 'error'}: {len(report.errors)} "
+              f"requests failed ({report.errors[0]!r})",
+              file=sys.stderr)
+        if not faults:
+            return 1
     return 0
 
 

@@ -70,3 +70,23 @@ class BackpressureError(ServeError):
     not drain within the caller's timeout — the engine sheds load instead
     of buffering unboundedly.
     """
+
+
+class DeadlineExceededError(ServeError):
+    """A request's end-to-end deadline expired before it could be served.
+
+    The deadline covers queue wait + plan resolution + kernel execution;
+    an expired request is failed at dequeue, before any plan work is
+    spent on it.
+    """
+
+
+class TransientError(ServeError):
+    """A failure that is expected to clear on retry.
+
+    The serving engine's retry policy re-executes a request only when the
+    failure is an instance of this class — everything else (shape errors,
+    misconfiguration) fails immediately.  Fault injection raises the
+    :class:`repro.serve.faults.InjectedFault` subclass; external backends
+    can raise their own subclasses to opt into retries.
+    """

@@ -7,9 +7,17 @@ of the tuner, a bounded request queue with worker threads and
 same-fingerprint batching, and a metrics registry that makes the
 amortization observable.
 
+Failure semantics extend SMAT's own degradation principle (no confident
+rule → execute-and-measure) to runtime: end-to-end request deadlines,
+bounded retries for transient execute failures, and a per-fingerprint
+circuit breaker that degrades to the always-correct CSR reference plan
+when plan builds keep failing (``repro.serve.resilience``).  Every path
+is testable through deterministic fault injection
+(``repro.serve.faults``).
+
 >>> from repro.serve import ServingEngine
 >>> with ServingEngine(smat) as engine:
-...     y = engine.spmv(matrix, x).y
+...     y = engine.spmv(matrix, x, deadline=0.5).y
 ...     print(engine.scoreboard())
 """
 
@@ -17,6 +25,12 @@ from repro.serve.engine import (
     ServeConfig,
     ServeResult,
     ServingEngine,
+)
+from repro.serve.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFatalFault,
+    InjectedFault,
 )
 from repro.serve.fingerprint import (
     Fingerprint,
@@ -30,6 +44,13 @@ from repro.serve.metrics import (
     MetricsRegistry,
 )
 from repro.serve.plancache import CachedPlan, PlanCache
+from repro.serve.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    DegradedPlan,
+    RetryPolicy,
+)
 from repro.serve.workload import (
     ReplayReport,
     build_matrix_pool,
@@ -38,14 +59,23 @@ from repro.serve.workload import (
 )
 
 __all__ = [
+    "BreakerState",
     "CachedPlan",
+    "CircuitBreaker",
     "Counter",
+    "Deadline",
+    "DegradedPlan",
+    "FaultPlan",
+    "FaultRule",
     "Fingerprint",
     "Gauge",
     "Histogram",
+    "InjectedFatalFault",
+    "InjectedFault",
     "MetricsRegistry",
     "PlanCache",
     "ReplayReport",
+    "RetryPolicy",
     "ServeConfig",
     "ServeResult",
     "ServingEngine",

@@ -3,24 +3,38 @@
 ``ServingEngine`` turns the one-shot :meth:`repro.tuner.SMAT.spmv` call
 into a persistent service.  The pipeline per request:
 
-1. **fingerprint** the matrix (memory-bandwidth hash, no tuning work),
+1. **validate + fingerprint** the matrix (operand shape is checked at
+   submit so a bad vector fails one request, not a coalesced batch),
 2. **enqueue** into a bounded submission queue — full queue means
    :class:`repro.errors.BackpressureError`, the engine sheds load rather
    than buffering unboundedly,
 3. a **worker** pops the request and drains every queued request with the
-   same fingerprint into one batch, so one plan lookup serves many vectors,
+   same fingerprint into one batch, so one plan lookup serves many vectors;
+   requests whose end-to-end deadline already expired are failed here,
+   before any plan work is spent on them,
 4. **plan resolution** — plan-cache hit executes immediately (no feature
    extraction, no conversion: the amortization of Table 3); a miss runs the
    full Figure 7 decision once, converts once, and caches the plan.  Misses
    for the same fingerprint are single-flighted so concurrent first
-   requests build the plan only once,
-5. **execute** the chosen kernel and resolve the caller's future.
+   requests build the plan only once.  A build *failure* does not fail the
+   batch: the engine degrades to the always-correct CSR reference plan, and
+   a per-fingerprint circuit breaker stops re-tuning after repeated
+   failures (half-open probes restore tuned serving once a build succeeds),
+5. **execute** the chosen kernel — transient failures are retried with
+   bounded exponential backoff — and resolve the caller's future.
+
+Future resolution is always routed through the ``_try_*`` helpers: a
+caller can cancel its future at any instant, and an unguarded
+``set_result``/``set_exception`` racing that cancel raises
+``InvalidStateError`` inside the worker thread, silently shrinking
+serving capacity.  The helpers swallow exactly that race, nothing else.
 
 The tuner can be a plain :class:`~repro.tuner.SMAT` or an
 :class:`~repro.tuner.OnlineSmat`; with the latter, fallback measurements
 recorded while serving retrain the model safely under its internal lock.
 
-Every stage is metered (see :mod:`repro.serve.metrics`).
+Every stage is metered (see :mod:`repro.serve.metrics`); the failure-path
+instruments are pre-registered so they are observable at zero.
 """
 
 from __future__ import annotations
@@ -28,20 +42,57 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import CancelledError, Future, InvalidStateError
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from repro.errors import BackpressureError, ServeError
+from repro.errors import (
+    BackpressureError,
+    DeadlineExceededError,
+    ServeError,
+)
 from repro.formats.convert import convert
 from repro.formats.csr import CSRMatrix
+from repro.serve.faults import FaultPlan
 from repro.serve.fingerprint import Fingerprint, fingerprint
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.plancache import CachedPlan, PlanCache
+from repro.serve.resilience import (
+    BreakerState,
+    BuildTicket,
+    CircuitBreaker,
+    Deadline,
+    DegradedPlan,
+    RetryPolicy,
+)
 from repro.tuner.runtime import Decision
 from repro.types import FormatName
+
+#: Counters pre-registered on every engine so the scoreboard always shows
+#: the failure paths, fired or not.
+_RESILIENCE_COUNTERS = (
+    "deadline_exceeded",
+    "degraded_requests",
+    "plan_build_failures",
+    "retries",
+    "requests_failed",
+    "breaker_opened",
+    "breaker_probes",
+    "breaker_recovered",
+    "requests_invalid",
+    "worker_errors",
+)
 
 
 @dataclass(frozen=True)
@@ -60,6 +111,19 @@ class ServeConfig:
     cache_bytes: Optional[int] = None
     #: Default seconds ``submit`` waits for queue space (None = forever).
     submit_timeout: Optional[float] = None
+    #: Default end-to-end deadline per request (None = none); covers
+    #: queue wait + plan resolution + execution.
+    default_deadline: Optional[float] = None
+    #: Retries for *transient* execute failures (0 = fail on first error).
+    max_retries: int = 2
+    #: First retry backoff in seconds (doubles per attempt).
+    backoff_base: float = 0.005
+    #: Backoff ceiling in seconds.
+    backoff_cap: float = 0.05
+    #: Consecutive plan-build failures that open a fingerprint's breaker.
+    breaker_threshold: int = 3
+    #: While open, every Nth request half-opens the breaker for one probe.
+    breaker_probe_interval: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -70,6 +134,47 @@ class ServeConfig:
             )
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.cache_entries < 1:
+            raise ValueError(
+                f"cache_entries must be >= 1, got {self.cache_entries}"
+            )
+        if self.cache_bytes is not None and self.cache_bytes < 1:
+            raise ValueError(
+                f"cache_bytes must be >= 1 or None, got {self.cache_bytes}"
+            )
+        if self.submit_timeout is not None and self.submit_timeout < 0.0:
+            raise ValueError(
+                f"submit_timeout must be >= 0 or None, "
+                f"got {self.submit_timeout}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0.0:
+            raise ValueError(
+                f"default_deadline must be > 0 or None, "
+                f"got {self.default_deadline}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0.0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"backoff_cap ({self.backoff_cap}) must be >= "
+                f"backoff_base ({self.backoff_base})"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, "
+                f"got {self.breaker_threshold}"
+            )
+        if self.breaker_probe_interval < 1:
+            raise ValueError(
+                f"breaker_probe_interval must be >= 1, "
+                f"got {self.breaker_probe_interval}"
+            )
 
 
 @dataclass
@@ -88,14 +193,53 @@ class ServeResult:
     plan_seconds: float
     #: Seconds inside the SpMV kernel.
     execute_seconds: float
+    #: True when the plan build failed and the CSR reference plan served
+    #: this request instead (see ``repro.serve.resilience``).
+    degraded: bool = False
+    #: Transient execute failures retried before this result.
+    retries: int = 0
 
     @property
     def total_seconds(self) -> float:
         return self.queued_seconds + self.plan_seconds + self.execute_seconds
 
 
+# ---------------------------------------------------------------------------
+# Safe future resolution.
+#
+# A future can be cancelled by its caller between any state check and the
+# matching set_* call; concurrent.futures then raises InvalidStateError in
+# the *worker* thread.  Pre-fix, that either killed the worker (batch error
+# path) or blew up stop(drain=False).  These helpers swallow exactly the
+# lost-the-race case and report whether the resolution landed.
+# ---------------------------------------------------------------------------
+
+def _try_mark_running(future: "Future") -> bool:
+    """True if the future transitioned to RUNNING (safe to resolve)."""
+    try:
+        return future.set_running_or_notify_cancel()
+    except InvalidStateError:
+        return False
+
+
+def _try_set_result(future: "Future", result) -> bool:
+    try:
+        future.set_result(result)
+        return True
+    except InvalidStateError:
+        return False
+
+
+def _try_set_exception(future: "Future", exc: BaseException) -> bool:
+    try:
+        future.set_exception(exc)
+        return True
+    except InvalidStateError:
+        return False
+
+
 class _Request:
-    __slots__ = ("key", "matrix", "x", "future", "enqueued_at")
+    __slots__ = ("key", "matrix", "x", "future", "deadline", "enqueued_at")
 
     def __init__(
         self,
@@ -103,12 +247,60 @@ class _Request:
         matrix: CSRMatrix,
         x: np.ndarray,
         future: "Future[ServeResult]",
+        deadline: Optional[Deadline] = None,
     ) -> None:
         self.key = key
         self.matrix = matrix
         self.x = x
         self.future = future
+        self.deadline = deadline
         self.enqueued_at = time.perf_counter()
+
+
+class _BuildLock:
+    """A single-flight lock plus the number of threads holding a reference.
+
+    The refcount is the fix for the pop-while-held race: the old code
+    popped the lock from the registry as soon as *one* holder released,
+    so a late arriver minted a fresh lock and uncacheable plans built
+    concurrently N times.  Now the entry leaves the registry only when
+    the last referent releases, so every concurrent resolver for one
+    fingerprint serializes on the same lock object.
+    """
+
+    __slots__ = ("lock", "refs")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.refs = 0
+
+
+@dataclass
+class _Resolution:
+    """Outcome of one plan resolution, tuned or degraded."""
+
+    plan: Union[CachedPlan, DegradedPlan]
+    cache_hit: bool
+    seconds: float
+    degraded: bool
+
+    @property
+    def format_name(self) -> FormatName:
+        if self.degraded:
+            return DegradedPlan.format_name
+        return self.plan.decision.format_name
+
+    @property
+    def kernel_name(self) -> str:
+        if self.degraded:
+            return DegradedPlan.KERNEL_NAME
+        return self.plan.decision.kernel.name
+
+    @property
+    def used_fallback(self) -> bool:
+        if self.degraded:
+            return False
+        return self.plan.decision.used_fallback
 
 
 class _SubmissionQueue:
@@ -193,8 +385,12 @@ class ServingEngine:
 
     >>> with ServingEngine(smat) as engine:
     ...     y = engine.spmv(matrix, x).y            # synchronous
-    ...     future = engine.submit(matrix, x)       # asynchronous
+    ...     future = engine.submit(matrix, x, deadline=0.5)
     ...     print(engine.metrics.report())
+
+    ``faults`` accepts a :class:`~repro.serve.faults.FaultPlan` that
+    wraps the decide/convert/execute seams for deterministic chaos
+    replay; production engines leave it None.
     """
 
     def __init__(
@@ -202,6 +398,7 @@ class ServingEngine:
         tuner,
         config: ServeConfig = ServeConfig(),
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if not hasattr(tuner, "decide"):
             raise ServeError(
@@ -210,17 +407,28 @@ class ServingEngine:
         self.tuner = tuner
         self.config = config
         self.metrics = metrics or MetricsRegistry()
+        self.metrics.ensure(counters=_RESILIENCE_COUNTERS)
         self.cache = PlanCache(
             max_entries=config.cache_entries, max_bytes=config.cache_bytes
+        )
+        self.faults = faults
+        self._sleep = faults.sleep if faults is not None else time.sleep
+        self._retry = RetryPolicy(
+            max_retries=config.max_retries,
+            backoff_base=config.backoff_base,
+            backoff_cap=config.backoff_cap,
         )
         self._queue = _SubmissionQueue(config.queue_capacity)
         self._workers: List[threading.Thread] = []
         self._state_lock = threading.Lock()
         self._started = False
         self._stopped = False
-        # Single-flight plan builds: fingerprint -> lock.
-        self._build_locks: Dict[Fingerprint, threading.Lock] = {}
+        # Single-flight plan builds: fingerprint -> refcounted lock.
+        self._build_locks: Dict[Fingerprint, _BuildLock] = {}
         self._build_locks_guard = threading.Lock()
+        # Per-fingerprint plan-build circuit breakers.
+        self._breakers: Dict[Fingerprint, CircuitBreaker] = {}
+        self._breakers_guard = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -252,8 +460,12 @@ class ServingEngine:
             self._stopped = True
         if not drain:
             for request in self._queue.drain():
-                request.future.set_exception(
-                    ServeError("engine stopped before request ran")
+                # The caller may have cancelled this future already —
+                # _try_set_exception absorbs that instead of raising
+                # InvalidStateError out of stop().
+                _try_set_exception(
+                    request.future,
+                    ServeError("engine stopped before request ran"),
                 )
         self._queue.close()
         for thread in self._workers:
@@ -279,18 +491,44 @@ class ServingEngine:
         matrix: CSRMatrix,
         x: np.ndarray,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> "Future[ServeResult]":
         """Enqueue one SpMV; returns a future resolving to a ServeResult.
 
         ``timeout`` bounds the wait for queue space (defaults to the
         config's ``submit_timeout``); exhausting it raises
-        :class:`BackpressureError`.
+        :class:`BackpressureError`.  ``deadline`` (defaults to the
+        config's ``default_deadline``) bounds the request end to end —
+        queue wait, plan resolution and execution; an expired request
+        fails with :class:`DeadlineExceededError` without burning worker
+        time on plan work.
         """
         if not self.running:
             raise ServeError("engine is not running (call start())")
+        x = np.asarray(x)
+        if x.ndim != 1 or x.shape[0] != matrix.n_cols:
+            # Validated here so a bad vector fails *this* request with a
+            # clear error instead of failing a whole coalesced batch
+            # inside the kernel.
+            self.metrics.counter("requests_invalid").inc()
+            raise ValueError(
+                f"operand vector has shape {x.shape}; the matrix needs "
+                f"a 1-D vector of length {matrix.n_cols}"
+            )
+        effective_deadline = (
+            deadline if deadline is not None else self.config.default_deadline
+        )
         key = fingerprint(matrix)
         future: "Future[ServeResult]" = Future()
-        request = _Request(key, matrix, x, future)
+        request = _Request(
+            key,
+            matrix,
+            x,
+            future,
+            Deadline.after(effective_deadline)
+            if effective_deadline is not None
+            else None,
+        )
         effective = (
             timeout if timeout is not None else self.config.submit_timeout
         )
@@ -308,15 +546,43 @@ class ServingEngine:
         matrix: CSRMatrix,
         x: np.ndarray,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> ServeResult:
         """Synchronous convenience wrapper over :meth:`submit`."""
-        return self.submit(matrix, x, timeout=timeout).result()
+        return self.submit(
+            matrix, x, timeout=timeout, deadline=deadline
+        ).result()
 
     def spmv_many(
-        self, requests: Iterable[Tuple[CSRMatrix, np.ndarray]]
+        self,
+        requests: Iterable[Tuple[CSRMatrix, np.ndarray]],
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> List[ServeResult]:
-        """Submit a sequence of (matrix, x) pairs; wait for all results."""
-        futures = [self.submit(matrix, x) for matrix, x in requests]
+        """Submit a sequence of (matrix, x) pairs; wait for all results.
+
+        If a mid-sequence submit fails (backpressure, bad operand), the
+        already-submitted futures are cancelled — or awaited, when a
+        worker got there first — before the error is re-raised, so no
+        orphaned work keeps running behind the caller's back.
+        """
+        futures: List["Future[ServeResult]"] = []
+        try:
+            for matrix, x in requests:
+                futures.append(
+                    self.submit(matrix, x, timeout=timeout, deadline=deadline)
+                )
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            for future in futures:
+                if future.cancelled():
+                    continue
+                try:
+                    future.exception()  # waits for in-flight completion
+                except CancelledError:
+                    pass
+            raise
         return [f.result() for f in futures]
 
     def invalidate(self, matrix: CSRMatrix) -> bool:
@@ -341,49 +607,112 @@ class ServingEngine:
             self.metrics.histogram(
                 "batch_size", buckets=(1, 2, 4, 8, 16, 32, 64)
             ).observe(len(batch))
-            self._process_batch(batch)
+            try:
+                self._process_batch(batch)
+            except Exception as exc:
+                # A worker must never die: whatever slipped through the
+                # per-stage handling fails the batch, not the thread.
+                self.metrics.counter("worker_errors").inc()
+                for request in batch:
+                    _try_set_exception(request.future, exc)
 
     def _process_batch(self, batch: Sequence[_Request]) -> None:
-        head = batch[0]
+        # Deadline check at dequeue: requests that already blew their
+        # end-to-end budget are failed fast, before any plan work.
+        live: List[_Request] = []
+        for request in batch:
+            if request.deadline is not None and request.deadline.expired():
+                self.metrics.counter("deadline_exceeded").inc()
+                self.metrics.counter("requests_failed").inc()
+                _try_set_exception(
+                    request.future,
+                    DeadlineExceededError(
+                        f"deadline expired while queued ({request.key})"
+                    ),
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
+        head = live[0]
         dequeued_at = time.perf_counter()
         try:
-            plan, cache_hit, plan_seconds = self._resolve_plan(
-                head.key, head.matrix
-            )
-        except Exception as exc:  # tuning/conversion failure fails the batch
-            self.metrics.counter("requests_failed").inc(len(batch))
-            for request in batch:
-                if not request.future.cancelled():
-                    request.future.set_exception(exc)
+            resolution = self._resolve_plan(head.key, head.matrix)
+        except Exception as exc:  # degraded path failed too: fail the batch
+            self.metrics.counter("requests_failed").inc(len(live))
+            for request in live:
+                _try_set_exception(request.future, exc)
             return
-        for i, request in enumerate(batch):
-            if not request.future.set_running_or_notify_cancel():
+        for i, request in enumerate(live):
+            if not _try_mark_running(request.future):
+                continue  # cancelled while queued
+            if request.deadline is not None and request.deadline.expired():
+                self.metrics.counter("deadline_exceeded").inc()
+                self.metrics.counter("requests_failed").inc()
+                _try_set_exception(
+                    request.future,
+                    DeadlineExceededError(
+                        f"deadline expired during plan resolution "
+                        f"({request.key})"
+                    ),
+                )
                 continue
             queued = dequeued_at - request.enqueued_at
-            try:
-                started = time.perf_counter()
-                y = plan.execute(request.x)
-                execute_seconds = time.perf_counter() - started
-            except Exception as exc:
-                self.metrics.counter("requests_failed").inc()
-                request.future.set_exception(exc)
-                continue
+            outcome = self._execute_with_retry(resolution, request)
+            if outcome is None:
+                continue  # failed; already metered and resolved
+            y, execute_seconds, retries = outcome
             result = ServeResult(
                 y=y,
                 fingerprint=request.key,
-                format_name=plan.decision.format_name,
-                kernel_name=plan.decision.kernel.name,
-                cache_hit=cache_hit or i > 0,
-                used_fallback=plan.decision.used_fallback,
+                format_name=resolution.format_name,
+                kernel_name=resolution.kernel_name,
+                cache_hit=resolution.cache_hit or i > 0,
+                used_fallback=resolution.used_fallback,
                 queued_seconds=queued,
-                plan_seconds=plan_seconds if i == 0 else 0.0,
+                plan_seconds=resolution.seconds if i == 0 else 0.0,
                 execute_seconds=execute_seconds,
+                degraded=resolution.degraded,
+                retries=retries,
             )
             self._observe(result)
-            request.future.set_result(result)
+            _try_set_result(request.future, result)
+
+    def _execute_with_retry(
+        self, resolution: _Resolution, request: _Request
+    ) -> Optional[Tuple[np.ndarray, float, int]]:
+        """(y, execute_seconds, retries), or None after resolving a failure."""
+        attempt = 0
+        while True:
+            try:
+                started = time.perf_counter()
+                if self.faults is not None:
+                    self.faults.on_call("execute")
+                y = resolution.plan.execute(request.x)
+                return y, time.perf_counter() - started, attempt
+            except Exception as exc:
+                deadline = request.deadline
+                retryable = (
+                    attempt < self._retry.max_retries
+                    and self._retry.is_retryable(exc)
+                    and not (deadline is not None and deadline.expired())
+                )
+                if not retryable:
+                    self.metrics.counter("requests_failed").inc()
+                    _try_set_exception(request.future, exc)
+                    return None
+                delay = self._retry.backoff(attempt)
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline.remaining()))
+                attempt += 1
+                self.metrics.counter("retries").inc()
+                if delay > 0.0:
+                    self._sleep(delay)
 
     def _observe(self, result: ServeResult) -> None:
         self.metrics.counter("requests_served").inc()
+        if result.degraded:
+            self.metrics.counter("degraded_requests").inc()
         self.metrics.histogram("queue_wait_seconds").observe(
             result.queued_seconds
         )
@@ -398,15 +727,30 @@ class ServingEngine:
     # ------------------------------------------------------------------
     def _resolve_plan(
         self, key: Fingerprint, matrix: CSRMatrix
-    ) -> Tuple[CachedPlan, bool, float]:
-        """(plan, was_cache_hit, seconds_spent_resolving)."""
+    ) -> _Resolution:
         started = time.perf_counter()
         plan = self.cache.get(key)
         if plan is not None:
             self.metrics.counter("cache_hits").inc()
-            return plan, True, time.perf_counter() - started
+            return _Resolution(
+                plan, True, time.perf_counter() - started, False
+            )
 
-        build_lock = self._build_lock_for(key)
+        breaker = self._breaker_for(key)
+        ticket = breaker.acquire()
+        if ticket is BuildTicket.DEGRADE:
+            # Breaker open: skip re-tuning entirely, serve the reference
+            # CSR plan (correct for any input, zero build cost).
+            return _Resolution(
+                DegradedPlan(matrix),
+                False,
+                time.perf_counter() - started,
+                True,
+            )
+        if ticket is BuildTicket.PROBE:
+            self.metrics.counter("breaker_probes").inc()
+
+        build_lock = self._acquire_build_lock(key)
         try:
             with build_lock:
                 # Double-check: another worker may have built it while we
@@ -414,10 +758,30 @@ class ServingEngine:
                 plan = self.cache.get(key, record_stats=False)
                 if plan is not None:
                     self.metrics.counter("cache_hits").inc()
-                    return plan, True, time.perf_counter() - started
+                    if breaker.record_success():
+                        self.metrics.counter("breaker_recovered").inc()
+                    return _Resolution(
+                        plan, True, time.perf_counter() - started, False
+                    )
                 self.metrics.counter("cache_misses").inc()
                 build_started = time.perf_counter()
-                plan = self._build_plan(key, matrix)
+                try:
+                    plan = self._build_plan(key, matrix)
+                except Exception:
+                    # Graceful degradation: the build failure is recorded
+                    # against the breaker, but this batch is still served
+                    # via the reference CSR plan rather than failed.
+                    self.metrics.counter("plan_build_failures").inc()
+                    if breaker.record_failure():
+                        self.metrics.counter("breaker_opened").inc()
+                    return _Resolution(
+                        DegradedPlan(matrix),
+                        False,
+                        time.perf_counter() - started,
+                        True,
+                    )
+                if breaker.record_success():
+                    self.metrics.counter("breaker_recovered").inc()
                 # Cold-path latency: decision (feature extraction + model
                 # walk or fallback) plus the format conversion.  Only a
                 # cache miss pays this, so the histogram isolates exactly
@@ -432,13 +796,17 @@ class ServingEngine:
         finally:
             self._release_build_lock(key)
         self._update_gauges()
-        return plan, False, time.perf_counter() - started
+        return _Resolution(plan, False, time.perf_counter() - started, False)
 
     def _build_plan(self, key: Fingerprint, matrix: CSRMatrix) -> CachedPlan:
+        if self.faults is not None:
+            self.faults.on_call("decide")
         decision: Decision = self.tuner.decide(matrix)
         if decision.used_fallback:
             self.metrics.counter("fallback_decisions").inc()
         if decision.matrix is None:
+            if self.faults is not None:
+                self.faults.on_call("convert")
             decision.matrix, _ = convert(
                 matrix, decision.format_name, fill_budget=None
             )
@@ -449,13 +817,42 @@ class ServingEngine:
             matrix_bytes=decision.matrix.memory_bytes(),
         )
 
-    def _build_lock_for(self, key: Fingerprint) -> threading.Lock:
+    def _acquire_build_lock(self, key: Fingerprint) -> threading.Lock:
         with self._build_locks_guard:
-            return self._build_locks.setdefault(key, threading.Lock())
+            entry = self._build_locks.get(key)
+            if entry is None:
+                entry = _BuildLock()
+                self._build_locks[key] = entry
+            entry.refs += 1
+            return entry.lock
 
     def _release_build_lock(self, key: Fingerprint) -> None:
         with self._build_locks_guard:
-            self._build_locks.pop(key, None)
+            entry = self._build_locks.get(key)
+            if entry is None:
+                return
+            entry.refs -= 1
+            if entry.refs <= 0:
+                del self._build_locks[key]
+
+    def _breaker_for(self, key: Fingerprint) -> CircuitBreaker:
+        with self._breakers_guard:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    threshold=self.config.breaker_threshold,
+                    probe_interval=self.config.breaker_probe_interval,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def breaker_states(self) -> Dict[Fingerprint, BreakerState]:
+        """Current breaker state per fingerprint seen (diagnostics)."""
+        with self._breakers_guard:
+            return {
+                key: breaker.state
+                for key, breaker in self._breakers.items()
+            }
 
     def _update_gauges(self) -> None:
         stats = self.cache.stats()
@@ -464,8 +861,11 @@ class ServingEngine:
 
     # ------------------------------------------------------------------
     def scoreboard(self) -> str:
-        """Cache + request scoreboard (the serve-bench output)."""
+        """Cache + request + resilience scoreboard (the serve-bench output)."""
         stats = self.cache.stats()
+        states = list(self.breaker_states().values())
+        open_count = sum(1 for s in states if s is BreakerState.OPEN)
+        half_open = sum(1 for s in states if s is BreakerState.HALF_OPEN)
         lines = [
             "plan cache:",
             f"  entries {int(stats['entries'])} "
@@ -474,6 +874,11 @@ class ServingEngine:
             f"({int(stats['hits'])} hits / {int(stats['misses'])} misses)",
             f"  evictions {int(stats['evictions'])}, "
             f"rejected {int(stats['rejected'])}",
+            "breakers:",
+            f"  {len(states)} tracked, {open_count} open, "
+            f"{half_open} half-open",
             self.metrics.report(),
         ]
+        if self.faults is not None:
+            lines.append(self.faults.describe())
         return "\n".join(lines)

@@ -174,6 +174,28 @@ class MetricsRegistry:
                 )
             return self._histograms[name]
 
+    def ensure(
+        self,
+        counters: Sequence[str] = (),
+        gauges: Sequence[str] = (),
+        histograms: Sequence[str] = (),
+    ) -> "MetricsRegistry":
+        """Pre-register instruments so they report at zero.
+
+        Operators alert on counters like ``deadline_exceeded`` and
+        ``degraded_requests``; an instrument that only materializes on its
+        first increment is indistinguishable from one that was never
+        wired.  The engine pre-registers its failure-path instruments so
+        every scoreboard shows them, zero or not.
+        """
+        for name in counters:
+            self.counter(name)
+        for name in gauges:
+            self.gauge(name)
+        for name in histograms:
+            self.histogram(name)
+        return self
+
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict]:
         """All instruments as one plain, JSON-serializable dict."""

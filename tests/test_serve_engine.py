@@ -246,17 +246,29 @@ class TestLifecycle:
             ServeConfig(queue_capacity=0)
         with pytest.raises(ValueError, match="max_batch"):
             ServeConfig(max_batch=0)
+        with pytest.raises(ValueError, match="cache_entries"):
+            ServeConfig(cache_entries=0)
+        with pytest.raises(ValueError, match="cache_bytes"):
+            ServeConfig(cache_bytes=-1)
+        with pytest.raises(ValueError, match="submit_timeout"):
+            ServeConfig(submit_timeout=-0.5)
 
 
 class TestErrorIsolation:
-    def test_bad_operand_fails_one_request_only(self, engine, rng) -> None:
+    def test_bad_operand_rejected_at_submit(self, engine, rng) -> None:
+        """A wrong-length vector fails its own request with a clear
+        ValueError at submit time — it never reaches a worker, so it can
+        never take a coalesced batch down with it."""
         matrix = random_csr(rng, n_rows=55, n_cols=55)
         good = np.ones(55)
         engine.spmv(matrix, good)
-        with pytest.raises(Exception):
-            engine.spmv(matrix, np.ones(7))  # wrong operand length
-        assert engine.metrics.counter("requests_failed").value >= 1
-        # The engine keeps serving after a failed request.
+        with pytest.raises(ValueError, match="operand vector"):
+            engine.submit(matrix, np.ones(7))  # wrong operand length
+        with pytest.raises(ValueError, match="operand vector"):
+            engine.submit(matrix, np.ones((55, 1)))  # wrong rank
+        assert engine.metrics.counter("requests_invalid").value == 2
+        # Nothing was enqueued and the engine keeps serving.
+        assert engine.metrics.counter("requests_failed").value == 0
         assert engine.spmv(matrix, good).cache_hit
 
 

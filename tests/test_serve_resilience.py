@@ -1,0 +1,731 @@
+"""Resilience and concurrency-stress tests for the serving engine.
+
+Covers the worker-killing future races (regression tests), single-flight
+lock refcounting, end-to-end deadlines, bounded retry, and the
+plan-build circuit breaker — all driven through deterministic fault
+injection and event-based synchronization (no sleeps as
+synchronization).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import CancelledError, Future
+
+import numpy as np
+import pytest
+
+from repro.collection import generate_collection
+from repro.errors import (
+    BackpressureError,
+    DeadlineExceededError,
+    TransientError,
+)
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.serve import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    DegradedPlan,
+    FaultPlan,
+    FaultRule,
+    InjectedFatalFault,
+    InjectedFault,
+    RetryPolicy,
+    ServeConfig,
+    ServingEngine,
+    fingerprint,
+)
+from repro.serve.engine import (
+    _Request,
+    _try_mark_running,
+    _try_set_exception,
+    _try_set_result,
+)
+from repro.serve.resilience import BuildTicket
+from repro.tuner import SMAT
+from repro.types import FormatName, Precision
+
+from tests.conftest import random_csr
+
+
+@pytest.fixture(scope="module")
+def smat() -> SMAT:
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+    return SMAT.train(
+        generate_collection(scale=0.08, size_scale=0.4, seed=77),
+        backend=backend,
+    )
+
+
+class CountingTuner:
+    """Delegating tuner that counts (and tracks concurrency of) decide()."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.lock = threading.Lock()
+        self.calls = 0
+        self.active = 0
+        self.max_active = 0
+
+    def decide(self, matrix):
+        with self.lock:
+            self.calls += 1
+            self.active += 1
+            self.max_active = max(self.max_active, self.active)
+        try:
+            return self.inner.decide(matrix)
+        finally:
+            with self.lock:
+                self.active -= 1
+
+
+class GatedTuner:
+    """Delegating tuner that blocks decide() until ``gate`` is set and
+    announces entry via ``entered`` — event-based worker stalling."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def decide(self, matrix):
+        self.entered.set()
+        assert self.gate.wait(timeout=30), "test gate never opened"
+        return self.inner.decide(matrix)
+
+
+class LyingFuture(Future):
+    """A future frozen in the exact losing interleaving of the old race:
+    ``cancelled()`` still answers False (the pre-set check has passed)
+    while the future is in fact already cancelled, so any unguarded
+    ``set_result``/``set_exception`` raises InvalidStateError."""
+
+    def cancelled(self):
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Satellite bugfix: safe future resolution
+# ---------------------------------------------------------------------------
+class TestSafeFutureResolution:
+    def test_helpers_absorb_cancelled_future(self) -> None:
+        future: Future = LyingFuture()
+        assert future.cancel()
+        # Pre-fix code paths called these raw and died on InvalidStateError.
+        assert not _try_set_result(future, object())
+        assert not _try_set_exception(future, RuntimeError("x"))
+        assert not _try_mark_running(future)
+
+    def test_batch_error_path_does_not_kill_worker(self, smat, rng) -> None:
+        """Regression for the worker-killing race: a future cancelled
+        between the old ``cancelled()`` check and ``set_exception`` raised
+        InvalidStateError inside ``_process_batch`` and took the worker
+        thread (and its serving capacity) with it."""
+        matrix = random_csr(rng, n_rows=40, n_cols=40)
+        key = fingerprint(matrix)
+        with ServingEngine(smat, ServeConfig(workers=1)) as engine:
+            original = engine._resolve_plan
+
+            def failing(k, m):
+                if k == key:
+                    raise RuntimeError("forced plan-resolution failure")
+                return original(k, m)
+
+            engine._resolve_plan = failing
+            racy: Future = LyingFuture()
+            racy.cancel()
+            engine._queue.put(_Request(key, matrix, np.ones(40), racy), None)
+
+            # The worker survives and keeps serving other traffic.
+            other = random_csr(rng, n_rows=41, n_cols=41)
+            result = engine.spmv(other, np.ones(41))
+            assert result.y is not None
+            assert all(t.is_alive() for t in engine._workers)
+            assert engine.metrics.counter("worker_errors").value == 0
+
+    def test_success_path_survives_racily_cancelled_future(
+        self, smat, rng
+    ) -> None:
+        """Same race on the result side: the batch's plan resolves fine
+        but one rider future is already cancelled."""
+        matrix = random_csr(rng, n_rows=42, n_cols=42)
+        key = fingerprint(matrix)
+        with ServingEngine(smat, ServeConfig(workers=1)) as engine:
+            racy: Future = LyingFuture()
+            racy.cancel()
+            engine._queue.put(_Request(key, matrix, np.ones(42), racy), None)
+            result = engine.spmv(matrix, np.ones(42))
+            assert result.y is not None
+            assert all(t.is_alive() for t in engine._workers)
+
+    def test_stop_without_drain_tolerates_cancelled_backlog(
+        self, smat, rng
+    ) -> None:
+        """Regression: ``stop(drain=False)`` called ``set_exception`` on
+        drained futures with no guard at all — a cancelled backlog future
+        raised InvalidStateError out of ``stop()`` itself."""
+        tuner = GatedTuner(smat)
+        m0 = random_csr(rng, n_rows=30, n_cols=30)
+        m1 = random_csr(rng, n_rows=31, n_cols=31)
+        engine = ServingEngine(
+            tuner, ServeConfig(workers=1, queue_capacity=8, max_batch=1)
+        ).start()
+        f0 = engine.submit(m0, np.ones(30))
+        assert tuner.entered.wait(timeout=30)  # worker is busy with m0
+        f1 = engine.submit(m1, np.ones(31))
+        assert f1.cancel()  # cancelled while still queued
+
+        stop_errors = []
+
+        def run_stop():
+            try:
+                engine.stop(drain=False)
+            except BaseException as exc:  # pre-fix: InvalidStateError here
+                stop_errors.append(exc)
+
+        stopper = threading.Thread(target=run_stop, daemon=True)
+        stopper.start()
+        tuner.gate.set()  # let the in-flight request finish so stop can join
+        stopper.join(timeout=30)
+        assert not stopper.is_alive()
+        assert stop_errors == []
+        assert f1.cancelled()
+        assert f0.result(timeout=30).y is not None
+
+
+# ---------------------------------------------------------------------------
+# Satellite bugfix: refcounted single-flight build locks
+# ---------------------------------------------------------------------------
+class TestSingleFlightRefcount:
+    def test_lock_entry_freed_only_by_last_holder(self, smat, rng) -> None:
+        engine = ServingEngine(smat)
+        key = fingerprint(random_csr(rng))
+        first = engine._acquire_build_lock(key)
+        second = engine._acquire_build_lock(key)
+        assert first is second  # one lock object per fingerprint
+        engine._release_build_lock(key)
+        # Pre-fix the entry was popped here; a late arriver then minted a
+        # fresh lock and built concurrently with the remaining holder.
+        assert engine._acquire_build_lock(key) is first
+        engine._release_build_lock(key)
+        engine._release_build_lock(key)
+        assert key not in engine._build_locks
+        # A fresh cycle mints a fresh entry without error.
+        engine._acquire_build_lock(key)
+        engine._release_build_lock(key)
+
+    def test_uncacheable_plans_never_build_concurrently(
+        self, smat, rng
+    ) -> None:
+        """Stress the single-flight path with a cache that admits nothing
+        (every plan 'uncacheable'): builds for one fingerprint must
+        serialize — max decide() concurrency 1 — under a client storm."""
+        tuner = CountingTuner(smat)
+        matrix = random_csr(rng, n_rows=50, n_cols=50)
+        config = ServeConfig(
+            workers=4, max_batch=1, cache_bytes=1, queue_capacity=64
+        )
+        with ServingEngine(tuner, config) as engine:
+            results = engine.spmv_many(
+                [(matrix, np.full(50, float(i))) for i in range(16)]
+            )
+        assert len(results) == 16
+        assert tuner.max_active == 1
+        assert engine.metrics.counter("plans_uncacheable").value > 0
+
+    def test_cacheable_storm_builds_exactly_once(self, smat, rng) -> None:
+        tuner = CountingTuner(smat)
+        matrix = random_csr(rng, n_rows=48, n_cols=48)
+        config = ServeConfig(workers=4, max_batch=1, queue_capacity=64)
+        with ServingEngine(tuner, config) as engine:
+            clients = []
+            for i in range(4):
+
+                def storm(base=i):
+                    for j in range(8):
+                        engine.spmv(matrix, np.full(48, float(base * 8 + j)))
+
+                clients.append(threading.Thread(target=storm, daemon=True))
+            for thread in clients:
+                thread.start()
+            for thread in clients:
+                thread.join(timeout=60)
+            assert not any(t.is_alive() for t in clients)
+        assert engine.metrics.counter("plans_built").value == 1
+        assert tuner.max_active == 1
+
+
+# ---------------------------------------------------------------------------
+# Satellite bugfix: spmv_many must not leak futures on mid-sequence failure
+# ---------------------------------------------------------------------------
+class TestSpmvManyLeak:
+    def test_backpressure_cancels_or_awaits_partial_set(
+        self, smat, rng
+    ) -> None:
+        tuner = GatedTuner(smat)
+        matrices = [random_csr(rng, n_rows=30 + i) for i in range(4)]
+        config = ServeConfig(workers=1, queue_capacity=1, max_batch=1)
+        engine = ServingEngine(tuner, config).start()
+        try:
+            created = []
+            inner_submit = engine.submit
+
+            def recording_submit(*args, **kwargs):
+                future = inner_submit(*args, **kwargs)
+                created.append(future)
+                return future
+
+            engine.submit = recording_submit  # instance shadow
+            first = engine.submit(matrices[0], np.ones(matrices[0].n_cols))
+            assert tuner.entered.wait(timeout=30)  # worker busy, queue free
+            created.clear()
+            with pytest.raises(BackpressureError):
+                # Second fills the queue; third times out -> the already-
+                # submitted second must not be leaked behind the raise.
+                engine.spmv_many(
+                    [(m, np.ones(m.n_cols)) for m in matrices[1:]],
+                    timeout=0.05,
+                )
+            assert created, "spmv_many never submitted anything"
+            for future in created:
+                assert future.cancelled() or future.done()
+            tuner.gate.set()
+            assert first.result(timeout=30).y is not None
+        finally:
+            tuner.gate.set()
+            engine.stop()
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: end-to-end deadlines
+# ---------------------------------------------------------------------------
+class TestDeadlines:
+    def test_deadline_object(self) -> None:
+        with pytest.raises(ValueError, match="deadline"):
+            Deadline.after(0.0)
+        assert not Deadline.after(60.0).expired()
+        assert Deadline(expires_at=0.0).expired()
+
+    def test_expired_request_fails_fast_at_dequeue(self, smat, rng) -> None:
+        """A request whose deadline expired while queued is failed at
+        dequeue with DeadlineExceededError — its plan is never built."""
+        tuner = CountingTuner(GatedTuner(smat))
+        gated = tuner.inner
+        m0 = random_csr(rng, n_rows=30, n_cols=30)
+        m1 = random_csr(rng, n_rows=31, n_cols=31)
+        config = ServeConfig(workers=1, max_batch=1, queue_capacity=8)
+        with ServingEngine(tuner, config) as engine:
+            f0 = engine.submit(m0, np.ones(30))
+            assert gated.entered.wait(timeout=30)  # worker busy with m0
+            # Queued behind m0 with a deadline that is long gone by the
+            # time the worker dequeues it.
+            f1 = engine.submit(m1, np.ones(31), deadline=1e-6)
+            gated.gate.set()
+            with pytest.raises(DeadlineExceededError):
+                f1.result(timeout=30)
+            assert f0.result(timeout=30).y is not None
+            assert engine.metrics.counter("deadline_exceeded").value == 1
+            # Only m0's plan was ever built: the expired request burned
+            # no tuning/conversion worker time.
+            assert tuner.calls == 1
+
+    def test_default_deadline_from_config(self, smat, rng) -> None:
+        tuner = GatedTuner(smat)
+        m0 = random_csr(rng, n_rows=30, n_cols=30)
+        m1 = random_csr(rng, n_rows=31, n_cols=31)
+        config = ServeConfig(
+            workers=1, max_batch=1, queue_capacity=8, default_deadline=1e-6
+        )
+        with ServingEngine(tuner, config) as engine:
+            f0 = engine.submit(m0, np.ones(30), deadline=60.0)  # override
+            assert tuner.entered.wait(timeout=30)
+            f1 = engine.submit(m1, np.ones(31))  # inherits 1e-6
+            tuner.gate.set()
+            with pytest.raises(DeadlineExceededError):
+                f1.result(timeout=30)
+            assert f0.result(timeout=30).y is not None
+
+    def test_config_validates_deadline(self) -> None:
+        with pytest.raises(ValueError, match="default_deadline"):
+            ServeConfig(default_deadline=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: bounded retry with exponential backoff
+# ---------------------------------------------------------------------------
+class TestRetries:
+    def test_retry_policy_backoff_curve(self) -> None:
+        policy = RetryPolicy(max_retries=5, backoff_base=0.01, backoff_cap=0.05)
+        assert policy.backoff(0) == pytest.approx(0.01)
+        assert policy.backoff(1) == pytest.approx(0.02)
+        assert policy.backoff(2) == pytest.approx(0.04)
+        assert policy.backoff(3) == pytest.approx(0.05)  # capped
+        assert policy.is_retryable(TransientError("x"))
+        assert policy.is_retryable(InjectedFault("x"))
+        assert not policy.is_retryable(ValueError("x"))
+        assert not policy.is_retryable(InjectedFatalFault("x"))
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_cap"):
+            RetryPolicy(backoff_base=0.1, backoff_cap=0.01)
+
+    def test_transient_execute_failures_retry_to_success(
+        self, smat, rng
+    ) -> None:
+        sleeps = []
+        faults = FaultPlan(
+            [FaultRule(site="execute", kind="transient", start=0, stop=2)],
+            sleep=sleeps.append,  # virtual time: record, don't wait
+        )
+        matrix = random_csr(rng, n_rows=44, n_cols=44)
+        x = rng.standard_normal(44)
+        config = ServeConfig(workers=1, max_retries=2, backoff_base=0.01)
+        with ServingEngine(smat, config, faults=faults) as engine:
+            result = engine.spmv(matrix, x)
+            direct, _ = smat.spmv(matrix, x)
+        assert np.array_equal(result.y, direct)
+        assert result.retries == 2
+        assert engine.metrics.counter("retries").value == 2
+        assert engine.metrics.counter("requests_failed").value == 0
+        assert sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_retries_exhausted_fail_the_request(self, smat, rng) -> None:
+        faults = FaultPlan(
+            [FaultRule(site="execute", kind="transient")],  # forever
+            sleep=lambda _: None,
+        )
+        matrix = random_csr(rng, n_rows=40, n_cols=40)
+        config = ServeConfig(workers=1, max_retries=1)
+        with ServingEngine(smat, config, faults=faults) as engine:
+            with pytest.raises(InjectedFault):
+                engine.spmv(matrix, np.ones(40))
+            assert engine.metrics.counter("retries").value == 1
+            assert engine.metrics.counter("requests_failed").value == 1
+            # The engine keeps serving once the fault plan is exhausted...
+            # (it isn't here — rule is unbounded — so serve another way:)
+            assert all(t.is_alive() for t in engine._workers)
+
+    def test_fatal_faults_are_not_retried(self, smat, rng) -> None:
+        faults = FaultPlan(
+            [FaultRule(site="execute", kind="fatal", start=0, stop=1)],
+            sleep=lambda _: None,
+        )
+        matrix = random_csr(rng, n_rows=40, n_cols=40)
+        config = ServeConfig(workers=1, max_retries=3)
+        with ServingEngine(smat, config, faults=faults) as engine:
+            with pytest.raises(InjectedFatalFault):
+                engine.spmv(matrix, np.ones(40))
+            assert engine.metrics.counter("retries").value == 0
+            # Fault window closed: the next request succeeds normally.
+            assert engine.spmv(matrix, np.ones(40)).y is not None
+
+    def test_config_validates_retry_fields(self) -> None:
+        with pytest.raises(ValueError, match="max_retries"):
+            ServeConfig(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_base"):
+            ServeConfig(backoff_base=-0.1)
+        with pytest.raises(ValueError, match="backoff_cap"):
+            ServeConfig(backoff_base=0.1, backoff_cap=0.05)
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: circuit breaker + graceful degradation
+# ---------------------------------------------------------------------------
+class TestCircuitBreakerUnit:
+    def test_open_half_open_closed_cycle(self) -> None:
+        breaker = CircuitBreaker(threshold=2, probe_interval=3)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.acquire() is BuildTicket.BUILD
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # second failure opens
+        assert breaker.state is BreakerState.OPEN
+        # Two degraded requests, then the third becomes the probe.
+        assert breaker.acquire() is BuildTicket.DEGRADE
+        assert breaker.acquire() is BuildTicket.DEGRADE
+        assert breaker.acquire() is BuildTicket.PROBE
+        assert breaker.state is BreakerState.HALF_OPEN
+        # Concurrent arrivals during the probe keep degrading.
+        assert breaker.acquire() is BuildTicket.DEGRADE
+        # Failed probe re-opens (not a fresh "opened" transition).
+        assert not breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        # Next probe succeeds and closes.
+        assert breaker.acquire() is BuildTicket.DEGRADE
+        assert breaker.acquire() is BuildTicket.DEGRADE
+        assert breaker.acquire() is BuildTicket.PROBE
+        assert breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError, match="probe_interval"):
+            CircuitBreaker(probe_interval=0)
+
+    def test_degraded_plan_is_reference_csr(self, rng) -> None:
+        matrix = random_csr(rng, n_rows=33, n_cols=29)
+        x = rng.standard_normal(29)
+        plan = DegradedPlan(matrix)
+        assert np.array_equal(plan.execute(x), matrix.spmv(x, reference=True))
+        with pytest.raises(TypeError, match="CSR"):
+            DegradedPlan(object())
+
+
+class TestDegradationEndToEnd:
+    """The acceptance scenario: with plan builds forced to fail, requests
+    still complete through the degraded CSR reference plan, every
+    transition is metered, and tuned serving resumes after faults clear."""
+
+    def test_build_failures_degrade_then_recover(self, smat, rng) -> None:
+        tuner = CountingTuner(smat)
+        # The decide seam faults on its first 3 calls, then heals.
+        faults = FaultPlan(
+            [FaultRule(site="decide", kind="transient", start=0, stop=3)],
+            sleep=lambda _: None,
+        )
+        matrix = random_csr(rng, n_rows=52, n_cols=52)
+        x = rng.standard_normal(52)
+        config = ServeConfig(
+            workers=1,
+            max_batch=1,
+            breaker_threshold=2,
+            breaker_probe_interval=2,
+        )
+        with ServingEngine(tuner, config, faults=faults) as engine:
+            reference = matrix.spmv(x, reference=True)
+
+            # Requests 1-2: build attempts fail (decide calls 0, 1) ->
+            # served degraded, breaker opens on the second consecutive
+            # failure.
+            for _ in range(2):
+                result = engine.spmv(matrix, x)
+                assert result.degraded
+                assert result.format_name is FormatName.CSR
+                assert result.kernel_name == DegradedPlan.KERNEL_NAME
+                assert np.array_equal(result.y, reference)
+            assert engine.metrics.counter("breaker_opened").value == 1
+            assert engine.breaker_states()[fingerprint(matrix)] is (
+                BreakerState.OPEN
+            )
+
+            # Request 3: breaker open -> degraded WITHOUT a build attempt
+            # (the decide seam sees no new call: re-tuning is suppressed).
+            assert engine.spmv(matrix, x).degraded
+            assert faults.counts()["decide"]["calls"] == 2
+
+            # Request 4: probe turn (interval=2); decide call 2 is still
+            # inside the fault window -> the probe fails, breaker
+            # re-opens, the request is still served degraded.
+            assert engine.spmv(matrix, x).degraded
+            assert engine.metrics.counter("breaker_probes").value == 1
+            assert engine.breaker_states()[fingerprint(matrix)] is (
+                BreakerState.OPEN
+            )
+
+            # Request 5: degraded (counts toward the next probe).
+            # Request 6: probe again; decide call 3 is past the fault
+            # window, the build succeeds, the breaker closes, and tuned
+            # serving resumes.
+            assert engine.spmv(matrix, x).degraded
+            recovered = engine.spmv(matrix, x)
+            assert not recovered.degraded
+            assert np.allclose(recovered.y, reference, atol=1e-9)
+            assert engine.metrics.counter("breaker_probes").value == 2
+            assert engine.metrics.counter("breaker_recovered").value == 1
+            assert engine.breaker_states()[fingerprint(matrix)] is (
+                BreakerState.CLOSED
+            )
+            assert tuner.calls == 1  # only the successful build reached it
+
+            # And the plan is cached: the next request is a pure hit.
+            assert engine.spmv(matrix, x).cache_hit
+
+            counters = engine.metrics.snapshot()["counters"]
+            assert counters["degraded_requests"] == 5
+            assert counters["plan_build_failures"] == 3
+            assert counters["requests_failed"] == 0
+
+            # All of it observable on the operator scoreboard.
+            scoreboard = engine.scoreboard()
+            for name in (
+                "degraded_requests",
+                "retries",
+                "deadline_exceeded",
+                "breakers",
+                "fault plan",
+            ):
+                assert name in scoreboard
+
+    def test_degradation_under_concurrent_load(self, smat, rng) -> None:
+        """Builds permanently failing: every request of a 4-client storm
+        still completes, bitwise equal to the reference CSR product."""
+        faults = FaultPlan(
+            [FaultRule(site="decide", kind="transient")],
+            sleep=lambda _: None,
+        )
+        pool = [random_csr(rng, n_rows=36 + i, n_cols=36 + i) for i in range(6)]
+        operands = [rng.standard_normal(m.n_cols) for m in pool]
+        expected = [
+            m.spmv(x, reference=True) for m, x in zip(pool, operands)
+        ]
+        config = ServeConfig(workers=4, breaker_threshold=2)
+        failures = []
+
+        with ServingEngine(smat, config, faults=faults) as engine:
+
+            def client(offset: int) -> None:
+                for i in range(12):
+                    index = (offset + i) % len(pool)
+                    try:
+                        result = engine.spmv(pool[index], operands[index])
+                    except Exception as exc:
+                        failures.append(exc)
+                        continue
+                    if not np.array_equal(result.y, expected[index]):
+                        failures.append(
+                            AssertionError(f"mismatch on matrix {index}")
+                        )
+
+            threads = [
+                threading.Thread(target=client, args=(k,), daemon=True)
+                for k in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(t.is_alive() for t in threads)
+            counters = engine.metrics.snapshot()["counters"]
+
+        assert failures == []
+        assert counters["requests_served"] == 48
+        assert counters["degraded_requests"] == 48
+        assert counters["requests_failed"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Fault plan determinism and parsing
+# ---------------------------------------------------------------------------
+class TestFaultPlan:
+    def test_windows_are_deterministic(self) -> None:
+        def injected_indices(seed: int):
+            plan = FaultPlan(
+                [FaultRule(site="decide", rate=0.5)],
+                seed=seed,
+                sleep=lambda _: None,
+            )
+            hits = []
+            for i in range(40):
+                try:
+                    plan.on_call("decide")
+                except InjectedFault:
+                    hits.append(i)
+            return hits
+
+        assert injected_indices(7) == injected_indices(7)
+        assert injected_indices(7) != injected_indices(8)
+
+    def test_latency_rule_sleeps_without_raising(self) -> None:
+        sleeps = []
+        plan = FaultPlan(
+            [FaultRule(site="execute", kind="latency", latency=0.25)],
+            sleep=sleeps.append,
+        )
+        plan.on_call("execute")
+        assert sleeps == [0.25]
+        counts = plan.counts()
+        assert counts["execute"] == {"calls": 1, "injected": 1}
+
+    def test_rule_validation(self) -> None:
+        with pytest.raises(ValueError, match="site"):
+            FaultRule(site="nope")
+        with pytest.raises(ValueError, match="kind"):
+            FaultRule(site="decide", kind="nope")
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(site="decide", rate=1.5)
+        with pytest.raises(ValueError, match="stop"):
+            FaultRule(site="decide", start=5, stop=5)
+        with pytest.raises(ValueError, match="latency"):
+            FaultRule(site="decide", latency=-1.0)
+
+    def test_parse_cli_specs(self) -> None:
+        plan = FaultPlan.parse(
+            ["decide,rate=0.5,stop=20", "execute,kind=latency,latency=0.002"],
+            seed=3,
+        )
+        assert len(plan.rules) == 2
+        assert plan.rules[0].site == "decide"
+        assert plan.rules[0].rate == 0.5
+        assert plan.rules[0].stop == 20
+        assert plan.rules[1].kind == "latency"
+        assert plan.rules[1].latency == pytest.approx(0.002)
+        with pytest.raises(ValueError, match="key"):
+            FaultPlan.parse(["decide,bogus=1"])
+        with pytest.raises(ValueError, match="key=value"):
+            FaultPlan.parse(["decide,latency"])
+
+
+# ---------------------------------------------------------------------------
+# Everything at once: chaos under deadlines, retries, and degradation
+# ---------------------------------------------------------------------------
+class TestChaosStress:
+    def test_mixed_faults_under_concurrent_clients(self, smat, rng) -> None:
+        """Transient decide + execute faults early in the run; the engine
+        must serve every request (tuned, retried, or degraded) and end
+        with all workers alive and the breaker recovered or closed."""
+        faults = FaultPlan(
+            [
+                FaultRule(site="decide", kind="transient", start=0, stop=3),
+                FaultRule(site="execute", kind="transient", start=0, stop=2),
+            ],
+            sleep=lambda _: None,
+        )
+        pool = [random_csr(rng, n_rows=40 + i, n_cols=40 + i) for i in range(5)]
+        operands = [rng.standard_normal(m.n_cols) for m in pool]
+        config = ServeConfig(
+            workers=3,
+            max_retries=3,
+            backoff_base=0.0,
+            backoff_cap=0.0,
+            breaker_threshold=2,
+            breaker_probe_interval=1,
+            default_deadline=60.0,
+        )
+        failures = []
+        with ServingEngine(smat, config, faults=faults) as engine:
+
+            def client(offset: int) -> None:
+                for i in range(15):
+                    index = (offset + i) % len(pool)
+                    try:
+                        result = engine.spmv(pool[index], operands[index])
+                    except Exception as exc:
+                        failures.append(exc)
+                        continue
+                    if not np.allclose(
+                        result.y,
+                        pool[index].spmv(operands[index]),
+                        atol=1e-9,
+                    ):
+                        failures.append(AssertionError(f"mismatch {index}"))
+
+            threads = [
+                threading.Thread(target=client, args=(k,), daemon=True)
+                for k in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(t.is_alive() for t in threads)
+            assert all(t.is_alive() for t in engine._workers)
+            counters = engine.metrics.snapshot()["counters"]
+            states = engine.breaker_states().values()
+
+        assert failures == []
+        assert counters["requests_served"] == 60
+        assert counters["worker_errors"] == 0
+        # After the fault window, every breaker must have healed.
+        assert all(s is BreakerState.CLOSED for s in states)
