@@ -48,6 +48,9 @@ def __getattr__(name: str):
         "MetricsRegistry": ("repro.serve", "MetricsRegistry"),
         "SimulatedBackend": ("repro.machine", "SimulatedBackend"),
         "WallClockBackend": ("repro.machine", "WallClockBackend"),
+        "Tracer": ("repro.obs", "Tracer"),
+        "Span": ("repro.obs", "Span"),
+        "overhead_report": ("repro.obs", "overhead_report"),
         "extract_features": ("repro.features", "extract_features"),
         "generate_collection": ("repro.collection", "generate_collection"),
         "representatives": ("repro.collection", "representatives"),

@@ -12,7 +12,10 @@
   a feature database,
 * ``stats``      — domain and format-affinity distribution of a database,
 * ``serve-bench``— replay a synthetic concurrent workload through the
-  ``repro.serve`` engine and print its scoreboard,
+  ``repro.serve`` engine and print its scoreboard (``--trace`` captures
+  the replay as a Chrome trace),
+* ``trace``      — route one matrix through the serving engine with
+  tracing on and print the span tree + per-stage overhead report,
 * ``bench-perf`` — time the vectorized cold path (conversions, feature
   extraction, plan build, SpMV kernels) against the retained Python-loop
   references and write ``BENCH_perf.json``.
@@ -125,9 +128,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "repeatable")
     serve.add_argument("--fault-seed", type=int, default=0,
                        help="seed for probabilistic fault rules (default 0)")
+    serve.add_argument("--trace", type=Path, default=None, metavar="OUT",
+                       help="capture the replay with repro.obs and write a "
+                            "Chrome trace-event JSON to OUT (open in "
+                            "chrome://tracing or Perfetto); also prints the "
+                            "per-stage overhead report")
     serve.add_argument("--platform", default="intel",
                        choices=["intel", "amd"])
     serve.add_argument("--seed", type=int, default=2013)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one matrix end to end through the serving engine",
+    )
+    trace.add_argument(
+        "matrix",
+        help="Matrix Market file, or a demo name "
+             "(banded, uniform, powerlaw, random)",
+    )
+    trace.add_argument("--requests", type=int, default=3,
+                       help="requests to serve for the same matrix "
+                            "(default 3: cold build + cache hits)")
+    trace.add_argument("--out", type=Path, default=None,
+                       help="write a Chrome trace-event JSON here")
+    trace.add_argument("--jsonl", type=Path, default=None,
+                       help="write one span per line as JSONL here")
+    trace.add_argument("--train-scale", type=float, default=0.05,
+                       help="training collection fraction (default 0.05)")
+    trace.add_argument("--platform", default="intel",
+                       choices=["intel", "amd"])
+    trace.add_argument("--seed", type=int, default=2013)
 
     bench = sub.add_parser(
         "bench-perf",
@@ -162,6 +192,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "stats": _cmd_stats,
         "serve-bench": _cmd_serve_bench,
+        "trace": _cmd_trace,
         "bench-perf": _cmd_bench_perf,
     }[args.command]
     return handler(args)
@@ -358,12 +389,28 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         + (f", {len(faults.rules)} fault rules" if faults else "")
         + ")..."
     )
-    with ServingEngine(tuner, config, faults=faults) as engine:
-        report = replay(
-            engine, pool, schedule, clients=args.clients, seed=args.seed
-        )
-        scoreboard = engine.scoreboard()
-        counters = engine.metrics.snapshot()["counters"]
+    tracer = None
+    engine = ServingEngine(tuner, config, faults=faults)
+    if args.trace is not None:
+        from repro import obs
+
+        tracer = obs.Tracer(sink=obs.metrics_sink(engine.metrics))
+    with _maybe_installed(tracer):
+        with engine:
+            report = replay(
+                engine, pool, schedule, clients=args.clients, seed=args.seed
+            )
+            scoreboard = engine.scoreboard()
+            counters = engine.metrics.snapshot()["counters"]
+    if tracer is not None:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.report import overhead_report
+
+        roots = tracer.roots()
+        events = write_chrome_trace(roots, args.trace)
+        print()
+        print(overhead_report(roots).describe())
+        print(f"wrote {events} trace events -> {args.trace}")
 
     print()
     print(scoreboard)
@@ -393,6 +440,82 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         if not faults:
             return 1
+    return 0
+
+
+def _maybe_installed(tracer):
+    """``obs.installed(tracer)`` or a no-op when tracing is off."""
+    import contextlib
+
+    if tracer is None:
+        return contextlib.nullcontext()
+    from repro import obs
+
+    return obs.installed(tracer)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import obs
+    from repro.collection import generate_collection
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.obs.report import overhead_report, render_tree
+    from repro.serve import ServingEngine
+    from repro.tuner import SMAT
+
+    demo_kinds = ("banded", "uniform", "powerlaw", "random")
+    if args.matrix in demo_kinds:
+        matrix = _demo_matrix(args.matrix)
+        source = f"demo:{args.matrix}"
+    else:
+        from repro.io import read_matrix_market
+
+        path = Path(args.matrix)
+        if not path.exists():
+            print(
+                f"error: {args.matrix!r} is neither a file nor one of "
+                f"{', '.join(demo_kinds)}",
+                file=sys.stderr,
+            )
+            return 1
+        matrix = read_matrix_market(path)
+        source = str(path)
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return 1
+
+    backend = _backend(args.platform)
+    print(f"training tuner (scale {args.train_scale}, {args.platform})...")
+    tuner = SMAT.train(
+        generate_collection(
+            seed=args.seed, scale=args.train_scale, size_scale=0.4
+        ),
+        backend=backend,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(matrix.n_cols)
+    tracer = obs.Tracer()
+    with obs.installed(tracer):
+        with ServingEngine(tuner) as engine:
+            tracer.sink = obs.metrics_sink(engine.metrics)
+            for _ in range(args.requests):
+                engine.spmv(matrix, x)
+    roots = tracer.roots()
+
+    print(f"\ntraced {len(roots)} request(s) for {source} "
+          f"({matrix.n_rows}x{matrix.n_cols}, {matrix.nnz} nnz)\n")
+    for root in roots:
+        print(render_tree(root))
+        print()
+    print(overhead_report(roots).describe())
+    if args.out is not None:
+        events = write_chrome_trace(roots, args.out)
+        print(f"wrote {events} trace events -> {args.out}")
+    if args.jsonl is not None:
+        lines = write_jsonl(roots, args.jsonl)
+        print(f"wrote {lines} spans -> {args.jsonl}")
     return 0
 
 

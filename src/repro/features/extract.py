@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.features.parameters import FeatureVector
 from repro.features.powerlaw import estimate_power_law_exponent
 from repro.formats.csr import CSRMatrix
@@ -39,6 +40,11 @@ def extract_structure_features(matrix: CSRMatrix) -> dict:
     EXTRACTION_EVENTS.increment()
     m, n = matrix.shape
     nnz = matrix.nnz
+    with obs.span("features.structure", m=int(m), n=int(n), nnz=int(nnz)):
+        return _structure_features(matrix, m, n, nnz)
+
+
+def _structure_features(matrix: CSRMatrix, m: int, n: int, nnz: int) -> dict:
     degrees = matrix.row_degrees()
 
     aver_rd = nnz / m
@@ -67,7 +73,8 @@ def extract_structure_features(matrix: CSRMatrix) -> dict:
 
 def extract_powerlaw_feature(matrix: CSRMatrix) -> float:
     """Step two: the power-law exponent R (the expensive parameter)."""
-    return estimate_power_law_exponent(matrix.row_degrees())
+    with obs.span("features.powerlaw", nnz=int(matrix.nnz)):
+        return estimate_power_law_exponent(matrix.row_degrees())
 
 
 def extract_features(matrix: CSRMatrix) -> FeatureVector:

@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConversionError, FormatError
 from repro.formats.base import SparseMatrix
 from repro.formats.bcsr import BCSRMatrix
@@ -580,7 +581,21 @@ def convert(
     if matrix.format_name is target:
         return matrix, ConversionCost(target, target, matrix.nnz, 0)
     CONVERSION_EVENTS.increment()
+    with obs.span(
+        "convert",
+        source=matrix.format_name.value,
+        target=target.value,
+        nnz=int(matrix.nnz),
+    ):
+        return _convert(matrix, target, fill_budget, options)
 
+
+def _convert(
+    matrix: SparseMatrix,
+    target: FormatName,
+    fill_budget: Optional[float],
+    options: dict,
+) -> Tuple[SparseMatrix, ConversionCost]:
     if isinstance(matrix, CSRMatrix):
         csr, to_csr_cost = matrix, None
     else:

@@ -7,9 +7,10 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
+from repro import obs
 from repro.errors import KernelError
 from repro.formats.base import SparseMatrix
-from repro.kernels.strategies import StrategySet, describe
+from repro.kernels.strategies import StrategySet, describe, span_attrs
 from repro.types import FormatName
 
 KernelFn = Callable[[SparseMatrix, np.ndarray], np.ndarray]
@@ -37,7 +38,17 @@ class Kernel:
                 f"kernel {self.name} applied to a "
                 f"{matrix.format_name.value} matrix"
             )
-        return self.fn(matrix, x)
+        # Hot loop: guard on the tracer *before* touching span attributes
+        # so disabled tracing costs one global read and allocates nothing.
+        tracer = obs.get_tracer()
+        if tracer is None:
+            return self.fn(matrix, x)
+        with tracer.span(
+            "kernel.execute",
+            nnz=int(matrix.nnz),
+            **span_attrs(self.format_name, self.strategies),
+        ):
+            return self.fn(matrix, x)
 
 
 _KERNELS: Dict[FormatName, List[Kernel]] = {}

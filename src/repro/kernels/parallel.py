@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.formats.csr import CSRMatrix
 from repro.kernels.base import register_kernel
 from repro.kernels.csr_kernels import _segment_sums, csr_vectorized
@@ -124,18 +125,47 @@ def csr_spmv_thread(
     y = np.zeros(matrix.n_rows, dtype=matrix.dtype)
     ptr, indices, data = matrix.ptr, matrix.indices, matrix.data
 
+    # Chunk spans carry an *explicit* parent: they run on pool threads,
+    # where the submitting thread's current span is invisible.  In a
+    # Chrome trace they land on their own tid lanes, making the actual
+    # chunk overlap visible.
+    tracer = obs.get_tracer()
+    fan_out = (
+        tracer.begin(
+            "kernel.thread_fanout", chunks=len(ranges), workers=n_workers
+        )
+        if tracer is not None
+        else None
+    )
+
     def run_chunk(row_lo: int, row_hi: int) -> None:
         lo, hi = int(ptr[row_lo]), int(ptr[row_hi])
         if hi == lo:
             return
-        products = data[lo:hi] * x[indices[lo:hi]]
-        y[row_lo:row_hi] = _segment_sums(
-            products, ptr[row_lo : row_hi + 1] - lo
+        chunk_span = (
+            tracer.begin(
+                "kernel.chunk",
+                parent=fan_out,
+                rows=row_hi - row_lo,
+                nnz=hi - lo,
+            )
+            if tracer is not None
+            else None
         )
+        try:
+            products = data[lo:hi] * x[indices[lo:hi]]
+            y[row_lo:row_hi] = _segment_sums(
+                products, ptr[row_lo : row_hi + 1] - lo
+            )
+        finally:
+            if chunk_span is not None:
+                tracer.end(chunk_span)
 
     pool = shared_executor()
     futures = [pool.submit(run_chunk, lo, hi) for lo, hi in ranges]
     wait(futures)
+    if fan_out is not None and tracer is not None:
+        tracer.end(fan_out)
     for future in futures:
         future.result()  # re-raise the first chunk failure, if any
     return y

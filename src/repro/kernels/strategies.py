@@ -61,3 +61,17 @@ def describe(strategies: Iterable[Strategy]) -> str:
     ``parallel+vectorize``."""
     names = sorted(s.value for s in strategies)
     return "+".join(names) if names else "basic"
+
+
+def span_attrs(format_name, strategies: Iterable[Strategy]) -> dict:
+    """Span attributes identifying one kernel dispatch.
+
+    Keeps the tracing vocabulary for kernels in one place: every
+    ``kernel.execute`` span carries the format and the exact strategy
+    set, so per-strategy latency can be sliced out of a trace the same
+    way the scoreboard slices the offline performance table.
+    """
+    return {
+        "format": format_name.value,
+        "strategies": describe(strategies),
+    }

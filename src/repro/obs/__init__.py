@@ -1,0 +1,150 @@
+"""``repro.obs`` — end-to-end tracing & profiling for the SMAT pipeline.
+
+The tuning-and-serving pipeline has one story to tell per request —
+*where did the time go?* — and this package tells it:
+
+* :class:`Tracer` / :class:`Span` (``repro.obs.tracer``): nestable,
+  thread-safe spans on the monotonic clock, near-zero cost when
+  disabled.
+* Exports (``repro.obs.export``): JSONL span records and Chrome
+  trace-event JSON loadable in ``chrome://tracing`` / Perfetto.
+* Reports (``repro.obs.report``): per-stage overhead breakdown (the
+  serving-side analogue of the paper's Table 3) and span-tree rendering.
+
+The library's hot seams — feature extraction, the rule decision and
+execute-and-measure fallback, format conversion, kernel dispatch, and
+the serve request lifecycle — trace themselves through the *installed*
+tracer:
+
+>>> from repro import obs
+>>> tracer = obs.install(obs.Tracer())
+>>> y, decision = smat.spmv(matrix, x)     # traced end to end
+>>> print(obs.report.render_tree(tracer.roots()[0]))
+>>> obs.uninstall()
+
+With no tracer installed (the default), every seam reduces to one global
+read plus an ``is None`` check — no spans, no allocations — so
+production code pays nothing until someone turns tracing on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs import export, report, tracer
+from repro.obs.export import (
+    chrome_trace,
+    span_records,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.report import (
+    OverheadReport,
+    overhead_report,
+    render_tree,
+)
+from repro.obs.tracer import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "NULL_SPAN",
+    "OverheadReport",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "get_tracer",
+    "install",
+    "installed",
+    "metrics_sink",
+    "overhead_report",
+    "render_tree",
+    "span",
+    "span_records",
+    "to_jsonl",
+    "uninstall",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: The process-wide installed tracer (None = tracing disabled).  A plain
+#: module global: reads are atomic, and the hot seams only ever *read*.
+_active: Optional[Tracer] = None
+
+
+def install(new_tracer: Tracer) -> Tracer:
+    """Install ``new_tracer`` as the process-wide tracer; returns it."""
+    global _active
+    _active = new_tracer
+    return new_tracer
+
+
+def uninstall() -> Optional[Tracer]:
+    """Disable tracing; returns the previously installed tracer."""
+    global _active
+    previous, _active = _active, None
+    return previous
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The installed tracer, or None when tracing is disabled.
+
+    Hot paths guard on this *before* building span attributes so a
+    disabled process allocates nothing per call.
+    """
+    return _active
+
+
+def span(name: str, **attrs):
+    """Span context manager on the installed tracer (no-op when off).
+
+    The convenience for cold paths; hot loops use the explicit
+    :func:`get_tracer` guard to avoid even the ``attrs`` dict when
+    tracing is disabled.
+    """
+    active = _active
+    if active is None:
+        return NULL_SPAN
+    return active.span(name, **attrs)
+
+
+class installed:
+    """Context manager installing a tracer for a scope (tests, CLI).
+
+    >>> with obs.installed(obs.Tracer()) as tracer:
+    ...     smat.spmv(matrix, x)
+    ... # previous tracer (usually None) restored on exit
+    """
+
+    def __init__(self, new_tracer: Tracer) -> None:
+        self.tracer = new_tracer
+        self._previous: Optional[Tracer] = None
+
+    def __enter__(self) -> Tracer:
+        global _active
+        self._previous = _active
+        _active = self.tracer
+        return self.tracer
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _active
+        _active = self._previous
+
+
+def metrics_sink(registry) -> Callable[[Span], None]:
+    """A tracer sink feeding span durations into a metrics registry.
+
+    Every completed span observes the histogram named after its stage
+    (``serve.plan`` → ``span_serve_plan_seconds``), so the latency
+    histograms operators already watch and the traces they drill into
+    are produced by the same clock readings — they cannot disagree.
+
+    ``registry`` is duck-typed (anything with ``histogram(name)``
+    returning an object with ``observe(seconds)``), which keeps
+    ``repro.obs`` dependency-free of ``repro.serve``.
+    """
+
+    def sink(span: Span) -> None:
+        name = "span_" + span.name.replace(".", "_") + "_seconds"
+        registry.histogram(name).observe(span.duration_seconds)
+
+    return sink

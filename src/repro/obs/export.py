@@ -1,0 +1,141 @@
+"""Trace exporters: JSONL span records and Chrome trace-event JSON.
+
+Two formats, two audiences:
+
+* **JSONL** — one flat JSON object per span, grep/jq-friendly, stable
+  keys.  The format of record for log pipelines and the property tests.
+* **Chrome trace events** — the ``{"traceEvents": [...]}`` JSON that
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load
+  directly.  Spans become complete (``"ph": "X"``) events with
+  microsecond timestamps rebased to the earliest span, plus ``"M"``
+  metadata events naming each thread, so a served request renders as a
+  per-thread flame chart — queue wait on the client lane, plan build and
+  kernel execution on the worker lanes.
+
+Timestamps everywhere derive from the spans' ``perf_counter_ns``
+readings; the exporters never consult any clock of their own.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+from repro.obs.tracer import Span
+
+__all__ = [
+    "chrome_trace",
+    "span_records",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def _jsonable(value: object) -> object:
+    """Coerce attribute values to JSON-stable primitives."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def span_records(roots: Iterable[Span]) -> List[Dict[str, object]]:
+    """Every span of every tree as one flat, JSON-ready dict per span."""
+    records: List[Dict[str, object]] = []
+    for root in roots:
+        for span in root.walk():
+            records.append(
+                {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "name": span.name,
+                    "start_ns": span.start_ns,
+                    "duration_ns": span.duration_ns,
+                    "thread_id": span.thread_id,
+                    "thread_name": span.thread_name,
+                    "status": span.status,
+                    "error": span.error,
+                    "attrs": {
+                        key: _jsonable(val)
+                        for key, val in sorted(span.attrs.items())
+                    },
+                }
+            )
+    return records
+
+
+def to_jsonl(roots: Iterable[Span]) -> str:
+    """All spans as newline-delimited JSON (one span per line)."""
+    return "\n".join(
+        json.dumps(record, sort_keys=True) for record in span_records(roots)
+    )
+
+
+def write_jsonl(roots: Iterable[Span], path: Path) -> int:
+    """Write the JSONL export; returns the number of span lines."""
+    records = span_records(roots)
+    Path(path).write_text(
+        "\n".join(json.dumps(r, sort_keys=True) for r in records)
+        + ("\n" if records else "")
+    )
+    return len(records)
+
+
+def chrome_trace(roots: Sequence[Span]) -> Dict[str, object]:
+    """The span trees as a Chrome trace-event JSON document.
+
+    Every span becomes one complete ``"X"`` event; ``ts``/``dur`` are in
+    microseconds rebased so the earliest span starts at 0 (Chrome's
+    expectation).  ``cat`` is the span name's first dot-segment, which
+    Perfetto uses for filtering (``serve``, ``tune``, ``kernel``, ...).
+    """
+    spans = [span for root in roots for span in root.walk()]
+    if not spans:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    t0 = min(span.start_ns for span in spans)
+    events: List[Dict[str, object]] = []
+    threads: Dict[int, str] = {}
+    for span in spans:
+        threads.setdefault(span.thread_id, span.thread_name)
+        args: Dict[str, object] = {
+            key: _jsonable(val) for key, val in sorted(span.attrs.items())
+        }
+        args["trace_id"] = span.trace_id
+        if span.error is not None:
+            args["error"] = span.error
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (span.start_ns - t0) / 1_000.0,
+                "dur": span.duration_ns / 1_000.0,
+                "pid": 1,
+                "tid": span.thread_id,
+                "args": args,
+            }
+        )
+    for tid, name in sorted(threads.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(roots: Sequence[Span], path: Path) -> int:
+    """Write the Chrome trace; returns the number of ``"X"`` span events."""
+    document = chrome_trace(roots)
+    Path(path).write_text(json.dumps(document, indent=1))
+    return sum(
+        1
+        for event in document["traceEvents"]  # type: ignore[union-attr]
+        if event["ph"] == "X"
+    )

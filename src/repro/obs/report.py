@@ -1,0 +1,181 @@
+"""Per-stage overhead aggregation and span-tree rendering.
+
+The paper's overhead analysis attributes each tuned SpMV's latency to its
+pipeline stages — feature extraction, rule decision, measurement
+fallback, conversion, kernel — in units of one CSR SpMV (Table 3).
+:func:`overhead_report` is the serving-side analogue over traced
+requests: every span's *exclusive* time (duration minus direct children)
+is attributed to its stage name, so the stage totals partition each
+request's latency exactly — summed stage time reconciles with wall-clock
+root duration to the nanosecond, with any instrumentation gap showing up
+honestly as the root span's own self-time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.obs.tracer import Span
+
+__all__ = [
+    "OverheadReport",
+    "StageStats",
+    "overhead_report",
+    "render_tree",
+]
+
+
+@dataclass
+class StageStats:
+    """Aggregated exclusive time for one span name across traces."""
+
+    name: str
+    count: int = 0
+    self_ns: int = 0
+    total_ns: int = 0
+    errors: int = 0
+
+    @property
+    def self_seconds(self) -> float:
+        return self.self_ns / 1e9
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total_ns / 1e9
+
+    @property
+    def mean_self_seconds(self) -> float:
+        return self.self_seconds / self.count if self.count else 0.0
+
+
+@dataclass
+class OverheadReport:
+    """Stage breakdown over a set of root spans (requests)."""
+
+    stages: List[StageStats]
+    requests: int
+    #: Sum of the root spans' durations — the wall-clock latency the
+    #: stage self-times must add up to.
+    wall_ns: int
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.wall_ns / 1e9
+
+    @property
+    def accounted_ns(self) -> int:
+        """Total self-time attributed to stages (== ``wall_ns`` when the
+        trees are complete; the identity the tests assert)."""
+        return sum(stage.self_ns for stage in self.stages)
+
+    @property
+    def accounted_fraction(self) -> float:
+        """Fraction of wall-clock latency the stages account for."""
+        if self.wall_ns <= 0:
+            return 1.0
+        return self.accounted_ns / self.wall_ns
+
+    def stage(self, name: str) -> StageStats:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r} in this report")
+
+    def describe(self) -> str:
+        """Fixed-width per-stage breakdown, biggest stages first."""
+        lines = [
+            f"per-stage overhead over {self.requests} request"
+            f"{'s' if self.requests != 1 else ''} "
+            f"({_fmt_ns(self.wall_ns)} wall):",
+            f"  {'stage':26s} {'count':>7s} {'self':>10s} "
+            f"{'mean':>10s} {'share':>7s}",
+        ]
+        for stage in self.stages:
+            share = (
+                stage.self_ns / self.wall_ns if self.wall_ns > 0 else 0.0
+            )
+            error_mark = f"  !{stage.errors}" if stage.errors else ""
+            lines.append(
+                f"  {stage.name:26s} {stage.count:>7d} "
+                f"{_fmt_ns(stage.self_ns):>10s} "
+                f"{_fmt_ns(int(stage.mean_self_seconds * 1e9)):>10s} "
+                f"{share:>6.1%}{error_mark}"
+            )
+        lines.append(
+            f"  {'accounted':26s} {'':>7s} "
+            f"{_fmt_ns(self.accounted_ns):>10s} {'':>10s} "
+            f"{self.accounted_fraction:>6.1%}"
+        )
+        return "\n".join(lines)
+
+
+def overhead_report(roots: Sequence[Span]) -> OverheadReport:
+    """Aggregate exclusive per-stage time over ``roots``.
+
+    Root spans' own self-time is reported under ``<name> (untraced)`` —
+    it is the instrumentation gap between stage spans, and keeping it as
+    an explicit row is what makes the stage column sum *exactly* to the
+    wall-clock total instead of silently under-reporting.
+    """
+    stages: Dict[str, StageStats] = {}
+    wall_ns = 0
+    requests = 0
+    for root in roots:
+        requests += 1
+        wall_ns += root.duration_ns
+        for span in root.walk():
+            name = (
+                f"{span.name} (untraced)" if span is root else span.name
+            )
+            stats = stages.get(name)
+            if stats is None:
+                stats = stages[name] = StageStats(name)
+            stats.count += 1
+            stats.self_ns += span.self_ns()
+            stats.total_ns += span.duration_ns
+            if span.status == "error":
+                stats.errors += 1
+    ordered = sorted(stages.values(), key=lambda s: -s.self_ns)
+    return OverheadReport(
+        stages=ordered, requests=requests, wall_ns=wall_ns
+    )
+
+
+def render_tree(root: Span) -> str:
+    """ASCII rendering of one span tree with durations and attributes.
+
+    >>> print(render_tree(root))          # doctest: +SKIP
+    serve.request 12.3ms  nnz=2800 format=DIA
+      serve.queue 0.8ms
+      serve.plan 10.1ms
+        tune.decide 9.2ms
+          features.structure 1.1ms
+    """
+    lines: List[str] = []
+    _render(root, 0, lines)
+    return "\n".join(lines)
+
+
+def _render(span: Span, depth: int, lines: List[str]) -> None:
+    attrs = " ".join(
+        f"{key}={value}" for key, value in sorted(span.attrs.items())
+    )
+    error = f" [{span.error}]" if span.error is not None else ""
+    lines.append(
+        f"{'  ' * depth}{span.name} {_fmt_ns(span.duration_ns)}"
+        f"{'  ' + attrs if attrs else ''}{error}"
+    )
+    for child in sorted(span.children, key=lambda s: s.start_ns):
+        _render(child, depth + 1, lines)
+
+
+def _fmt_ns(ns: int) -> str:
+    """Human duration with three significant digits (µs/ms/s)."""
+    if ns < 1_000:
+        return f"{ns}ns"
+    if ns < 1_000_000:
+        return f"{ns / 1_000:.3g}us"
+    if ns < 1_000_000_000:
+        return f"{ns / 1_000_000:.3g}ms"
+    return f"{ns / 1_000_000_000:.3g}s"

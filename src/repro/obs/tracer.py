@@ -1,0 +1,335 @@
+"""Structured tracing: nestable spans on the monotonic clock.
+
+One served (or directly tuned) SpMV request produces one *span tree*: a
+root span covering the whole request with nested children for each
+pipeline stage — queue wait, plan resolution, feature extraction, rule
+decision, conversion, kernel execution.  The paper's overhead analysis
+(Table 3 / Figure 9) reports exactly this per-stage breakdown; the tracer
+makes it observable per request instead of in aggregate.
+
+Design constraints, in order:
+
+* **Near-zero cost when disabled.**  Library seams guard with
+  ``obs.get_tracer()`` (one global read + ``is None`` check) before
+  building any attribute dict, and :func:`repro.obs.span` returns a
+  shared no-op context manager, so a disabled process allocates nothing
+  per call.
+* **Monotonic clock only.**  Spans are timed with
+  :func:`time.perf_counter_ns`; no wall-clock API is ever called in a
+  span body, so traces are immune to clock steps and NTP slews and the
+  timings are integer nanoseconds end to end.
+* **Thread-safe.**  The *current span* is thread-local (nesting follows
+  each thread's own call stack), while cross-thread stitching — a request
+  submitted on a client thread and executed on a worker — passes the
+  parent span explicitly.  Attachment and completion are serialized on
+  one tracer lock; spans are few (tens per request), so contention is
+  negligible next to the work being traced.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+]
+
+#: Sentinel distinguishing "no explicit parent given" (follow the calling
+#: thread's current span) from "explicitly a root" (``parent=None``).
+_FOLLOW_THREAD = object()
+
+
+class Span:
+    """One timed, attributed interval in a trace tree.
+
+    ``start_ns``/``end_ns`` are raw :func:`time.perf_counter_ns` readings
+    — meaningful only relative to other spans of the same process; the
+    exporters rebase them to the trace start.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "thread_id",
+        "thread_name",
+        "start_ns",
+        "end_ns",
+        "status",
+        "error",
+        "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Dict[str, object],
+        span_id: int,
+        trace_id: int,
+        parent_id: Optional[int],
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        thread = threading.current_thread()
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+        self.start_ns = time.perf_counter_ns()
+        self.end_ns: Optional[int] = None
+        self.status = "open"
+        self.error: Optional[str] = None
+        self.children: List["Span"] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def duration_ns(self) -> int:
+        """Span length in nanoseconds (0 while still open)."""
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+    def self_ns(self) -> int:
+        """Exclusive time: duration minus the time inside direct children.
+
+        Summing ``self_ns`` over a whole tree reproduces the root's
+        duration exactly (each nanosecond is attributed to exactly one
+        span), which is what lets the overhead report reconcile against
+        wall-clock request latency.
+        """
+        return self.duration_ns - sum(c.duration_ns for c in self.children)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, children by
+        start time."""
+        ordered = sorted(self.children, key=lambda s: s.start_ns)
+        return itertools.chain(
+            (self,), *(child.walk() for child in ordered)
+        )
+
+    def find(self, name: str) -> List["Span"]:
+        """Every span named ``name`` in this subtree, in start order."""
+        return [s for s in self.walk() if s.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"dur={self.duration_ns}ns, children={len(self.children)})"
+        )
+
+
+class _NullSpanContext:
+    """The shared no-op returned when tracing is off: enter/exit do
+    nothing, so ``with obs.span(...)`` costs two attribute calls."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+#: The singleton no-op context manager (identity-checkable in tests).
+NULL_SPAN = _NullSpanContext()
+
+
+class _ActiveSpan:
+    """Context manager running one span on the calling thread's stack."""
+
+    __slots__ = ("_tracer", "_name", "_parent", "_attrs", "_span")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent: object,
+        attrs: Dict[str, object],
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._parent = parent
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        span = self._tracer.begin(
+            self._name, parent=self._parent, **self._attrs
+        )
+        self._span = span
+        self._tracer._push(span)
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._span is not None
+        self._tracer._pop(self._span)
+        self._tracer.end(self._span, error=exc)
+
+
+class Tracer:
+    """Collects span trees; one per root span (usually one per request).
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("serve.request", nnz=1234) as root:
+    ...     with tracer.span("tune.decide"):
+    ...         pass
+    >>> [s.name for s in tracer.roots()[0].walk()]
+    ['serve.request', 'tune.decide']
+
+    ``sink`` is called with every *completed* span (e.g. to feed latency
+    histograms in a metrics registry); ``max_roots`` bounds memory for
+    long-running processes by dropping the oldest finished trees.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Callable[[Span], None]] = None,
+        max_roots: Optional[int] = None,
+    ) -> None:
+        if max_roots is not None and max_roots < 1:
+            raise ValueError(f"max_roots must be >= 1, got {max_roots}")
+        self.sink = sink
+        self.enabled = True
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._roots: Deque[Span] = deque(maxlen=max_roots)
+        self._dropped = 0
+        self._finished_spans = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Thread-local current-span stack
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+    def span(self, name: str, parent: object = _FOLLOW_THREAD, **attrs):
+        """Context manager for one span.
+
+        With no explicit ``parent`` the span nests under the calling
+        thread's current span; ``parent=None`` forces a new root;
+        ``parent=<Span>`` stitches across threads (the serving engine
+        parents worker-side spans under the client-side request root).
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _ActiveSpan(self, name, parent, attrs)
+
+    def begin(
+        self, name: str, parent: object = _FOLLOW_THREAD, **attrs
+    ) -> Span:
+        """Manually start a span (caller must :meth:`end` it).
+
+        Used where a span's start and end live in different scopes or
+        threads — the queue-wait span starts at submit on the client
+        thread and ends at dequeue on a worker.
+        """
+        if parent is _FOLLOW_THREAD:
+            resolved: Optional[Span] = self.current()
+        else:
+            resolved = parent  # type: ignore[assignment]
+        span_id = next(self._ids)
+        span = Span(
+            name,
+            attrs,
+            span_id=span_id,
+            trace_id=resolved.trace_id if resolved is not None else span_id,
+            parent_id=resolved.span_id if resolved is not None else None,
+        )
+        if resolved is not None:
+            with self._lock:
+                resolved.children.append(span)
+        return span
+
+    def end(
+        self, span: Span, error: Optional[BaseException] = None, **attrs
+    ) -> None:
+        """Finish ``span``, attach it to its tree, and feed the sink."""
+        if span.end_ns is not None:
+            return  # idempotent: racing enders keep the first reading
+        span.end_ns = time.perf_counter_ns()
+        if attrs:
+            span.attrs.update(attrs)
+        if error is not None:
+            span.status = "error"
+            span.error = f"{type(error).__name__}: {error}"
+        else:
+            span.status = "ok"
+        with self._lock:
+            self._finished_spans += 1
+            if span.parent_id is None:
+                if (
+                    self._roots.maxlen is not None
+                    and len(self._roots) == self._roots.maxlen
+                ):
+                    self._dropped += 1
+                self._roots.append(span)
+        if self.sink is not None:
+            self.sink(span)
+
+    # ------------------------------------------------------------------
+    # Collected traces
+    # ------------------------------------------------------------------
+    def roots(self) -> List[Span]:
+        """Finished root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    def drain(self) -> List[Span]:
+        """Pop and return every finished root span."""
+        with self._lock:
+            roots = list(self._roots)
+            self._roots.clear()
+            return roots
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+            self._dropped = 0
+            self._finished_spans = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "roots": len(self._roots),
+                "dropped_roots": self._dropped,
+                "finished_spans": self._finished_spans,
+            }

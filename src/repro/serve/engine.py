@@ -57,6 +57,7 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
 from repro.errors import (
     BackpressureError,
     DeadlineExceededError,
@@ -239,7 +240,16 @@ def _try_set_exception(future: "Future", exc: BaseException) -> bool:
 
 
 class _Request:
-    __slots__ = ("key", "matrix", "x", "future", "deadline", "enqueued_at")
+    __slots__ = (
+        "key",
+        "matrix",
+        "x",
+        "future",
+        "deadline",
+        "enqueued_at",
+        "trace_root",
+        "trace_queue",
+    )
 
     def __init__(
         self,
@@ -255,6 +265,12 @@ class _Request:
         self.future = future
         self.deadline = deadline
         self.enqueued_at = time.perf_counter()
+        # Tracing (None unless a tracer is installed at submit): the
+        # request's root span and its queue-wait child.  Started on the
+        # client thread, finished on a worker — the explicit-parent
+        # stitching repro.obs exists for.
+        self.trace_root: Optional[obs.Span] = None
+        self.trace_queue: Optional[obs.Span] = None
 
 
 class _BuildLock:
@@ -463,10 +479,9 @@ class ServingEngine:
                 # The caller may have cancelled this future already —
                 # _try_set_exception absorbs that instead of raising
                 # InvalidStateError out of stop().
-                _try_set_exception(
-                    request.future,
-                    ServeError("engine stopped before request ran"),
-                )
+                exc = ServeError("engine stopped before request ran")
+                self._end_trace(request, error=exc)
+                _try_set_exception(request.future, exc)
         self._queue.close()
         for thread in self._workers:
             thread.join()
@@ -529,13 +544,28 @@ class ServingEngine:
             if effective_deadline is not None
             else None,
         )
+        tracer = obs.get_tracer()
+        if tracer is not None:
+            request.trace_root = tracer.begin(
+                "serve.request",
+                parent=None,
+                fingerprint=str(key),
+                rows=int(matrix.n_rows),
+                cols=int(matrix.n_cols),
+                nnz=int(matrix.nnz),
+            )
+            request.trace_queue = tracer.begin(
+                "serve.queue", parent=request.trace_root
+            )
         effective = (
             timeout if timeout is not None else self.config.submit_timeout
         )
         try:
             self._queue.put(request, effective)
-        except BackpressureError:
-            self.metrics.counter("requests_rejected").inc()
+        except BaseException as exc:
+            if isinstance(exc, BackpressureError):
+                self.metrics.counter("requests_rejected").inc()
+            self._end_trace(request, error=exc)
             raise
         self.metrics.counter("requests_submitted").inc()
         self.metrics.gauge("queue_depth").set(len(self._queue))
@@ -614,6 +644,7 @@ class ServingEngine:
                 # per-stage handling fails the batch, not the thread.
                 self.metrics.counter("worker_errors").inc()
                 for request in batch:
+                    self._end_trace(request, error=exc)
                     _try_set_exception(request.future, exc)
 
     def _process_batch(self, batch: Sequence[_Request]) -> None:
@@ -621,46 +652,64 @@ class ServingEngine:
         # end-to-end budget are failed fast, before any plan work.
         live: List[_Request] = []
         for request in batch:
+            self._end_queue_span(request)
             if request.deadline is not None and request.deadline.expired():
                 self.metrics.counter("deadline_exceeded").inc()
                 self.metrics.counter("requests_failed").inc()
-                _try_set_exception(
-                    request.future,
-                    DeadlineExceededError(
-                        f"deadline expired while queued ({request.key})"
-                    ),
+                exc: Exception = DeadlineExceededError(
+                    f"deadline expired while queued ({request.key})"
                 )
+                self._end_trace(request, error=exc)
+                _try_set_exception(request.future, exc)
             else:
                 live.append(request)
         if not live:
             return
         head = live[0]
         dequeued_at = time.perf_counter()
+        tracer = obs.get_tracer()
+        plan_ctx = (
+            tracer.span("serve.plan", parent=head.trace_root)
+            if tracer is not None and head.trace_root is not None
+            else obs.NULL_SPAN
+        )
         try:
-            resolution = self._resolve_plan(head.key, head.matrix)
+            # The plan span lives on the head request's tree (followers
+            # reuse the resolution without paying for it); while it is
+            # the worker's current span, the tune/convert/feature spans
+            # the build emits nest under it automatically.
+            with plan_ctx as plan_span:
+                resolution = self._resolve_plan(head.key, head.matrix)
+                if plan_span is not None:
+                    plan_span.attrs.update(
+                        cache_hit=resolution.cache_hit,
+                        degraded=resolution.degraded,
+                        format=resolution.format_name.value,
+                    )
         except Exception as exc:  # degraded path failed too: fail the batch
             self.metrics.counter("requests_failed").inc(len(live))
             for request in live:
+                self._end_trace(request, error=exc)
                 _try_set_exception(request.future, exc)
             return
         for i, request in enumerate(live):
             if not _try_mark_running(request.future):
+                self._end_trace(request, cancelled=True)
                 continue  # cancelled while queued
             if request.deadline is not None and request.deadline.expired():
                 self.metrics.counter("deadline_exceeded").inc()
                 self.metrics.counter("requests_failed").inc()
-                _try_set_exception(
-                    request.future,
-                    DeadlineExceededError(
-                        f"deadline expired during plan resolution "
-                        f"({request.key})"
-                    ),
+                exc = DeadlineExceededError(
+                    f"deadline expired during plan resolution "
+                    f"({request.key})"
                 )
+                self._end_trace(request, error=exc)
+                _try_set_exception(request.future, exc)
                 continue
             queued = dequeued_at - request.enqueued_at
             outcome = self._execute_with_retry(resolution, request)
             if outcome is None:
-                continue  # failed; already metered and resolved
+                continue  # failed; already metered, resolved and traced
             y, execute_seconds, retries = outcome
             result = ServeResult(
                 y=y,
@@ -676,38 +725,95 @@ class ServingEngine:
                 retries=retries,
             )
             self._observe(result)
+            self._end_trace(
+                request,
+                format=result.format_name.value,
+                kernel=result.kernel_name,
+                cache_hit=result.cache_hit,
+                coalesced=i > 0,
+                degraded=result.degraded,
+                retries=retries,
+            )
             _try_set_result(request.future, result)
 
     def _execute_with_retry(
         self, resolution: _Resolution, request: _Request
     ) -> Optional[Tuple[np.ndarray, float, int]]:
         """(y, execute_seconds, retries), or None after resolving a failure."""
-        attempt = 0
-        while True:
-            try:
-                started = time.perf_counter()
-                if self.faults is not None:
-                    self.faults.on_call("execute")
-                y = resolution.plan.execute(request.x)
-                return y, time.perf_counter() - started, attempt
-            except Exception as exc:
-                deadline = request.deadline
-                retryable = (
-                    attempt < self._retry.max_retries
-                    and self._retry.is_retryable(exc)
-                    and not (deadline is not None and deadline.expired())
-                )
-                if not retryable:
-                    self.metrics.counter("requests_failed").inc()
-                    _try_set_exception(request.future, exc)
-                    return None
-                delay = self._retry.backoff(attempt)
-                if deadline is not None:
-                    delay = min(delay, max(0.0, deadline.remaining()))
-                attempt += 1
-                self.metrics.counter("retries").inc()
-                if delay > 0.0:
-                    self._sleep(delay)
+        tracer = obs.get_tracer()
+        execute_ctx = (
+            tracer.span(
+                "serve.execute",
+                parent=request.trace_root,
+                kernel=resolution.kernel_name,
+            )
+            if tracer is not None and request.trace_root is not None
+            else obs.NULL_SPAN
+        )
+        outcome: Optional[Tuple[np.ndarray, float, int]] = None
+        failure: Optional[Exception] = None
+        with execute_ctx as execute_span:
+            attempt = 0
+            while True:
+                try:
+                    started = time.perf_counter()
+                    with obs.span("serve.attempt", attempt=attempt):
+                        if self.faults is not None:
+                            self.faults.on_call("execute")
+                        y = resolution.plan.execute(request.x)
+                    if execute_span is not None and attempt:
+                        execute_span.attrs["retries"] = attempt
+                    outcome = y, time.perf_counter() - started, attempt
+                    break
+                except Exception as exc:
+                    deadline = request.deadline
+                    retryable = (
+                        attempt < self._retry.max_retries
+                        and self._retry.is_retryable(exc)
+                        and not (deadline is not None and deadline.expired())
+                    )
+                    if not retryable:
+                        if execute_span is not None:
+                            execute_span.attrs["failed"] = True
+                        failure = exc
+                        break
+                    delay = self._retry.backoff(attempt)
+                    if deadline is not None:
+                        delay = min(delay, max(0.0, deadline.remaining()))
+                    attempt += 1
+                    self.metrics.counter("retries").inc()
+                    if delay > 0.0:
+                        self._sleep(delay)
+        # The root span ends only after the execute span above closed, so
+        # the tree stays well-nested even on the failure path.
+        if failure is not None:
+            self.metrics.counter("requests_failed").inc()
+            self._end_trace(request, error=failure)
+            _try_set_exception(request.future, failure)
+            return None
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Tracing helpers (no-ops when the request carries no spans)
+    # ------------------------------------------------------------------
+    def _end_queue_span(self, request: _Request) -> None:
+        """Close the queue-wait span at dequeue (idempotent)."""
+        span, tracer = request.trace_queue, obs.get_tracer()
+        if span is not None and tracer is not None:
+            tracer.end(span)
+
+    def _end_trace(
+        self,
+        request: _Request,
+        error: Optional[BaseException] = None,
+        **attrs,
+    ) -> None:
+        """Finish the request's root span with its outcome attributes."""
+        tracer = obs.get_tracer()
+        if tracer is None or request.trace_root is None:
+            return
+        self._end_queue_span(request)
+        tracer.end(request.trace_root, error=error, **attrs)
 
     def _observe(self, result: ServeResult) -> None:
         self.metrics.counter("requests_served").inc()
@@ -741,12 +847,13 @@ class ServingEngine:
         if ticket is BuildTicket.DEGRADE:
             # Breaker open: skip re-tuning entirely, serve the reference
             # CSR plan (correct for any input, zero build cost).
-            return _Resolution(
-                DegradedPlan(matrix),
-                False,
-                time.perf_counter() - started,
-                True,
-            )
+            with obs.span("serve.degrade", reason="breaker_open"):
+                return _Resolution(
+                    DegradedPlan(matrix),
+                    False,
+                    time.perf_counter() - started,
+                    True,
+                )
         if ticket is BuildTicket.PROBE:
             self.metrics.counter("breaker_probes").inc()
 
@@ -766,7 +873,10 @@ class ServingEngine:
                 self.metrics.counter("cache_misses").inc()
                 build_started = time.perf_counter()
                 try:
-                    plan = self._build_plan(key, matrix)
+                    with obs.span(
+                        "serve.build", probe=ticket is BuildTicket.PROBE
+                    ):
+                        plan = self._build_plan(key, matrix)
                 except Exception:
                     # Graceful degradation: the build failure is recorded
                     # against the breaker, but this batch is still served
@@ -774,12 +884,13 @@ class ServingEngine:
                     self.metrics.counter("plan_build_failures").inc()
                     if breaker.record_failure():
                         self.metrics.counter("breaker_opened").inc()
-                    return _Resolution(
-                        DegradedPlan(matrix),
-                        False,
-                        time.perf_counter() - started,
-                        True,
-                    )
+                    with obs.span("serve.degrade", reason="build_failed"):
+                        return _Resolution(
+                            DegradedPlan(matrix),
+                            False,
+                            time.perf_counter() - started,
+                            True,
+                        )
                 if breaker.record_success():
                     self.metrics.counter("breaker_recovered").inc()
                 # Cold-path latency: decision (feature extraction + model

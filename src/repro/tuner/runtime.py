@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import ConversionError, TuningError
 from repro.features.incremental import LazyFeatures
 from repro.features.parameters import FeatureVector
@@ -157,6 +158,27 @@ def decide(
     config: SmatConfig = SmatConfig(),
 ) -> Decision:
     """Run the full Figure 7 procedure on one input matrix."""
+    with obs.span(
+        "tune.decide", rows=int(matrix.n_rows), nnz=int(matrix.nnz)
+    ) as span:
+        decision = _decide(matrix, model, kernels, backend, config)
+        if span is not None:
+            span.attrs.update(
+                format=decision.format_name.value,
+                predicted=decision.predicted_format.value,
+                confidence=round(decision.confidence, 4),
+                used_fallback=decision.used_fallback,
+            )
+        return decision
+
+
+def _decide(
+    matrix: CSRMatrix,
+    model: LearningModel,
+    kernels: KernelSearchResult,
+    backend: MeasurementBackend,
+    config: SmatConfig,
+) -> Decision:
     lazy = LazyFeatures(matrix)
 
     if config.always_measure:
@@ -218,32 +240,37 @@ def _fallback(
     rule: Optional[Rule],
 ) -> Decision:
     """Execute-and-measure: benchmark the candidates, keep the fastest."""
-    features = lazy.snapshot()
-    csr_unit_seconds = backend.measure(
-        kernels.kernel_for(FormatName.CSR), matrix, features
-    )
-    if csr_unit_seconds <= 0.0:
-        raise TuningError("CSR reference measurement returned zero time")
+    with obs.span(
+        "tune.fallback",
+        candidates=",".join(c.value for c in candidates),
+    ):
+        features = lazy.snapshot()
+        csr_unit_seconds = backend.measure(
+            kernels.kernel_for(FormatName.CSR), matrix, features
+        )
+        if csr_unit_seconds <= 0.0:
+            raise TuningError("CSR reference measurement returned zero time")
 
-    measurements: Dict[FormatName, float] = {}
-    converted: Dict[FormatName, SparseMatrix] = {}
-    measurement_units = 0.0
-    for candidate in candidates:
-        try:
-            cand_matrix, cost = convert(
-                matrix, candidate, fill_budget=config.fill_budget
-            )
-        except ConversionError:
-            continue  # blow-up guard: candidate priced out
-        converted[candidate] = cand_matrix
-        seconds = backend.measure(
-            kernels.kernel_for(candidate), cand_matrix, features
-        )
-        measurements[candidate] = seconds
-        measurement_units += cost.csr_spmv_units()
-        measurement_units += (
-            config.fallback_repeats * seconds / csr_unit_seconds
-        )
+        measurements: Dict[FormatName, float] = {}
+        converted: Dict[FormatName, SparseMatrix] = {}
+        measurement_units = 0.0
+        for candidate in candidates:
+            with obs.span("tune.measure", format=candidate.value):
+                try:
+                    cand_matrix, cost = convert(
+                        matrix, candidate, fill_budget=config.fill_budget
+                    )
+                except ConversionError:
+                    continue  # blow-up guard: candidate priced out
+                converted[candidate] = cand_matrix
+                seconds = backend.measure(
+                    kernels.kernel_for(candidate), cand_matrix, features
+                )
+                measurements[candidate] = seconds
+                measurement_units += cost.csr_spmv_units()
+                measurement_units += (
+                    config.fallback_repeats * seconds / csr_unit_seconds
+                )
 
     if not measurements:
         raise TuningError(

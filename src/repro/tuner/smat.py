@@ -17,6 +17,7 @@ from typing import Callable, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConversionError, TuningError
 from repro.features.extract import extract_features
 from repro.features.parameters import FeatureVector
@@ -118,19 +119,21 @@ class SMAT:
 
     def prepare(self, matrix: CSRMatrix) -> PreparedSpMV:
         """Decide once, convert once; returns a reusable SpMV operator."""
-        decision = self.decide(matrix)
-        if decision.matrix is None:
-            decision.matrix, _ = convert(
-                matrix, decision.format_name, fill_budget=None
-            )
-        return PreparedSpMV(decision)
+        with obs.span("smat.prepare", nnz=int(matrix.nnz)):
+            decision = self.decide(matrix)
+            if decision.matrix is None:
+                decision.matrix, _ = convert(
+                    matrix, decision.format_name, fill_budget=None
+                )
+            return PreparedSpMV(decision)
 
     def spmv(
         self, matrix: CSRMatrix, x: np.ndarray
     ) -> Tuple[np.ndarray, Decision]:
         """One-shot tuned SpMV: ``y, decision = smat.spmv(A, x)``."""
-        prepared = self.prepare(matrix)
-        return prepared(x), prepared.decision
+        with obs.span("smat.spmv", nnz=int(matrix.nnz)):
+            prepared = self.prepare(matrix)
+            return prepared(x), prepared.decision
 
     # ------------------------------------------------------------------
     # Persistence

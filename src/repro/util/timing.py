@@ -1,9 +1,16 @@
-"""Wall-clock timing helpers for the execute-and-measure path.
+"""Monotonic timing helpers for the execute-and-measure path.
 
 The paper's runtime falls back to actually running candidate SpMV kernels and
 measuring them (Figure 7).  Measurement noise would make the fallback decision
 (and Table 3's overhead accounting) unstable, so we time several repetitions
 and report the median.
+
+All timers read ``time.perf_counter_ns`` — the integer monotonic clock.
+Float ``perf_counter()`` loses resolution as the process ages (the float
+mantissa is spent on the uptime, not the interval), and wall-clock APIs
+(``time.time``) can step backwards under NTP; neither belongs in a timer.
+The public API still reports *seconds* — only the internal arithmetic is
+integer nanoseconds.
 """
 
 from __future__ import annotations
@@ -24,15 +31,20 @@ class Timer:
     True
     """
 
-    elapsed: float = 0.0
-    _start: float = field(default=0.0, repr=False)
+    elapsed_ns: int = 0
+    _start_ns: int = field(default=0, repr=False)
+
+    @property
+    def elapsed(self) -> float:
+        """Accumulated seconds (derived from the integer nanosecond count)."""
+        return self.elapsed_ns / 1e9
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start_ns = time.perf_counter_ns()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.elapsed += time.perf_counter() - self._start
+        self.elapsed_ns += time.perf_counter_ns() - self._start_ns
 
 
 def median_time(
@@ -50,13 +62,13 @@ def median_time(
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     for _ in range(warmup):
         fn()
-    samples: List[float] = []
+    samples: List[int] = []
     for _ in range(repeats):
-        start = time.perf_counter()
+        start_ns = time.perf_counter_ns()
         fn()
-        samples.append(time.perf_counter() - start)
+        samples.append(time.perf_counter_ns() - start_ns)
     samples.sort()
     mid = len(samples) // 2
     if len(samples) % 2:
-        return samples[mid]
-    return 0.5 * (samples[mid - 1] + samples[mid])
+        return samples[mid] / 1e9
+    return 0.5 * (samples[mid - 1] + samples[mid]) / 1e9

@@ -1,0 +1,271 @@
+"""Trace correctness for the serving pipeline.
+
+One served request must yield exactly one *complete, well-nested* span
+tree — queue wait, plan resolution (with the tune/convert spans the
+build emits), and kernel execution — including on the degraded and
+breaker paths from ``repro.serve.resilience``.  And with tracing off,
+the seams must add no spans and no allocations on the kernel hot loop.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.collection import generate_collection
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.serve import ServeConfig, ServingEngine
+from repro.serve.faults import FaultPlan
+from repro.tuner import SMAT
+from repro.types import Precision
+
+from tests.conftest import random_csr
+
+
+@pytest.fixture(scope="module")
+def smat() -> SMAT:
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+    return SMAT.train(
+        generate_collection(scale=0.08, size_scale=0.4, seed=77),
+        backend=backend,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_tracer():
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+def assert_well_nested(root: obs.Span) -> None:
+    """Every span finished; every child inside its parent's interval."""
+    for span in root.walk():
+        assert span.finished, f"span {span.name} never ended"
+        assert span.trace_id == root.trace_id
+        for child in span.children:
+            assert child.parent_id == span.span_id
+            assert span.start_ns <= child.start_ns, (span.name, child.name)
+            assert child.end_ns <= span.end_ns, (span.name, child.name)
+
+
+def serve_one(smat, matrix, x, config=None, faults=None, requests=1):
+    """Serve ``requests`` identical requests under a fresh tracer."""
+    tracer = obs.Tracer()
+    results = []
+    with obs.installed(tracer):
+        engine = ServingEngine(smat, config or ServeConfig(workers=1),
+                               faults=faults)
+        with engine:
+            for _ in range(requests):
+                results.append(engine.spmv(matrix, x))
+    return tracer.roots(), results
+
+
+class TestRequestTree:
+    def test_one_request_one_complete_tree(self, smat, rng):
+        matrix = random_csr(rng, n_rows=60, n_cols=60)
+        x = rng.standard_normal(60)
+        roots, (result,) = serve_one(smat, matrix, x)
+        assert len(roots) == 1
+        (root,) = roots
+        assert root.name == "serve.request"
+        assert_well_nested(root)
+        # The three lifecycle stages, in order, directly under the root.
+        stages = [c.name for c in sorted(
+            root.children, key=lambda s: s.start_ns
+        )]
+        assert stages == ["serve.queue", "serve.plan", "serve.execute"]
+        # The cold build nests the tuning stages under serve.plan.
+        assert root.find("serve.build")
+        assert root.find("tune.decide")
+        assert root.find("kernel.execute")
+        assert root.attrs["format"] == result.format_name.value
+        assert root.attrs["cache_hit"] is False
+        assert root.attrs["degraded"] is False
+        assert root.status == "ok"
+
+    def test_cache_hit_tree_skips_the_build(self, smat, rng):
+        matrix = random_csr(rng, n_rows=60, n_cols=60)
+        x = rng.standard_normal(60)
+        roots, results = serve_one(smat, matrix, x, requests=3)
+        assert len(roots) == 3
+        assert [r.attrs["cache_hit"] for r in roots] == [
+            False, True, True,
+        ]
+        for root in roots[1:]:
+            assert_well_nested(root)
+            assert not root.find("serve.build")
+            assert not root.find("tune.decide")
+            assert root.find("serve.execute")
+
+    def test_overhead_report_reconciles_with_wall_clock(self, smat, rng):
+        """Acceptance criterion: per-stage self-times sum to within 5%
+        of the requests' wall-clock latency (exactly, by construction)."""
+        matrix = random_csr(rng, n_rows=60, n_cols=60)
+        x = rng.standard_normal(60)
+        roots, _ = serve_one(smat, matrix, x, requests=4)
+        report = obs.overhead_report(roots)
+        assert report.requests == 4
+        assert report.wall_ns > 0
+        assert abs(report.accounted_fraction - 1.0) < 0.05
+        # And in fact the partition is exact.
+        assert report.accounted_ns == report.wall_ns
+
+    def test_trace_ids_are_distinct_per_request(self, smat, rng):
+        matrix = random_csr(rng, n_rows=50, n_cols=50)
+        x = rng.standard_normal(50)
+        roots, _ = serve_one(smat, matrix, x, requests=3)
+        assert len({root.trace_id for root in roots}) == 3
+
+    def test_queue_span_covers_submit_to_dequeue(self, smat, rng):
+        matrix = random_csr(rng, n_rows=50, n_cols=50)
+        x = rng.standard_normal(50)
+        roots, _ = serve_one(smat, matrix, x)
+        (queue_span,) = roots[0].find("serve.queue")
+        assert queue_span.finished
+        # Submitted on the test thread, dequeued on a worker: the span's
+        # recorded thread is the submitter's.
+        assert queue_span.thread_id == roots[0].thread_id
+
+
+class TestDegradedPaths:
+    def test_build_failure_tree_has_degrade_span(self, smat, rng):
+        matrix = random_csr(rng, n_rows=50, n_cols=50)
+        x = rng.standard_normal(50)
+        faults = FaultPlan.parse(["decide,kind=fatal,stop=1"])
+        roots, (result,) = serve_one(
+            smat, matrix, x,
+            config=ServeConfig(workers=1, breaker_threshold=1),
+            faults=faults,
+        )
+        assert result.degraded
+        (root,) = roots
+        assert_well_nested(root)
+        assert root.attrs["degraded"] is True
+        (build,) = root.find("serve.build")
+        assert build.status == "error"
+        assert "InjectedFatalFault" in build.error
+        (degrade,) = root.find("serve.degrade")
+        assert degrade.attrs["reason"] == "build_failed"
+        # The degraded request still executed and succeeded.
+        assert root.find("serve.execute")
+        assert root.status == "ok"
+
+    def test_breaker_open_tree_has_degrade_reason(self, smat, rng):
+        matrix = random_csr(rng, n_rows=50, n_cols=50)
+        x = rng.standard_normal(50)
+        faults = FaultPlan.parse(["decide,kind=fatal,stop=1"])
+        roots, results = serve_one(
+            smat, matrix, x,
+            config=ServeConfig(workers=1, breaker_threshold=1),
+            faults=faults, requests=2,
+        )
+        assert all(r.degraded for r in results)
+        # Request 2 hits the now-open breaker: no build attempt at all.
+        second = roots[1]
+        assert_well_nested(second)
+        assert not second.find("serve.build")
+        (degrade,) = second.find("serve.degrade")
+        assert degrade.attrs["reason"] == "breaker_open"
+
+    def test_failed_request_root_ends_with_error(self, smat, rng):
+        matrix = random_csr(rng, n_rows=50, n_cols=50)
+        x = rng.standard_normal(50)
+        faults = FaultPlan.parse(["execute,kind=fatal"])
+        tracer = obs.Tracer()
+        with obs.installed(tracer):
+            config = ServeConfig(workers=1, max_retries=0)
+            with ServingEngine(smat, config, faults=faults) as engine:
+                future = engine.submit(matrix, x)
+                with pytest.raises(Exception):
+                    future.result(timeout=10)
+        (root,) = tracer.roots()
+        assert_well_nested(root)
+        assert root.status == "error"
+        (execute,) = root.find("serve.execute")
+        assert execute.attrs.get("failed") is True
+
+    def test_retry_attempts_each_get_a_span(self, smat, rng):
+        matrix = random_csr(rng, n_rows=50, n_cols=50)
+        x = rng.standard_normal(50)
+        faults = FaultPlan.parse(["execute,kind=transient,stop=1"])
+        roots, (result,) = serve_one(
+            smat, matrix, x,
+            config=ServeConfig(
+                workers=1, max_retries=2, backoff_base=0.0, backoff_cap=0.0
+            ),
+            faults=faults,
+        )
+        assert result.retries == 1
+        (root,) = roots
+        assert_well_nested(root)
+        attempts = root.find("serve.attempt")
+        assert [a.attrs["attempt"] for a in attempts] == [0, 1]
+        assert attempts[0].status == "error"
+        assert attempts[1].status == "ok"
+
+    def test_rejected_submit_ends_the_trace(self, smat, rng):
+        matrix = random_csr(rng, n_rows=50, n_cols=50)
+        x = rng.standard_normal(50)
+        tracer = obs.Tracer()
+        with obs.installed(tracer):
+            engine = ServingEngine(smat, ServeConfig(workers=1))
+            with engine:
+                engine.spmv(matrix, x)
+        # Only completed, well-formed trees; no dangling open spans from
+        # the engine shutting down.
+        for root in tracer.roots():
+            assert_well_nested(root)
+
+
+class TestDisabledTracing:
+    def test_serving_without_tracer_produces_no_spans(self, smat, rng):
+        matrix = random_csr(rng, n_rows=50, n_cols=50)
+        x = rng.standard_normal(50)
+        assert obs.get_tracer() is None
+        with ServingEngine(smat, ServeConfig(workers=1)) as engine:
+            result = engine.spmv(matrix, x)
+        assert result.y.shape == (50,)
+
+    def test_disabled_kernel_hot_loop_allocates_nothing_in_obs(
+        self, smat, rng
+    ):
+        """With no tracer installed the kernel dispatch path must not
+        allocate anything inside repro/obs (the near-zero-cost claim):
+        tracemalloc, filtered to the obs package, sees zero bytes."""
+        matrix = random_csr(rng, n_rows=60, n_cols=60)
+        x = rng.standard_normal(60)
+        decision = smat.decide(matrix)
+        if decision.matrix is None:
+            from repro.formats.convert import convert
+
+            decision.matrix, _ = convert(
+                matrix, decision.format_name, fill_budget=None
+            )
+        kernel, converted = decision.kernel, decision.matrix
+        kernel(converted, x)  # warm any lazy state before measuring
+
+        obs_filter = tracemalloc.Filter(
+            True, "*" + "/repro/obs/*".replace("/", "*")
+        )
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            for _ in range(50):
+                kernel(converted, x)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        stats = after.filter_traces([obs_filter]).compare_to(
+            before.filter_traces([obs_filter]), "lineno"
+        )
+        grown = [s for s in stats if s.size_diff > 0]
+        assert grown == [], f"obs allocated on the disabled path: {grown}"
+
+    def test_null_span_is_shared_across_call_sites(self):
+        assert obs.span("a") is obs.NULL_SPAN
+        assert obs.span("b", key="value") is obs.NULL_SPAN

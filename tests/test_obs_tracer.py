@@ -1,0 +1,366 @@
+"""Unit tests for ``repro.obs``: span trees, exports, reports, sinks.
+
+The trace-correctness suite for the serving engine lives in
+``test_obs_serve_trace.py``; this module covers the tracer machinery in
+isolation — nesting, threads, idempotent completion, the disabled path,
+and the two export formats.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    chrome_trace,
+    span_records,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.report import overhead_report, render_tree
+
+
+@pytest.fixture(autouse=True)
+def _no_installed_tracer():
+    """Every test starts and ends with tracing disabled."""
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+def _busy(ns: int = 50_000) -> None:
+    """Spin for roughly ``ns`` so spans have non-zero durations."""
+    end = time.perf_counter_ns() + ns
+    while time.perf_counter_ns() < end:
+        pass
+
+
+class TestSpanNesting:
+    def test_with_block_nesting_builds_a_tree(self):
+        tracer = obs.Tracer()
+        with tracer.span("root", nnz=10) as root:
+            with tracer.span("child.a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child.b"):
+                pass
+        assert [s.name for s in root.walk()] == [
+            "root", "child.a", "grandchild", "child.b",
+        ]
+        assert root.attrs == {"nnz": 10}
+        assert tracer.roots() == [root]
+
+    def test_nesting_is_well_formed(self):
+        tracer = obs.Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                _busy()
+        for span in root.walk():
+            assert span.finished
+            for child in span.children:
+                assert span.start_ns <= child.start_ns
+                assert child.end_ns <= span.end_ns
+
+    def test_current_follows_the_thread_stack(self):
+        tracer = obs.Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_explicit_parent_overrides_thread_nesting(self):
+        tracer = obs.Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b", parent=None) as b:
+                pass
+        assert b.parent_id is None
+        assert a.children == []
+        # Two independent roots, each its own trace.
+        assert {root.name for root in tracer.roots()} == {"a", "b"}
+        assert a.trace_id != b.trace_id
+
+    def test_exception_marks_span_error_and_still_ends_it(self):
+        tracer = obs.Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    raise ValueError("boom")
+        (root,) = tracer.roots()
+        child = root.children[0]
+        assert child.status == "error"
+        assert "ValueError" in child.error
+        assert root.status == "error"
+        assert root.finished and child.finished
+
+    def test_end_is_idempotent(self):
+        tracer = obs.Tracer()
+        span = tracer.begin("manual")
+        tracer.end(span)
+        first = span.end_ns
+        tracer.end(span, error=RuntimeError("late"))
+        assert span.end_ns == first
+        assert span.status == "ok"
+        assert len(tracer.roots()) == 1
+
+    def test_self_time_partitions_duration(self):
+        tracer = obs.Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                _busy()
+            with tracer.span("b"):
+                _busy()
+        child_ns = sum(c.duration_ns for c in root.children)
+        assert root.self_ns() == root.duration_ns - child_ns
+        total_self = sum(s.self_ns() for s in root.walk())
+        assert total_self == root.duration_ns
+
+
+class TestCrossThread:
+    def test_explicit_parent_stitches_across_threads(self):
+        tracer = obs.Tracer()
+        root = tracer.begin("request", parent=None)
+
+        def worker():
+            span = tracer.begin("work", parent=root)
+            _busy()
+            tracer.end(span)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        tracer.end(root)
+        (got,) = tracer.roots()
+        assert [s.name for s in got.walk()] == ["request", "work"]
+        assert got.children[0].thread_id != got.thread_id
+
+    def test_thread_local_stacks_do_not_leak_across_threads(self):
+        tracer = obs.Tracer()
+        seen = []
+
+        def worker():
+            seen.append(tracer.current())
+
+        with tracer.span("main-only"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_concurrent_spans_are_all_collected(self):
+        tracer = obs.Tracer()
+
+        def worker(i):
+            with tracer.span(f"job.{i % 3}"):
+                with tracer.span("step"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = tracer.roots()
+        assert len(roots) == 8
+        assert all(len(r.children) == 1 for r in roots)
+
+
+class TestDisabledPath:
+    def test_module_span_returns_null_singleton_when_off(self):
+        assert obs.get_tracer() is None
+        assert obs.span("anything") is obs.NULL_SPAN
+        assert obs.span("other", k=1) is obs.span("different")
+
+    def test_null_span_enter_yields_none(self):
+        with obs.span("off") as span:
+            assert span is None
+
+    def test_disabled_tracer_span_is_null(self):
+        tracer = obs.Tracer()
+        tracer.enabled = False
+        assert tracer.span("x") is obs.NULL_SPAN
+        assert tracer.roots() == []
+
+    def test_installed_restores_previous(self):
+        first = obs.install(obs.Tracer())
+        with obs.installed(obs.Tracer()) as second:
+            assert obs.get_tracer() is second
+        assert obs.get_tracer() is first
+
+    def test_no_wall_clock_apis_in_span_lifecycle(self, monkeypatch):
+        """Span bodies must never read the wall clock (NTP steps would
+        corrupt durations): time.time / time.time_ns are rigged to blow
+        up for the whole span lifecycle."""
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("wall-clock API called inside repro.obs")
+
+        monkeypatch.setattr(time, "time", forbidden)
+        monkeypatch.setattr(time, "time_ns", forbidden)
+        monkeypatch.setattr(time, "monotonic", forbidden)
+        tracer = obs.Tracer()
+        with obs.installed(tracer):
+            with obs.span("root", k=1):
+                with obs.span("child"):
+                    pass
+        (root,) = tracer.roots()
+        assert root.duration_ns >= 0
+        span_records([root])
+        chrome_trace([root])
+        overhead_report([root])
+
+
+class TestMaxRoots:
+    def test_oldest_roots_drop_when_bounded(self):
+        tracer = obs.Tracer(max_roots=2)
+        for i in range(5):
+            with tracer.span(f"r{i}"):
+                pass
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["r3", "r4"]
+        assert tracer.stats()["dropped_roots"] == 3
+
+    def test_bad_max_roots_rejected(self):
+        with pytest.raises(ValueError):
+            obs.Tracer(max_roots=0)
+
+    def test_drain_empties_the_tracer(self):
+        tracer = obs.Tracer()
+        with tracer.span("a"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.roots() == []
+
+
+def _sample_tree(tracer):
+    with tracer.span("serve.request", nnz=42) as root:
+        with tracer.span("tune.decide", format="CSR"):
+            _busy()
+        with tracer.span("kernel.execute"):
+            _busy()
+    return root
+
+
+class TestExports:
+    def test_jsonl_round_trips_every_span(self, tmp_path):
+        tracer = obs.Tracer()
+        root = _sample_tree(tracer)
+        text = to_jsonl(tracer.roots())
+        records = [json.loads(line) for line in text.splitlines()]
+        assert len(records) == 3
+        by_name = {r["name"]: r for r in records}
+        assert by_name["serve.request"]["parent_id"] is None
+        assert by_name["tune.decide"]["parent_id"] == root.span_id
+        assert by_name["serve.request"]["attrs"] == {"nnz": 42}
+        path = tmp_path / "spans.jsonl"
+        assert write_jsonl(tracer.roots(), path) == 3
+        assert [
+            json.loads(line) for line in path.read_text().splitlines()
+        ] == records
+
+    def test_chrome_trace_is_valid_and_rebased(self, tmp_path):
+        tracer = obs.Tracer()
+        _sample_tree(tracer)
+        doc = chrome_trace(tracer.roots())
+        # Loadable as strict JSON.
+        doc = json.loads(json.dumps(doc))
+        events = doc["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        ms = [e for e in events if e["ph"] == "M"]
+        assert len(xs) == 3
+        assert ms and all(e["name"] == "thread_name" for e in ms)
+        assert {e["ph"] for e in events} <= {"X", "M"}
+        for event in xs:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 1
+        assert min(e["ts"] for e in xs) == 0.0
+        assert {e["cat"] for e in xs} == {"serve", "tune", "kernel"}
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(tracer.roots(), path) == 3
+        json.loads(path.read_text())
+
+    def test_empty_trace_exports(self, tmp_path):
+        assert to_jsonl([]) == ""
+        assert chrome_trace([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+        assert write_jsonl([], tmp_path / "empty.jsonl") == 0
+
+    def test_non_primitive_attrs_are_stringified(self):
+        tracer = obs.Tracer()
+        with tracer.span("root", path=object()):
+            pass
+        (record,) = span_records(tracer.roots())
+        json.dumps(record)  # must not raise
+        assert isinstance(record["attrs"]["path"], str)
+
+
+class TestOverheadReport:
+    def test_accounted_time_equals_wall_clock_exactly(self):
+        tracer = obs.Tracer()
+        for _ in range(3):
+            _sample_tree(tracer)
+        report = overhead_report(tracer.roots())
+        assert report.requests == 3
+        assert report.accounted_ns == report.wall_ns
+        assert report.accounted_fraction == pytest.approx(1.0)
+
+    def test_root_gap_is_an_explicit_untraced_row(self):
+        tracer = obs.Tracer()
+        _sample_tree(tracer)
+        report = overhead_report(tracer.roots())
+        names = [stage.name for stage in report.stages]
+        assert "serve.request (untraced)" in names
+        assert report.stage("tune.decide").count == 1
+        with pytest.raises(KeyError):
+            report.stage("nope")
+
+    def test_describe_renders_every_stage(self):
+        tracer = obs.Tracer()
+        _sample_tree(tracer)
+        text = overhead_report(tracer.roots()).describe()
+        assert "tune.decide" in text
+        assert "accounted" in text
+
+    def test_render_tree_shows_nesting_and_attrs(self):
+        tracer = obs.Tracer()
+        root = _sample_tree(tracer)
+        text = render_tree(root)
+        lines = text.splitlines()
+        assert lines[0].startswith("serve.request")
+        assert "nnz=42" in lines[0]
+        assert lines[1].startswith("  ")
+
+
+class TestMetricsSink:
+    def test_sink_feeds_span_histograms(self):
+        from repro.serve.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        tracer = obs.Tracer(sink=obs.metrics_sink(registry))
+        with tracer.span("serve.plan"):
+            with tracer.span("tune.decide"):
+                pass
+        snapshot = registry.snapshot()["histograms"]
+        assert snapshot["span_serve_plan_seconds"]["count"] == 1
+        assert snapshot["span_tune_decide_seconds"]["count"] == 1
+
+    def test_sink_errors_do_not_hit_the_traced_code(self):
+        calls = []
+
+        def bad_sink(span):
+            calls.append(span.name)
+
+        tracer = obs.Tracer(sink=bad_sink)
+        with tracer.span("ok"):
+            pass
+        assert calls == ["ok"]

@@ -1,0 +1,94 @@
+"""Seed-determinism sweep: the whole tuning pipeline is a pure function
+of its seed.
+
+Feature extraction and the tuning decision are run *twice* for every
+corpus matrix under the same seed and must produce identical results —
+the property the failure-replay workflow (re-running a logged seed)
+depends on.  A third pass runs with tracing enabled, because
+observability must never perturb the decisions it observes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.collection import banded, generate_collection, graphs, random_sparse
+from repro.features import extract_features
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.tuner import SMAT
+from repro.types import Precision
+
+
+@pytest.fixture(scope="module")
+def smat() -> SMAT:
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+    return SMAT.train(
+        generate_collection(scale=0.08, size_scale=0.4, seed=77),
+        backend=backend,
+    )
+
+
+def _corpus(seed: int):
+    yield banded.banded_matrix(60, 5, seed=seed)
+    yield graphs.power_law_graph(80, exponent=2.2, seed=seed)
+    yield random_sparse.uniform_random(50, 50, 4.0, seed=seed)
+    rng = np.random.default_rng(seed)
+    dense = np.where(
+        rng.random((40, 40)) < 0.1, rng.standard_normal((40, 40)), 0.0
+    )
+    from repro.formats.csr import CSRMatrix
+
+    yield CSRMatrix.from_dense(dense)
+
+
+@pytest.mark.parametrize("seed", [2013, 7, 4242])
+class TestSeedDeterminism:
+    def test_generators_are_seed_deterministic(self, seed: int) -> None:
+        for first, second in zip(_corpus(seed), _corpus(seed)):
+            assert first.shape == second.shape
+            assert np.array_equal(first.ptr, second.ptr)
+            assert np.array_equal(first.indices, second.indices)
+            assert np.array_equal(first.data, second.data)
+
+    def test_feature_extraction_is_deterministic(self, seed: int) -> None:
+        for matrix in _corpus(seed):
+            assert (
+                extract_features(matrix).as_dict()
+                == extract_features(matrix).as_dict()
+            )
+
+    def test_decisions_are_deterministic(self, smat, seed: int) -> None:
+        for matrix in _corpus(seed):
+            first = smat.decide(matrix).to_dict()
+            second = smat.decide(matrix).to_dict()
+            assert first == second
+
+    def test_tracing_does_not_change_decisions(self, smat, seed: int) -> None:
+        obs.uninstall()
+        try:
+            for matrix in _corpus(seed):
+                untraced = smat.decide(matrix).to_dict()
+                with obs.installed(obs.Tracer()) as tracer:
+                    traced = smat.decide(matrix).to_dict()
+                assert traced == untraced
+                assert tracer.roots(), "decision produced no trace"
+        finally:
+            obs.uninstall()
+
+
+def test_training_is_seed_deterministic() -> None:
+    """Two trainings from the same collection seed agree rule for rule."""
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+
+    def train():
+        return SMAT.train(
+            generate_collection(scale=0.04, size_scale=0.3, seed=11),
+            backend=backend,
+        )
+
+    a, b = train(), train()
+    assert a.model.grouped.describe() == b.model.grouped.describe()
+    matrix = banded.banded_matrix(60, 5, seed=3)
+    assert a.decide(matrix).to_dict() == b.decide(matrix).to_dict()
