@@ -13,7 +13,8 @@
 * ``stats``      — domain and format-affinity distribution of a database,
 * ``serve-bench``— replay a synthetic concurrent workload through the
   ``repro.serve`` engine and print its scoreboard (``--trace`` captures
-  the replay as a Chrome trace),
+  the replay as a Chrome trace; ``--value-churn N`` serves N value
+  updates per matrix to exercise the tier-2 refresh fast path),
 * ``trace``      — route one matrix through the serving engine with
   tracing on and print the span tree + per-stage overhead report,
 * ``bench-perf`` — time the vectorized cold path (conversions, feature
@@ -109,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="training collection fraction (default 0.05)")
     serve.add_argument("--online", action="store_true",
                        help="serve through OnlineSmat (learn from fallbacks)")
+    serve.add_argument("--value-churn", type=int, default=None,
+                       metavar="N", dest="value_churn",
+                       help="value-churn mode: serve N value updates per "
+                            "matrix (same sparsity structure, fresh values, "
+                            "each exactly once; --requests is ignored) to "
+                            "exercise the structure-keyed plan-refresh fast "
+                            "path")
+    serve.add_argument("--no-structure-cache", action="store_true",
+                       help="disable the tier-2 structure index (every "
+                            "value update pays a full plan build; the "
+                            "baseline for --value-churn comparisons)")
     serve.add_argument("--deadline", type=float, default=None,
                        help="end-to-end per-request deadline in seconds "
                             "(queue wait + plan build + execute)")
@@ -122,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SPEC",
                        help="inject deterministic faults for chaos replay; "
                             "SPEC is 'SITE[,key=value...]' with SITE in "
-                            "{decide,convert,execute}, e.g. "
+                            "{decide,convert,refresh,execute}, e.g. "
                             "'decide,rate=0.5,stop=20' or "
                             "'execute,kind=latency,latency=0.002'; "
                             "repeatable")
@@ -339,12 +351,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         ServeConfig,
         ServingEngine,
         build_matrix_pool,
+        churn_schedule,
         popularity_schedule,
         replay,
+        value_churn_pool,
     )
     from repro.tuner import SMAT, OnlineSmat
 
-    if args.requests < args.matrices:
+    if args.value_churn is not None and args.value_churn < 2:
+        print(
+            f"error: --value-churn ({args.value_churn}) must be >= 2 "
+            f"(one base build plus at least one value update)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.value_churn is None and args.requests < args.matrices:
         print(
             f"error: --requests ({args.requests}) must be >= --matrices "
             f"({args.matrices}) so every matrix is requested at least once",
@@ -372,9 +393,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         tuner = OnlineSmat(tuner)
 
     pool = build_matrix_pool(args.matrices, seed=args.seed)
-    schedule = popularity_schedule(
-        args.matrices, args.requests, seed=args.seed
-    )
+    if args.value_churn is not None:
+        pool = value_churn_pool(pool, args.value_churn, seed=args.seed)
+        schedule = churn_schedule(
+            args.matrices, args.value_churn, seed=args.seed
+        )
+    else:
+        schedule = popularity_schedule(
+            args.matrices, args.requests, seed=args.seed
+        )
     config = ServeConfig(
         workers=args.workers,
         cache_entries=args.cache_entries,
@@ -382,13 +409,24 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         default_deadline=args.deadline,
         max_retries=args.max_retries,
         breaker_threshold=args.breaker_threshold,
+        structure_cache=not args.no_structure_cache,
     )
-    print(
-        f"replaying {args.requests} requests over {args.matrices} matrices "
-        f"({args.clients} clients, {args.workers} workers"
-        + (f", {len(faults.rules)} fault rules" if faults else "")
-        + ")..."
-    )
+    if args.value_churn is not None:
+        print(
+            f"replaying value churn: {args.matrices} structures x "
+            f"{args.value_churn} value updates = {len(schedule)} requests "
+            f"({args.clients} clients, {args.workers} workers, tier-2 "
+            f"{'off' if args.no_structure_cache else 'on'}"
+            + (f", {len(faults.rules)} fault rules" if faults else "")
+            + ")..."
+        )
+    else:
+        print(
+            f"replaying {args.requests} requests over {args.matrices} "
+            f"matrices ({args.clients} clients, {args.workers} workers"
+            + (f", {len(faults.rules)} fault rules" if faults else "")
+            + ")..."
+        )
     tracer = None
     engine = ServingEngine(tuner, config, faults=faults)
     if args.trace is not None:
@@ -424,6 +462,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"resilience : {counters['degraded_requests']} degraded, "
           f"{counters['retries']} retries, "
           f"{counters['deadline_exceeded']} deadline-expired")
+    print(f"refreshes  : {int(counters['plans_refreshed'])} plans "
+          f"value-refreshed "
+          f"({int(counters['structure_hits'])} tier-2 structure hits, "
+          f"{int(counters['plan_refresh_failures'])} failures)")
     if args.online:
         print(f"online     : {tuner.observations} fallback records, "
               f"{tuner.retrain_count} retrains")

@@ -101,6 +101,51 @@ class SparseMatrix(abc.ABC):
     def memory_bytes(self) -> int:
         """Bytes of all stored arrays, including any zero padding."""
 
+    # ------------------------------------------------------------------
+    # Value refresh (structure-keyed plan reuse)
+    # ------------------------------------------------------------------
+    def refresh_values(self, csr: "SparseMatrix") -> "SparseMatrix":
+        """A new instance with this structure and ``csr``'s values.
+
+        The serving layer's structure-keyed cache calls this on a tier-2
+        hit: the sparsity pattern already matched (same structural
+        digest), so only the value/padding arrays are rebuilt.  The
+        structure arrays (pointers, indices, offsets, ...) are *shared*
+        with the refreshed instance, and the scatter plan mapping CSR
+        entries to stored slots is computed once and reused across
+        refreshes — the steady state is one zero fill plus one scatter.
+
+        The caller guarantees ``csr`` has exactly this matrix's sparsity
+        structure (the engine keys on the structural digest); only the
+        cheap invariants are re-checked here.
+        """
+        self._check_refresh_source(csr)
+        return self._refresh_values(csr)
+
+    def _check_refresh_source(self, csr: "SparseMatrix") -> None:
+        from repro.formats.csr import CSRMatrix
+
+        if not isinstance(csr, CSRMatrix):
+            raise FormatError(
+                f"refresh_values needs a CSRMatrix source, got "
+                f"{type(csr).__name__}"
+            )
+        if csr.shape != self.shape:
+            raise FormatError(
+                f"refresh_values shape mismatch: source is {csr.shape}, "
+                f"stored structure is {self.shape}"
+            )
+        if csr.dtype != self.dtype:
+            raise FormatError(
+                f"refresh_values dtype mismatch: source is {csr.dtype}, "
+                f"stored structure is {self.dtype}"
+            )
+
+    def _refresh_values(self, csr: "SparseMatrix") -> "SparseMatrix":
+        raise FormatError(
+            f"{type(self).__name__} does not support value refresh"
+        )
+
     def check_operand(self, x: np.ndarray) -> np.ndarray:
         """Validate and canonicalise an SpMV input vector."""
         x = np.asarray(x)

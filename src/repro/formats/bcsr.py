@@ -66,6 +66,44 @@ class BCSRMatrix(SparseMatrix):
         self.block_shape = (r, c)
         self._nnz = int(nnz)
 
+    def _refresh_values(self, csr) -> "BCSRMatrix":
+        plan = getattr(self, "_refresh_plan", None)
+        if plan is None:
+            r, c = self.block_shape
+            n_block_cols = -(-self.n_cols // c)
+            # Stored blocks are sorted by (block row, block column), so
+            # each entry's block index recovers via one binary search.
+            stored_keys = (
+                np.repeat(
+                    np.arange(self.n_block_rows, dtype=np.int64),
+                    np.diff(self.block_ptr),
+                )
+                * n_block_cols
+                + self.block_cols
+            )
+            row_of = np.repeat(
+                np.arange(csr.n_rows, dtype=INDEX_DTYPE), csr.row_degrees()
+            )
+            key = (row_of // r).astype(np.int64) * n_block_cols + (
+                csr.indices // c
+            )
+            inverse = np.searchsorted(stored_keys, key)
+            plan = (inverse, row_of % r, csr.indices % c)
+            self._refresh_plan = plan
+        inverse, rr, cc = plan
+        if rr.shape[0] != csr.nnz:
+            raise FormatError(
+                f"refresh_values nnz mismatch: source has {csr.nnz}, "
+                f"stored structure scatters {rr.shape[0]}"
+            )
+        blocks = np.zeros_like(self.blocks)
+        blocks[inverse, rr, cc] = csr.data
+        out = BCSRMatrix(
+            self.block_ptr, self.block_cols, blocks, self.shape, self._nnz
+        )
+        out._refresh_plan = plan
+        return out
+
     @property
     def n_block_rows(self) -> int:
         return int(self.block_ptr.shape[0]) - 1

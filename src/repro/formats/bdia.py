@@ -72,6 +72,35 @@ class BDIAMatrix(SparseMatrix):
         bdia, _ = csr_to_bdia(CSRMatrix.from_dense(dense), fill_budget=None)
         return bdia
 
+    def _refresh_values(self, csr) -> "BDIAMatrix":
+        plan = getattr(self, "_refresh_plan", None)
+        if plan is None:
+            row_of = np.repeat(
+                np.arange(csr.n_rows, dtype=INDEX_DTYPE), csr.row_degrees()
+            )
+            diag_of = csr.indices - row_of
+            band_idx = (
+                np.searchsorted(self.offsets, diag_of, side="right") - 1
+            )
+            within = diag_of - self.offsets[band_idx]
+            plan = tuple(
+                (within[sel], row_of[sel], np.nonzero(sel)[0])
+                for sel in (band_idx == b for b in range(self.n_bands))
+            )
+            self._refresh_plan = plan
+        scattered = sum(rows.shape[0] for _, rows, _ in plan)
+        if scattered != csr.nnz:
+            raise FormatError(
+                f"refresh_values nnz mismatch: source has {csr.nnz}, "
+                f"stored structure scatters {scattered}"
+            )
+        bands = [np.zeros_like(band) for band in self.bands]
+        for band, (within, rows, source) in zip(bands, plan):
+            band[within, rows] = csr.data[source]
+        out = BDIAMatrix(self.offsets, bands, self.shape)
+        out._refresh_plan = plan
+        return out
+
     # ------------------------------------------------------------------
     @property
     def n_bands(self) -> int:

@@ -12,6 +12,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.errors import FormatError
 from repro.formats.base import SparseMatrix, register_format
 from repro.types import INDEX_DTYPE, FormatName
 from repro.util.validation import check_1d, check_index_range, check_same_length
@@ -60,6 +61,16 @@ class COOMatrix(SparseMatrix):
             dense[rows, cols],
             dense.shape,
         )
+
+    def _refresh_values(self, csr) -> "COOMatrix":
+        # CSR stores entries in exactly the row-major order the COO
+        # converter produced, so the new data array maps over verbatim.
+        if csr.nnz != self.nnz:
+            raise FormatError(
+                f"refresh_values nnz mismatch: source has {csr.nnz}, "
+                f"stored structure has {self.nnz}"
+            )
+        return COOMatrix(self.rows, self.cols, csr.data.copy(), self.shape)
 
     @property
     def nnz(self) -> int:

@@ -88,6 +88,23 @@ class CSCMatrix(SparseMatrix):
 
         return cls.from_csr(CSRMatrix.from_dense(dense))
 
+    def _refresh_values(self, csr) -> "CSCMatrix":
+        plan = getattr(self, "_refresh_plan", None)
+        if plan is None:
+            rows = np.repeat(
+                np.arange(csr.n_rows, dtype=INDEX_DTYPE), csr.row_degrees()
+            )
+            plan = np.lexsort((rows, csr.indices))
+            self._refresh_plan = plan
+        if plan.shape[0] != csr.nnz:
+            raise FormatError(
+                f"refresh_values nnz mismatch: source has {csr.nnz}, "
+                f"stored structure permutes {plan.shape[0]}"
+            )
+        out = CSCMatrix(self.ptr, self.indices, csr.data[plan], self.shape)
+        out._refresh_plan = plan
+        return out
+
     @property
     def nnz(self) -> int:
         return int(self.data.shape[0])

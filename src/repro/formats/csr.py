@@ -103,6 +103,37 @@ class CSRMatrix(SparseMatrix):
         np.cumsum(ptr, out=ptr)
         return cls(ptr, cols, data, shape)
 
+    @classmethod
+    def _from_validated(
+        cls,
+        ptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> "CSRMatrix":
+        """Internal: adopt already-canonical structure arrays unchecked.
+
+        Only the value-refresh path uses this — the structure arrays come
+        straight out of an existing validated instance, so re-running the
+        constructor's canonicalisation would be pure overhead.
+        """
+        out = cls.__new__(cls)
+        SparseMatrix.__init__(out, shape, data.dtype)
+        out.ptr = ptr
+        out.indices = indices
+        out.data = data
+        return out
+
+    def _refresh_values(self, csr: "CSRMatrix") -> "CSRMatrix":
+        if csr.nnz != self.nnz:
+            raise FormatError(
+                f"refresh_values nnz mismatch: source has {csr.nnz}, "
+                f"stored structure has {self.nnz}"
+            )
+        return CSRMatrix._from_validated(
+            self.ptr, self.indices, csr.data.copy(), self.shape
+        )
+
     # ------------------------------------------------------------------
     # SparseMatrix interface
     # ------------------------------------------------------------------

@@ -77,6 +77,27 @@ class DIAMatrix(SparseMatrix):
             data[i, rr] = dense[rr, rr + int(k)]
         return cls(offsets.astype(INDEX_DTYPE), data, dense.shape)
 
+    def _refresh_values(self, csr) -> "DIAMatrix":
+        plan = getattr(self, "_refresh_plan", None)
+        if plan is None:
+            row_of = np.repeat(
+                np.arange(csr.n_rows, dtype=INDEX_DTYPE), csr.row_degrees()
+            )
+            diag_slot = np.searchsorted(self.offsets, csr.indices - row_of)
+            plan = (diag_slot, row_of)
+            self._refresh_plan = plan
+        diag_slot, row_of = plan
+        if row_of.shape[0] != csr.nnz:
+            raise FormatError(
+                f"refresh_values nnz mismatch: source has {csr.nnz}, "
+                f"stored structure scatters {row_of.shape[0]}"
+            )
+        data = np.zeros_like(self.data)
+        data[diag_slot, row_of] = csr.data
+        out = DIAMatrix(self.offsets, data, self.shape)
+        out._refresh_plan = plan
+        return out
+
     @property
     def num_diags(self) -> int:
         """Number of stored diagonals (the paper's Ndiags)."""

@@ -75,6 +75,30 @@ class ELLMatrix(SparseMatrix):
             data[: cols.shape[0], i] = dense[i, cols]
         return cls(indices, data, dense.shape, int(degrees.sum()))
 
+    def _refresh_values(self, csr) -> "ELLMatrix":
+        plan = getattr(self, "_refresh_plan", None)
+        if plan is None:
+            degrees = csr.row_degrees()
+            row_of = np.repeat(
+                np.arange(csr.n_rows, dtype=INDEX_DTYPE), degrees
+            )
+            slot = np.arange(csr.nnz, dtype=INDEX_DTYPE) - np.repeat(
+                csr.ptr[:-1], degrees
+            )
+            plan = (slot, row_of)
+            self._refresh_plan = plan
+        slot, row_of = plan
+        if row_of.shape[0] != csr.nnz:
+            raise FormatError(
+                f"refresh_values nnz mismatch: source has {csr.nnz}, "
+                f"stored structure scatters {row_of.shape[0]}"
+            )
+        data = np.zeros_like(self.data)
+        data[slot, row_of] = csr.data
+        out = ELLMatrix(self.indices, data, self.shape, self._nnz)
+        out._refresh_plan = plan
+        return out
+
     @property
     def max_row_degree(self) -> int:
         """Width of the packed matrix (the paper's max_RD)."""

@@ -16,7 +16,7 @@ from repro.errors import FormatError
 from repro.formats.base import SparseMatrix, register_format
 from repro.formats.coo import COOMatrix
 from repro.formats.ell import ELLMatrix
-from repro.types import FormatName
+from repro.types import INDEX_DTYPE, FormatName
 
 
 @register_format(FormatName.HYB)
@@ -47,6 +47,40 @@ class HYBMatrix(SparseMatrix):
     def ell_width(self) -> int:
         """The split threshold: rows wider than this overflow into COO."""
         return self.ell_part.max_row_degree
+
+    def _refresh_values(self, csr) -> "HYBMatrix":
+        plan = getattr(self, "_refresh_plan", None)
+        if plan is None:
+            degrees = csr.row_degrees()
+            row_of = np.repeat(
+                np.arange(csr.n_rows, dtype=INDEX_DTYPE), degrees
+            )
+            rank = np.arange(csr.nnz, dtype=INDEX_DTYPE) - np.repeat(
+                csr.ptr[:-1], degrees
+            )
+            in_ell = rank < self.ell_width
+            plan = (rank[in_ell], row_of[in_ell], in_ell)
+            self._refresh_plan = plan
+        ell_rank, ell_rows, in_ell = plan
+        if in_ell.shape[0] != csr.nnz:
+            raise FormatError(
+                f"refresh_values nnz mismatch: source has {csr.nnz}, "
+                f"stored structure splits {in_ell.shape[0]}"
+            )
+        ell_data = np.zeros_like(self.ell_part.data)
+        ell_data[ell_rank, ell_rows] = csr.data[in_ell]
+        ell = ELLMatrix(
+            self.ell_part.indices, ell_data, self.shape, self.ell_part.nnz
+        )
+        coo = COOMatrix(
+            self.coo_part.rows,
+            self.coo_part.cols,
+            csr.data[~in_ell],
+            self.shape,
+        )
+        out = HYBMatrix(ell, coo)
+        out._refresh_plan = plan
+        return out
 
     def to_dense(self) -> np.ndarray:
         return self.ell_part.to_dense() + self.coo_part.to_dense()

@@ -101,6 +101,46 @@ class SKYMatrix(SparseMatrix):
             upper = None
         return cls(pointers, profile, csr.shape, upper=upper, nnz=csr.nnz)
 
+    def _refresh_values(self, csr) -> "SKYMatrix":
+        from repro.formats.csr import CSRMatrix
+
+        plan = getattr(self, "_refresh_plan", None)
+        if plan is None:
+            rows = np.repeat(
+                np.arange(self.n_rows, dtype=INDEX_DTYPE), csr.row_degrees()
+            )
+            lower_mask = csr.indices <= rows
+            first_col = self.first_columns()
+            lrows = rows[lower_mask]
+            slots = self.pointers[lrows] + (
+                csr.indices[lower_mask] - first_col[lrows]
+            )
+            plan = (slots, lower_mask)
+            self._refresh_plan = plan
+        slots, lower_mask = plan
+        if lower_mask.shape[0] != csr.nnz:
+            raise FormatError(
+                f"refresh_values nnz mismatch: source has {csr.nnz}, "
+                f"stored structure splits {lower_mask.shape[0]}"
+            )
+        profile = np.zeros_like(self.profile)
+        profile[slots] = csr.data[lower_mask]
+        upper = None
+        if self.upper is not None:
+            # The strict-upper remainder keeps CSR row-major order, so
+            # its structure arrays carry over with the masked new values.
+            upper = CSRMatrix._from_validated(
+                self.upper.ptr,
+                self.upper.indices,
+                csr.data[~lower_mask],
+                self.shape,
+            )
+        out = SKYMatrix(
+            self.pointers, profile, self.shape, upper=upper, nnz=self._nnz
+        )
+        out._refresh_plan = plan
+        return out
+
     @property
     def nnz(self) -> int:
         return self._nnz

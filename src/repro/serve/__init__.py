@@ -34,6 +34,7 @@ from repro.serve.faults import (
 )
 from repro.serve.fingerprint import (
     Fingerprint,
+    StructureKey,
     fingerprint,
     structural_digest,
 )
@@ -54,8 +55,10 @@ from repro.serve.resilience import (
 from repro.serve.workload import (
     ReplayReport,
     build_matrix_pool,
+    churn_schedule,
     popularity_schedule,
     replay,
+    value_churn_pool,
 )
 
 __all__ = [
@@ -79,9 +82,12 @@ __all__ = [
     "ServeConfig",
     "ServeResult",
     "ServingEngine",
+    "StructureKey",
     "build_matrix_pool",
+    "churn_schedule",
     "fingerprint",
     "popularity_schedule",
     "replay",
     "structural_digest",
+    "value_churn_pool",
 ]

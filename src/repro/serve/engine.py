@@ -13,9 +13,13 @@ into a persistent service.  The pipeline per request:
    requests whose end-to-end deadline already expired are failed here,
    before any plan work is spent on them,
 4. **plan resolution** — plan-cache hit executes immediately (no feature
-   extraction, no conversion: the amortization of Table 3); a miss runs the
-   full Figure 7 decision once, converts once, and caches the plan.  Misses
-   for the same fingerprint are single-flighted so concurrent first
+   extraction, no conversion: the amortization of Table 3); a tier-1 miss
+   whose *structural digest* matches a resident plan refreshes that plan's
+   value arrays in place of a full re-tune (the value-churn fast path —
+   same structure, new values, no feature extraction and no rule walk);
+   otherwise the miss runs the full Figure 7 decision once, converts once,
+   and caches the plan.  Misses for the same structure (or fingerprint,
+   with the tier-2 cache disabled) are single-flighted so concurrent first
    requests build the plan only once.  A build *failure* does not fail the
    batch: the engine degrades to the always-correct CSR reference plan, and
    a per-fingerprint circuit breaker stops re-tuning after repeated
@@ -43,10 +47,11 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import CancelledError, Future, InvalidStateError
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
     Deque,
     Dict,
+    Hashable,
     Iterable,
     List,
     Optional,
@@ -95,6 +100,14 @@ _RESILIENCE_COUNTERS = (
     "worker_errors",
 )
 
+#: Tier-2 instruments, pre-registered for the same reason: a value-churn
+#: workload that never refreshes should read as zero, not as unwired.
+_REFRESH_COUNTERS = (
+    "structure_hits",
+    "plans_refreshed",
+    "plan_refresh_failures",
+)
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -125,6 +138,11 @@ class ServeConfig:
     breaker_threshold: int = 3
     #: While open, every Nth request half-opens the breaker for one probe.
     breaker_probe_interval: int = 8
+    #: Tier-2 structure-keyed plan reuse: a miss whose structural digest
+    #: matches a resident plan refreshes that plan's values instead of
+    #: re-tuning.  Disable to force every distinct value set through the
+    #: full Figure 7 decision (the pre-two-tier behaviour).
+    structure_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -199,6 +217,10 @@ class ServeResult:
     degraded: bool = False
     #: Transient execute failures retried before this result.
     retries: int = 0
+    #: True when the plan came from the tier-2 structure cache: a resident
+    #: plan with the same sparsity structure had its values refreshed in
+    #: place of a full re-tune.
+    refreshed: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -299,6 +321,8 @@ class _Resolution:
     cache_hit: bool
     seconds: float
     degraded: bool
+    #: Plan came from a tier-2 structure hit (values refreshed, no tune).
+    refreshed: bool = False
 
     @property
     def format_name(self) -> FormatName:
@@ -405,8 +429,8 @@ class ServingEngine:
     ...     print(engine.metrics.report())
 
     ``faults`` accepts a :class:`~repro.serve.faults.FaultPlan` that
-    wraps the decide/convert/execute seams for deterministic chaos
-    replay; production engines leave it None.
+    wraps the decide/convert/refresh/execute seams for deterministic
+    chaos replay; production engines leave it None.
     """
 
     def __init__(
@@ -424,6 +448,10 @@ class ServingEngine:
         self.config = config
         self.metrics = metrics or MetricsRegistry()
         self.metrics.ensure(counters=_RESILIENCE_COUNTERS)
+        self.metrics.ensure(
+            counters=_REFRESH_COUNTERS,
+            histograms=("plan_refresh_seconds",),
+        )
         self.cache = PlanCache(
             max_entries=config.cache_entries, max_bytes=config.cache_bytes
         )
@@ -439,8 +467,11 @@ class ServingEngine:
         self._state_lock = threading.Lock()
         self._started = False
         self._stopped = False
-        # Single-flight plan builds: fingerprint -> refcounted lock.
-        self._build_locks: Dict[Fingerprint, _BuildLock] = {}
+        # Single-flight plan builds, keyed by the structure key when the
+        # tier-2 cache is on (concurrent first requests for the *same
+        # structure* then serialize too: one builds, the rest refresh)
+        # and by the exact fingerprint otherwise.
+        self._build_locks: Dict[Hashable, _BuildLock] = {}
         self._build_locks_guard = threading.Lock()
         # Per-fingerprint plan-build circuit breakers.
         self._breakers: Dict[Fingerprint, CircuitBreaker] = {}
@@ -684,6 +715,7 @@ class ServingEngine:
                     plan_span.attrs.update(
                         cache_hit=resolution.cache_hit,
                         degraded=resolution.degraded,
+                        refreshed=resolution.refreshed,
                         format=resolution.format_name.value,
                     )
         except Exception as exc:  # degraded path failed too: fail the batch
@@ -723,6 +755,7 @@ class ServingEngine:
                 execute_seconds=execute_seconds,
                 degraded=resolution.degraded,
                 retries=retries,
+                refreshed=resolution.refreshed and i == 0,
             )
             self._observe(result)
             self._end_trace(
@@ -857,7 +890,11 @@ class ServingEngine:
         if ticket is BuildTicket.PROBE:
             self.metrics.counter("breaker_probes").inc()
 
-        build_lock = self._acquire_build_lock(key)
+        structure = (
+            key.structure_key if self.config.structure_cache else None
+        )
+        lock_key: Hashable = structure if structure is not None else key
+        build_lock = self._acquire_build_lock(lock_key)
         try:
             with build_lock:
                 # Double-check: another worker may have built it while we
@@ -870,6 +907,22 @@ class ServingEngine:
                     return _Resolution(
                         plan, True, time.perf_counter() - started, False
                     )
+                if structure is not None:
+                    donor = self.cache.get_by_structure(structure)
+                    if donor is not None:
+                        plan = self._refresh_plan(key, matrix, donor)
+                        if plan is not None:
+                            if breaker.record_success():
+                                self.metrics.counter(
+                                    "breaker_recovered"
+                                ).inc()
+                            return _Resolution(
+                                plan,
+                                False,
+                                time.perf_counter() - started,
+                                False,
+                                refreshed=True,
+                            )
                 self.metrics.counter("cache_misses").inc()
                 build_started = time.perf_counter()
                 try:
@@ -905,9 +958,54 @@ class ServingEngine:
                 else:
                     self.metrics.counter("plans_uncacheable").inc()
         finally:
-            self._release_build_lock(key)
+            self._release_build_lock(lock_key)
         self._update_gauges()
         return _Resolution(plan, False, time.perf_counter() - started, False)
+
+    def _refresh_plan(
+        self, key: Fingerprint, matrix: CSRMatrix, donor: CachedPlan
+    ) -> Optional[CachedPlan]:
+        """Tier-2 fast path: reuse the donor's decision, rebuild values.
+
+        The donor is a resident plan whose structural digest matches
+        ``matrix``; its decision (format, kernel, rule, overhead ledger)
+        carries over verbatim and only the converted matrix's value
+        arrays are rebuilt — no feature extraction, no rule walk, no
+        conversion.  The refreshed plan is promoted into tier 1 under the
+        new value fingerprint.  Returns None when the refresh fails for
+        any reason: the caller then runs a full build, so a bad donor
+        costs time, never correctness.
+        """
+        refresh_started = time.perf_counter()
+        try:
+            with obs.span(
+                "plan.refresh",
+                tier=2,
+                fingerprint=str(key),
+                format=donor.decision.format_name.value,
+            ):
+                if self.faults is not None:
+                    self.faults.on_call("refresh")
+                refreshed = donor.decision.matrix.refresh_values(matrix)
+        except Exception:
+            self.metrics.counter("plan_refresh_failures").inc()
+            return None
+        plan = CachedPlan(
+            key=key,
+            decision=replace(donor.decision, matrix=refreshed),
+            matrix_bytes=refreshed.memory_bytes(),
+        )
+        self.metrics.counter("structure_hits").inc()
+        self.metrics.counter("plans_refreshed").inc()
+        self.metrics.histogram("plan_refresh_seconds").observe(
+            time.perf_counter() - refresh_started
+        )
+        if self.cache.put(plan):
+            self.metrics.counter("plans_cached").inc()
+        else:
+            self.metrics.counter("plans_uncacheable").inc()
+        self._update_gauges()
+        return plan
 
     def _build_plan(self, key: Fingerprint, matrix: CSRMatrix) -> CachedPlan:
         if self.faults is not None:
@@ -928,7 +1026,7 @@ class ServingEngine:
             matrix_bytes=decision.matrix.memory_bytes(),
         )
 
-    def _acquire_build_lock(self, key: Fingerprint) -> threading.Lock:
+    def _acquire_build_lock(self, key: Hashable) -> threading.Lock:
         with self._build_locks_guard:
             entry = self._build_locks.get(key)
             if entry is None:
@@ -937,7 +1035,7 @@ class ServingEngine:
             entry.refs += 1
             return entry.lock
 
-    def _release_build_lock(self, key: Fingerprint) -> None:
+    def _release_build_lock(self, key: Hashable) -> None:
         with self._build_locks_guard:
             entry = self._build_locks.get(key)
             if entry is None:
@@ -983,6 +1081,8 @@ class ServingEngine:
             f"({int(stats['bytes'])} bytes)",
             f"  hit rate {stats['hit_rate']:.1%} "
             f"({int(stats['hits'])} hits / {int(stats['misses'])} misses)",
+            f"  structure hits {int(stats['structure_hits'])} "
+            f"(tier 2, values refreshed in place)",
             f"  evictions {int(stats['evictions'])}, "
             f"rejected {int(stats['rejected'])}",
             "breakers:",

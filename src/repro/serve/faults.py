@@ -1,8 +1,9 @@
 """Deterministic fault injection for the serving engine.
 
-A :class:`FaultPlan` wraps the three seams where serving can fail — the
-tuner decision (``decide``), the format conversion (``convert``) and the
-kernel (``execute``) — and injects exceptions and latency according to a
+A :class:`FaultPlan` wraps the seams where serving can fail — the tuner
+decision (``decide``), the format conversion (``convert``), the tier-2
+value refresh (``refresh``) and the kernel (``execute``) — and injects
+exceptions and latency according to a
 list of :class:`FaultRule` windows.  Determinism is the point: rules are
 indexed by *per-site call counts* and probabilistic rules draw from one
 seeded generator, never the wall clock, so a chaos replay (``serve-bench
@@ -35,7 +36,7 @@ import numpy as np
 from repro.errors import ServeError, TransientError
 
 #: The engine seams a rule may attach to.
-SITES = ("decide", "convert", "execute")
+SITES = ("decide", "convert", "refresh", "execute")
 
 #: What an injected fault does at its site.
 KINDS = ("transient", "fatal", "latency")

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -32,8 +32,13 @@ _DIGEST_SIZE = 16
 
 
 @dataclass(frozen=True)
-class Fingerprint:
-    """A compact, hashable identity for one CSR matrix."""
+class StructureKey:
+    """Tier-2 cache key: the identity of a sparsity *structure*.
+
+    Two matrices share a StructureKey exactly when they have the same
+    shape, dtype and ptr/indices arrays — the case where a cached tuning
+    decision carries over and only the value arrays need refreshing.
+    """
 
     shape: Tuple[int, int]
     nnz: int
@@ -42,19 +47,52 @@ class Fingerprint:
 
     def __str__(self) -> str:
         m, n = self.shape
+        return f"{m}x{n}/{self.nnz}nnz/{self.dtype}/~{self.digest[:10]}"
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """A compact, hashable identity for one CSR matrix."""
+
+    shape: Tuple[int, int]
+    nnz: int
+    dtype: str
+    digest: str
+    #: Structure-only digest (ptr + indices, no values); empty for
+    #: fingerprints minted before the two-tier cache existed.
+    structural: str = ""
+
+    @property
+    def structure_key(self) -> Optional[StructureKey]:
+        """The tier-2 key this fingerprint belongs under, if known."""
+        if not self.structural:
+            return None
+        return StructureKey(self.shape, self.nnz, self.dtype, self.structural)
+
+    def __str__(self) -> str:
+        m, n = self.shape
         return f"{m}x{n}/{self.nnz}nnz/{self.dtype}/{self.digest[:10]}"
 
 
 def fingerprint(matrix: CSRMatrix) -> Fingerprint:
-    """Fingerprint a CSR matrix (one streaming pass over its arrays)."""
+    """Fingerprint a CSR matrix (one streaming pass over its arrays).
+
+    The structural digest comes for free: the hash state after ptr and
+    indices is forked before the value bytes are folded in, so one pass
+    yields both the value-inclusive tier-1 key and the structure-only
+    tier-2 key.
+    """
     h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
-    for array in (matrix.ptr, matrix.indices, matrix.data):
-        h.update(np.ascontiguousarray(array).tobytes())
+    h.update(np.ascontiguousarray(matrix.ptr).tobytes())
+    h.update(np.ascontiguousarray(matrix.indices).tobytes())
+    structural = h.copy()
+    h.update(np.ascontiguousarray(matrix.data).tobytes())
     return Fingerprint(
         shape=matrix.shape,
         nnz=matrix.nnz,
         dtype=str(matrix.dtype),
         digest=h.hexdigest(),
+        structural=structural.hexdigest(),
     )
 
 
@@ -62,8 +100,10 @@ def structural_digest(matrix: CSRMatrix) -> str:
     """Digest of the sparsity structure only (ptr + indices, no values).
 
     Two matrices with the same structural digest get the same tuning
-    decision even when their values differ — diagnostics use this to spot
-    re-tuning work that a structure-keyed decision cache could share.
+    decision even when their values differ — the structure-keyed tier of
+    the plan cache shares decisions across exactly this equivalence, and
+    :func:`fingerprint` computes the identical digest as a by-product
+    (``fingerprint(m).structural == structural_digest(m)``).
     """
     h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
     h.update(np.ascontiguousarray(matrix.ptr).tobytes())

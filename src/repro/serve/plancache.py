@@ -9,8 +9,17 @@ Eviction is LRU under two budgets — an entry cap and an optional byte cap
 over the converted matrices' storage (``memory_bytes()`` includes padding,
 so a cached ELL plan is charged for its zero fill).  A plan larger than the
 whole byte budget is simply never admitted; the engine still serves it,
-uncached.  ``invalidate`` exists for callers that mutate a matrix in place
-and know its fingerprint no longer describes it.
+uncacheable.  ``invalidate`` exists for callers that mutate a matrix in
+place and know its fingerprint no longer describes it.
+
+Alongside the value-keyed store sits a structure index (tier 2): for every
+resident plan, the plan's :class:`~repro.serve.fingerprint.StructureKey`
+maps to its fingerprint, latest admission winning.  ``get_by_structure``
+answers "is there *any* resident plan with this sparsity structure?" — the
+question the engine's value-refresh fast path asks on a tier-1 miss.  The
+index holds no matrices of its own, so the byte budget is shared across
+both tiers by construction, and entries leave the index exactly when their
+plan leaves the store.
 
 All operations are O(1) under one lock; the cache is shared by every
 engine worker.
@@ -23,7 +32,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.serve.fingerprint import Fingerprint
+from repro.serve.fingerprint import Fingerprint, StructureKey
 from repro.tuner.runtime import Decision
 
 
@@ -66,11 +75,15 @@ class PlanCache:
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
         self._plans: "OrderedDict[Fingerprint, CachedPlan]" = OrderedDict()
+        # Tier-2 index: structure key -> fingerprint of the most recently
+        # admitted resident plan with that sparsity structure.
+        self._structures: Dict[StructureKey, Fingerprint] = {}
         self._bytes = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._rejected = 0
+        self._structure_hits = 0
 
     # ------------------------------------------------------------------
     def get(
@@ -94,6 +107,29 @@ class PlanCache:
             plan.hits += 1
             return plan
 
+    def get_by_structure(
+        self, structure: StructureKey
+    ) -> Optional[CachedPlan]:
+        """The resident plan sharing this sparsity structure, if any.
+
+        This is the tier-2 lookup: the caller's exact fingerprint missed,
+        but a plan for the same structure (different values) may still be
+        resident — its decision carries over and only its value arrays
+        need refreshing.  A hit refreshes the donor plan's LRU recency so
+        a value-churn workload cannot evict its own structure donor.
+        """
+        with self._lock:
+            key = self._structures.get(structure)
+            if key is None:
+                return None
+            plan = self._plans.get(key)
+            if plan is None:  # defensive: evictions unlink eagerly
+                del self._structures[structure]
+                return None
+            self._plans.move_to_end(key)
+            self._structure_hits += 1
+            return plan
+
     def put(self, plan: CachedPlan) -> bool:
         """Admit ``plan``, evicting LRU entries to fit; False if too large.
 
@@ -112,12 +148,16 @@ class PlanCache:
                 self._bytes -= old.matrix_bytes
             self._plans[plan.key] = plan
             self._bytes += plan.matrix_bytes
+            skey = plan.key.structure_key
+            if skey is not None:
+                self._structures[skey] = plan.key
             while len(self._plans) > self.max_entries or (
                 self.max_bytes is not None and self._bytes > self.max_bytes
             ):
                 _, evicted = self._plans.popitem(last=False)
                 self._bytes -= evicted.matrix_bytes
                 self._evictions += 1
+                self._unlink_structure(evicted.key)
             return True
 
     def invalidate(self, key: Fingerprint) -> bool:
@@ -127,6 +167,7 @@ class PlanCache:
             if plan is None:
                 return False
             self._bytes -= plan.matrix_bytes
+            self._unlink_structure(plan.key)
             return True
 
     def clear(self) -> int:
@@ -134,8 +175,17 @@ class PlanCache:
         with self._lock:
             dropped = len(self._plans)
             self._plans.clear()
+            self._structures.clear()
             self._bytes = 0
             return dropped
+
+    def _unlink_structure(self, key: Fingerprint) -> None:
+        """Drop the tier-2 entry iff it still points at ``key``; caller
+        holds the lock.  A later plan with the same structure may have
+        taken over the index slot — that mapping must survive."""
+        skey = key.structure_key
+        if skey is not None and self._structures.get(skey) == key:
+            del self._structures[skey]
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -168,4 +218,6 @@ class PlanCache:
                 "hit_rate": self._hits / total if total else 0.0,
                 "evictions": self._evictions,
                 "rejected": self._rejected,
+                "structure_entries": len(self._structures),
+                "structure_hits": self._structure_hits,
             }

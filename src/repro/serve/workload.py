@@ -57,6 +57,60 @@ def build_matrix_pool(
     return pool
 
 
+def value_churn_pool(
+    pool: Sequence[CSRMatrix], updates: int, seed: int = 2013
+) -> List[CSRMatrix]:
+    """``updates`` value variants of every matrix, structure unchanged.
+
+    Variant 0 is the original matrix; each later variant keeps the
+    ``ptr``/``indices`` arrays and redraws the value array.  Serving the
+    result exercises the engine's tier-2 fast path: every variant after
+    the first misses the value-keyed cache but shares a resident plan's
+    :class:`~repro.serve.fingerprint.StructureKey`, so the plan is
+    value-refreshed instead of rebuilt.  This models the dominant churn
+    in iterative solvers — Jacobians and preconditioners whose sparsity
+    pattern is fixed while the entries change every step.
+    """
+    if updates < 1:
+        raise ValueError(f"updates must be >= 1, got {updates}")
+    rng = np.random.default_rng(seed)
+    out: List[CSRMatrix] = []
+    for matrix in pool:
+        out.append(matrix)
+        for _ in range(updates - 1):
+            data = rng.standard_normal(matrix.nnz).astype(matrix.dtype)
+            out.append(
+                CSRMatrix(matrix.ptr, matrix.indices, data, matrix.shape)
+            )
+    return out
+
+
+def churn_schedule(
+    n_structures: int, updates: int, seed: int = 7
+) -> List[int]:
+    """A request order for a :func:`value_churn_pool`: every variant once.
+
+    The base variant of each structure is scheduled before any of its
+    value updates (so the full plan build is deterministic — the donor
+    exists by the time its refreshes arrive even single-threaded); the
+    updates themselves are shuffled across structures.
+    """
+    if n_structures < 1:
+        raise ValueError(f"n_structures must be >= 1, got {n_structures}")
+    if updates < 1:
+        raise ValueError(f"updates must be >= 1, got {updates}")
+    rng = np.random.default_rng(seed)
+    bases = [i * updates for i in range(n_structures)]
+    rng.shuffle(bases)
+    rest = [
+        i * updates + j
+        for i in range(n_structures)
+        for j in range(1, updates)
+    ]
+    rng.shuffle(rest)
+    return [int(i) for i in bases + rest]
+
+
 def popularity_schedule(
     n_matrices: int, n_requests: int, seed: int = 7, skew: float = 1.1
 ) -> List[int]:

@@ -64,7 +64,14 @@ class OnlineSmat:
         decision = self.smat.decide(matrix)
         if decision.used_fallback and decision.measurements:
             # The fallback measured the candidates: its winner is a label.
-            features = extract_features(matrix)
+            # The decision already snapshotted every feature on the way to
+            # measuring, so extracting again would double the Table-3
+            # extraction cost for nothing.
+            features = (
+                decision.features
+                if decision.features is not None
+                else extract_features(matrix)
+            )
             best = min(
                 decision.measurements,
                 key=lambda fmt: decision.measurements[fmt],

@@ -52,9 +52,18 @@ class Decision:
     extraction_units: float = 0.0
     conversion_units: float = 0.0
     measurement_units: float = 0.0
+    #: True when a model hit predicted a format whose conversion blew the
+    #: zero-fill budget and the decision fell back to running CSR; the
+    #: wasted attempt is charged in ``conversion_units``.
+    degraded_to_csr: bool = False
     #: The matrix already converted to ``format_name`` (fallback path
     #: converts while measuring; the model-hit path converts on demand).
     matrix: Optional[SparseMatrix] = None
+    #: Features extracted while deciding (fallback snapshots everything);
+    #: downstream consumers — the online learner labelling its training
+    #: records — reuse them instead of re-running extraction.  Like
+    #: ``matrix``, this is runtime state and is not serialized.
+    features: Optional[FeatureVector] = None
 
     @property
     def overhead_units(self) -> float:
@@ -93,6 +102,7 @@ class Decision:
             "extraction_units": self.extraction_units,
             "conversion_units": self.conversion_units,
             "measurement_units": self.measurement_units,
+            "degraded_to_csr": self.degraded_to_csr,
         }
 
     @classmethod
@@ -129,6 +139,9 @@ class Decision:
             extraction_units=float(payload["extraction_units"]),  # type: ignore[arg-type]
             conversion_units=float(payload["conversion_units"]),  # type: ignore[arg-type]
             measurement_units=float(payload["measurement_units"]),  # type: ignore[arg-type]
+            # Absent in records written before the degrade path was
+            # surfaced; those decisions never degraded.
+            degraded_to_csr=bool(payload.get("degraded_to_csr", False)),
         )
 
 
@@ -204,10 +217,12 @@ def _decide(
 
     fmt, confidence, rule = prediction
     if confidence > config.confidence_threshold or config.never_measure:
-        converted = _convert_for(matrix, fmt, config)
+        converted, degraded = _convert_for(matrix, fmt, config)
         # A blown zero-fill budget degrades the prediction to CSR: the
         # model was wrong about feasibility, and running CSR beats paying
-        # a pathological conversion.
+        # a pathological conversion.  The abandoned attempt still walked
+        # the matrix to price its fill, so the *predicted* format's
+        # conversion is what Table 3 charges — not the free CSR identity.
         actual = converted.format_name
         return Decision(
             format_name=actual,
@@ -217,7 +232,10 @@ def _decide(
             used_fallback=False,
             predicted_format=fmt,
             extraction_units=lazy.extraction_cost_spmv_units(),
-            conversion_units=conversion_cost(FormatName.CSR, actual, matrix),
+            conversion_units=conversion_cost(
+                FormatName.CSR, fmt if degraded else actual, matrix
+            ),
+            degraded_to_csr=degraded,
             matrix=converted,
         )
 
@@ -245,16 +263,29 @@ def _fallback(
         candidates=",".join(c.value for c in candidates),
     ):
         features = lazy.snapshot()
-        csr_unit_seconds = backend.measure(
-            kernels.kernel_for(FormatName.CSR), matrix, features
-        )
+        with obs.span(
+            "tune.measure", format=FormatName.CSR.value, reference=True
+        ):
+            csr_unit_seconds = backend.measure(
+                kernels.kernel_for(FormatName.CSR), matrix, features
+            )
         if csr_unit_seconds <= 0.0:
             raise TuningError("CSR reference measurement returned zero time")
 
         measurements: Dict[FormatName, float] = {}
         converted: Dict[FormatName, SparseMatrix] = {}
-        measurement_units = 0.0
+        # The CSR reference timing above is real measurement work and
+        # belongs in Table 3's column: fallback_repeats runs at one CSR
+        # unit each.
+        measurement_units = float(config.fallback_repeats)
         for candidate in candidates:
+            if candidate is FormatName.CSR:
+                # The reference measurement *is* the CSR candidate: same
+                # kernel, same matrix (identity conversion).  Reuse it
+                # instead of paying a second timing pass.
+                converted[candidate] = matrix
+                measurements[candidate] = csr_unit_seconds
+                continue
             with obs.span("tune.measure", format=candidate.value):
                 try:
                     cand_matrix, cost = convert(
@@ -289,16 +320,21 @@ def _fallback(
         conversion_units=0.0,  # conversions are inside measurement_units
         measurement_units=measurement_units,
         matrix=converted[best],
+        features=features,
     )
 
 
 def _convert_for(
     matrix: CSRMatrix, fmt: FormatName, config: SmatConfig
-) -> SparseMatrix:
+) -> Tuple[SparseMatrix, bool]:
     """Convert a model-hit prediction, degrading to CSR if the conversion
-    blows the zero-fill budget (the model was wrong about feasibility)."""
+    blows the zero-fill budget (the model was wrong about feasibility).
+
+    Returns ``(converted, degraded)`` so the caller can charge the wasted
+    attempt and surface the degradation on the decision record.
+    """
     try:
         out, _ = convert(matrix, fmt, fill_budget=config.fill_budget)
-        return out
+        return out, False
     except ConversionError:
-        return matrix
+        return matrix, True

@@ -36,6 +36,28 @@ class TestOnlineSmat:
             r.best_format is not None for r in online.new_records
         )
 
+    def test_fallback_label_reuses_decision_snapshot(self, smat) -> None:
+        """ISSUE satellite: the fallback already snapshotted every feature,
+        so labelling its training record must not extract again."""
+        from repro.features.extract import EXTRACTION_EVENTS
+
+        config = SmatConfig(always_measure=True)
+        forced = SMAT(smat.model, smat.kernels, smat.backend, config)
+        online = OnlineSmat(forced, retrain_every=1000)
+        matrix = random_sparse.uniform_random(1500, 1500, 8.0, seed=3)
+        before = EXTRACTION_EVENTS.count
+        decision = online.decide(matrix)
+        assert decision.used_fallback
+        # Exactly one structure pass: the decision's own lazy snapshot.
+        # A redundant labelling extraction would make this 2.
+        assert EXTRACTION_EVENTS.delta_since(before) == 1
+        assert online.observations == 1
+        record = online.new_records[-1]
+        assert record.best_format is not None
+        assert record.as_dict() == pytest.approx(
+            decision.features.with_label(record.best_format).as_dict()
+        )
+
     def test_model_hits_add_nothing(self, smat) -> None:
         online = OnlineSmat(smat, retrain_every=1000)
         from repro.collection import banded

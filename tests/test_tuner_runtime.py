@@ -98,6 +98,127 @@ class TestDecisions:
         assert FormatName.CSR in decision.measurements
 
 
+class _CountingBackend:
+    """Delegating backend that records every ``measure`` call's kernel."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.kernels = []
+
+    def measure(self, kernel, matrix, features):
+        self.kernels.append(kernel)
+        return self.inner.measure(kernel, matrix, features)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestOverheadAccounting:
+    """ISSUE satellites: the fallback's CSR reference is measured once and
+    charged; a blown-budget model hit is charged and flagged."""
+
+    def test_fallback_measures_csr_exactly_once(self, smat) -> None:
+        counting = _CountingBackend(smat.backend)
+        forced = SMAT(
+            smat.model, smat.kernels, counting,
+            SmatConfig(always_measure=True),
+        )
+        matrix = banded.banded_matrix(1000, 5, seed=3)
+        decision = forced.decide(matrix)
+        csr_kernel = smat.kernels.kernel_for(FormatName.CSR)
+        # One CSR timing total: the reference run doubles as the CSR
+        # candidate, so every candidate costs exactly one measurement.
+        assert counting.kernels.count(csr_kernel) == 1
+        assert len(counting.kernels) == len(decision.measurements)
+        assert FormatName.CSR in decision.measurements
+
+    def test_reference_run_charged_in_measurement_units(self, smat) -> None:
+        config = SmatConfig(always_measure=True)
+        forced = SMAT(smat.model, smat.kernels, smat.backend, config)
+        matrix = banded.banded_matrix(1000, 5, seed=3)
+        decision = forced.decide(matrix)
+        # The CSR reference costs fallback_repeats CSR units by
+        # definition (seconds / csr_unit_seconds == 1); every other
+        # candidate adds its conversion plus its own repeats on top.
+        assert decision.measurement_units >= config.fallback_repeats
+        # CSR itself adds nothing beyond the reference: with only the
+        # identity candidate the charge is exactly the reference.
+        assert decision.measurements[FormatName.CSR] > 0.0
+
+    def test_blown_budget_degrades_to_csr_charged_and_flagged(
+        self, smat
+    ) -> None:
+        from repro.formats.convert import conversion_cost, convert
+
+        matrix = banded.banded_matrix(3000, 7, seed=3)
+        assert smat.decide(matrix).format_name is FormatName.DIA
+        dia, _ = convert(matrix, FormatName.DIA, fill_budget=None)
+        fill_ratio = dia.data.size / matrix.nnz
+        config = SmatConfig(
+            never_measure=True, fill_budget=fill_ratio * 0.999
+        )
+        strict = SMAT(smat.model, smat.kernels, smat.backend, config)
+        decision = strict.decide(matrix)
+        assert decision.degraded_to_csr
+        assert decision.format_name is FormatName.CSR
+        assert decision.predicted_format is FormatName.DIA
+        assert decision.matrix is matrix  # served as-is, no conversion
+        # The abandoned DIA attempt is charged, not the free identity.
+        assert decision.conversion_units == pytest.approx(
+            conversion_cost(FormatName.CSR, FormatName.DIA, matrix)
+        )
+        assert decision.conversion_units > 0.0
+
+    def test_degraded_flag_round_trips(self, smat) -> None:
+        from repro.formats.convert import convert
+        from repro.tuner.runtime import Decision
+
+        matrix = banded.banded_matrix(3000, 7, seed=3)
+        dia, _ = convert(matrix, FormatName.DIA, fill_budget=None)
+        config = SmatConfig(
+            never_measure=True,
+            fill_budget=(dia.data.size / matrix.nnz) * 0.999,
+        )
+        strict = SMAT(smat.model, smat.kernels, smat.backend, config)
+        decision = strict.decide(matrix)
+        assert decision.degraded_to_csr
+        restored = Decision.from_dict(decision.to_dict())
+        assert restored.degraded_to_csr
+        assert restored.conversion_units == decision.conversion_units
+
+    def test_degraded_flag_defaults_false_for_old_records(
+        self, smat
+    ) -> None:
+        from repro.tuner.runtime import Decision
+
+        matrix = banded.banded_matrix(3000, 7, seed=3)
+        payload = smat.decide(matrix).to_dict()
+        assert payload["degraded_to_csr"] is False
+        del payload["degraded_to_csr"]  # a record from before the flag
+        assert Decision.from_dict(payload).degraded_to_csr is False
+
+    def test_fallback_decision_carries_feature_snapshot(self, smat) -> None:
+        forced = SMAT(
+            smat.model, smat.kernels, smat.backend,
+            SmatConfig(always_measure=True),
+        )
+        matrix = banded.banded_matrix(1000, 5, seed=3)
+        decision = forced.decide(matrix)
+        assert decision.used_fallback
+        assert decision.features is not None
+        reference = extract_features(matrix)
+        assert decision.features.as_dict() == pytest.approx(
+            reference.as_dict()
+        )
+
+    def test_model_hit_leaves_features_unset(self, smat) -> None:
+        matrix = banded.banded_matrix(3000, 7, seed=3)
+        decision = smat.decide(matrix)
+        assert not decision.used_fallback
+        # A model hit never snapshots (lazy extraction stays lazy).
+        assert decision.features is None
+
+
 class TestDecisionSerialization:
     """ISSUE satellite: decisions are loggable/inspectable records."""
 
