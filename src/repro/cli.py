@@ -14,7 +14,11 @@
 * ``serve-bench``— replay a synthetic concurrent workload through the
   ``repro.serve`` engine and print its scoreboard (``--trace`` captures
   the replay as a Chrome trace; ``--value-churn N`` serves N value
-  updates per matrix to exercise the tier-2 refresh fast path),
+  updates per matrix to exercise the tier-2 refresh fast path;
+  ``--cluster`` replays against ``repro.cluster`` instead — ``--workers
+  N`` then means N shard *processes* behind the shared-memory plan
+  store, and ``--bench-json`` records the run as the ``serve/sharded``
+  section of ``BENCH_perf.json``),
 * ``trace``      — route one matrix through the serving engine with
   tracing on and print the span tree + per-stage overhead report,
 * ``bench-perf`` — time the vectorized cold path (conversions, feature
@@ -101,7 +105,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--clients", type=int, default=4,
                        help="concurrent client threads (default 4)")
     serve.add_argument("--workers", type=int, default=4,
-                       help="engine worker threads (default 4)")
+                       help="engine worker threads, or shard processes "
+                            "under --cluster (default 4)")
+    serve.add_argument("--cluster", action="store_true",
+                       help="replay against the multi-process sharded "
+                            "cluster (repro.cluster): --workers N spawns "
+                            "N shard worker processes behind consistent-"
+                            "hash routing and a shared-memory plan store")
+    serve.add_argument("--crash-after", type=int, default=None,
+                       metavar="N", dest="crash_after",
+                       help="chaos (needs --cluster): every shard worker "
+                            "incarnation hard-crashes (os._exit) after "
+                            "serving N requests, exercising crash "
+                            "detection, respawn, plan re-warm and "
+                            "re-dispatch")
+    serve.add_argument("--bench-json", type=Path, default=None,
+                       metavar="PATH", dest="bench_json",
+                       help="needs --cluster: also replay a --workers 1 "
+                            "baseline and merge a serve/sharded section "
+                            "(throughput vs 1 worker, zero-copy counter, "
+                            "repair stats) into the BENCH_perf.json-style "
+                            "report at PATH")
     serve.add_argument("--cache-entries", type=int, default=64,
                        help="plan-cache entry cap (default 64)")
     serve.add_argument("--cache-bytes", type=int, default=None,
@@ -358,6 +382,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     from repro.tuner import SMAT, OnlineSmat
 
+    for flag, value in (("--crash-after", args.crash_after),
+                        ("--bench-json", args.bench_json)):
+        if value is not None and not args.cluster:
+            print(f"error: {flag} needs --cluster", file=sys.stderr)
+            return 1
+    if args.cluster and args.online:
+        print(
+            "error: --cluster cannot serve through OnlineSmat (each shard "
+            "process would learn independently; online retraining is an "
+            "in-process feature)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.crash_after is not None and args.crash_after < 1:
+        print(
+            f"error: --crash-after ({args.crash_after}) must be >= 1",
+            file=sys.stderr,
+        )
+        return 1
     if args.value_churn is not None and args.value_churn < 2:
         print(
             f"error: --value-churn ({args.value_churn}) must be >= 2 "
@@ -402,6 +445,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         schedule = popularity_schedule(
             args.matrices, args.requests, seed=args.seed
         )
+    if args.cluster:
+        return _serve_bench_cluster(args, tuner, pool, schedule)
     config = ServeConfig(
         workers=args.workers,
         cache_entries=args.cache_entries,
@@ -483,6 +528,204 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         if not faults:
             return 1
     return 0
+
+
+def _serve_bench_cluster(args, tuner, pool, schedule) -> int:
+    """The --cluster arm of serve-bench: replay against repro.cluster."""
+    import os
+
+    from repro.cluster import ClusterConfig, ClusterDispatcher, WorkerSpec
+    from repro.serve import ServeConfig, replay
+
+    spec = WorkerSpec(
+        tuner=tuner,
+        config=ServeConfig(
+            workers=1,
+            cache_entries=args.cache_entries,
+            cache_bytes=args.cache_bytes,
+            max_retries=args.max_retries,
+            breaker_threshold=args.breaker_threshold,
+            structure_cache=not args.no_structure_cache,
+        ),
+        fault_specs=tuple(args.faults or ()),
+        fault_seed=args.fault_seed,
+        crash_after=args.crash_after,
+    )
+
+    def run(workers, tracer=None):
+        cluster = ClusterDispatcher(
+            spec,
+            ClusterConfig(workers=workers, default_deadline=args.deadline),
+        )
+        if tracer is not None:
+            from repro import obs
+
+            tracer.sink = obs.metrics_sink(cluster.metrics)
+        with _maybe_installed(tracer):
+            with cluster:
+                report = replay(
+                    cluster, pool, schedule,
+                    clients=args.clients, seed=args.seed,
+                )
+        # Scoreboard and merged worker metrics are read *after* stop():
+        # the final cumulative snapshots arrive on WorkerExit.
+        return cluster, report
+
+    baseline = None
+    if args.bench_json is not None and args.workers > 1:
+        print(f"replaying {len(schedule)} requests on the 1-shard "
+              f"baseline...")
+        _, baseline = run(1)
+        print(f"baseline   : {baseline.requests} requests in "
+              f"{baseline.wall_seconds:.2f}s "
+              f"({baseline.throughput_rps:.0f} req/s)")
+
+    chaos = []
+    if args.faults:
+        chaos.append(f"{len(args.faults)} fault rules")
+    if args.crash_after is not None:
+        chaos.append(f"crash-after {args.crash_after}")
+    if args.deadline is not None:
+        chaos.append(f"deadline {args.deadline}s")
+    print(
+        f"replaying {len(schedule)} requests over {len(pool)} matrices "
+        f"({args.clients} clients, {args.workers} shard processes"
+        + (", " + ", ".join(chaos) if chaos else "")
+        + ")..."
+    )
+    tracer = None
+    if args.trace is not None:
+        from repro import obs
+
+        tracer = obs.Tracer()
+    cluster, report = run(args.workers, tracer=tracer)
+    if tracer is not None:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.report import overhead_report
+
+        roots = tracer.roots()
+        events = write_chrome_trace(roots, args.trace)
+        print()
+        print(overhead_report(roots).describe())
+        print(f"wrote {events} trace events -> {args.trace}")
+
+    counters = cluster.metrics.snapshot()["counters"]
+    merged = cluster.worker_metrics() or {}
+    worker_counters = merged.get("counters", {})
+    pickled = int(counters["operand_bytes_pickled"])
+    dropped = len(schedule) - report.requests - len(report.errors)
+
+    print()
+    print(cluster.scoreboard())
+    print()
+    print(f"served     : {report.requests} requests "
+          f"in {report.wall_seconds:.2f}s "
+          f"({report.throughput_rps:.0f} req/s)")
+    print(f"cache hits : {report.cache_hit_rate:.1%} of requests")
+    print(f"verified   : {report.requests - report.mismatches}/"
+          f"{report.requests} products match the reference kernel")
+    print(f"zero-copy  : {pickled} operand bytes pickled on the hot path")
+    print(f"repair     : {int(counters['worker_crashes'])} crashes, "
+          f"{int(counters['workers_respawned'])} respawns, "
+          f"{int(counters['redispatches'])} re-dispatches, "
+          f"{int(counters['plans_rewarmed'])} plans re-warmed")
+    print(f"resilience : {int(counters['degraded_local'])} degraded "
+          f"locally, "
+          f"{int(worker_counters.get('degraded_requests', 0))} degraded "
+          f"in shard, "
+          f"{int(worker_counters.get('retries', 0))} retries, "
+          f"{int(worker_counters.get('deadline_exceeded', 0))} "
+          f"deadline-expired")
+    print(f"dropped    : {dropped} requests")
+    if baseline is not None and baseline.throughput_rps > 0:
+        print(f"speedup    : {report.throughput_rps / baseline.throughput_rps:.2f}x "
+              f"throughput vs 1 shard "
+              f"(host has {os.cpu_count() or 1} cpu)")
+
+    if args.bench_json is not None:
+        section = {
+            "workers": args.workers,
+            "clients": args.clients,
+            "requests": len(schedule),
+            "matrices": len(pool),
+            "wall_seconds": report.wall_seconds,
+            "throughput_rps": report.throughput_rps,
+            "cache_hit_rate": report.cache_hit_rate,
+            "mismatches": report.mismatches,
+            "failed_requests": len(report.errors),
+            "dropped_requests": dropped,
+            "operand_bytes_pickled": pickled,
+            "plans_published": int(counters["plans_published"]),
+            "worker_crashes": int(counters["worker_crashes"]),
+            "workers_respawned": int(counters["workers_respawned"]),
+            "redispatches": int(counters["redispatches"]),
+            "plans_rewarmed": int(counters["plans_rewarmed"]),
+            "degraded_local": int(counters["degraded_local"]),
+            "chaos": {
+                "faults": list(args.faults or []),
+                "crash_after": args.crash_after,
+                "deadline": args.deadline,
+            },
+            "host_cpu_count": os.cpu_count() or 1,
+        }
+        if baseline is not None:
+            section["baseline_1_worker"] = {
+                "wall_seconds": baseline.wall_seconds,
+                "throughput_rps": baseline.throughput_rps,
+            }
+            section["speedup_vs_1_worker"] = (
+                report.throughput_rps / baseline.throughput_rps
+                if baseline.throughput_rps > 0
+                else 0.0
+            )
+        elif args.workers == 1:
+            section["speedup_vs_1_worker"] = 1.0
+        _merge_bench_json(args.bench_json, section)
+        print(f"wrote serve/sharded section -> {args.bench_json}")
+
+    if report.mismatches:
+        print(f"error: {report.mismatches} product mismatches",
+              file=sys.stderr)
+        return 1
+    if pickled:
+        print(f"error: zero-copy invariant violated "
+              f"({pickled} operand bytes pickled)", file=sys.stderr)
+        return 1
+    if dropped:
+        print(f"error: {dropped} requests dropped without a reply",
+              file=sys.stderr)
+        return 1
+    if report.errors:
+        # Same contract as the in-process path: under injected chaos
+        # (faults, crashes, deadlines) failed requests are the
+        # experiment; without chaos any failure is a real error.
+        print(f"{'note' if chaos else 'error'}: {len(report.errors)} "
+              f"requests failed ({report.errors[0]!r})",
+              file=sys.stderr)
+        if not chaos:
+            return 1
+    return 0
+
+
+def _merge_bench_json(path: Path, section: dict) -> None:
+    """Set ``serve.sharded`` in the JSON report at ``path``, creating or
+    preserving whatever else (the bench-perf ops) is already there."""
+    import json
+
+    data: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except (ValueError, OSError):
+            loaded = None
+        if isinstance(loaded, dict):
+            data = loaded
+    serve = data.setdefault("serve", {})
+    if not isinstance(serve, dict):
+        serve = data["serve"] = {}
+    serve["sharded"] = section
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def _maybe_installed(tracer):

@@ -1,0 +1,73 @@
+"""Multi-process sharded serving with a shared-memory plan store.
+
+The in-process :class:`~repro.serve.ServingEngine` scales across threads
+but stays behind one GIL.  This package runs N engines in N ``spawn``-ed
+worker processes behind a :class:`ClusterDispatcher`:
+
+* requests route by the matrix's **structure key** over a consistent-hash
+  ring, so each structure's plan is built and cached on exactly one shard
+  (and value churn keeps hitting the shard that can tier-2-refresh it);
+* operand arrays and request/response vectors live in
+  ``multiprocessing.shared_memory`` segments managed by a
+  :class:`SharedArena`; messages carry :class:`SharedArrayRef`
+  descriptors only — **zero operand bytes are pickled on the hot path**,
+  and the ``operand_bytes_pickled`` counter proves it;
+* the dispatcher reuses the serving stack's resilience primitives at the
+  shard boundary — deadlines travel as absolute monotonic expiries,
+  crashed workers are respawned and re-warmed from the structure index,
+  in-flight requests are re-dispatched, and a shard that keeps dying is
+  fenced off behind a circuit breaker with local degraded serving.
+
+>>> from repro.cluster import ClusterDispatcher, ClusterConfig, WorkerSpec
+>>> with ClusterDispatcher(WorkerSpec(tuner=smat),
+...                        ClusterConfig(workers=4)) as cluster:
+...     y = cluster.spmv(matrix, x).y
+"""
+
+from repro.cluster.dispatcher import (
+    ClusterConfig,
+    ClusterDispatcher,
+    ClusterResult,
+)
+from repro.cluster.messages import (
+    Heartbeat,
+    PlanHandle,
+    ShardReply,
+    ShardRequest,
+    WarmRequest,
+    ndarray_payload_bytes,
+)
+from repro.cluster.ring import HashRing
+from repro.cluster.sharedmem import (
+    SegmentCache,
+    SharedArena,
+    SharedArrayRef,
+    SharedMemoryError,
+)
+from repro.cluster.worker import (
+    WorkerRuntime,
+    WorkerSpec,
+    train_default_tuner,
+    worker_main,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterDispatcher",
+    "ClusterResult",
+    "HashRing",
+    "Heartbeat",
+    "PlanHandle",
+    "SegmentCache",
+    "SharedArena",
+    "SharedArrayRef",
+    "SharedMemoryError",
+    "ShardReply",
+    "ShardRequest",
+    "WarmRequest",
+    "WorkerRuntime",
+    "WorkerSpec",
+    "ndarray_payload_bytes",
+    "train_default_tuner",
+    "worker_main",
+]

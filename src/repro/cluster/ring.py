@@ -1,0 +1,93 @@
+"""Consistent-hash request routing: one structure, one shard.
+
+Plans are the expensive artifact, so the cluster routes every request
+for a given sparsity *structure* to the same shard — that shard's plan
+cache (and its tier-2 structure index) stays hot, and a structure's
+converted operand exists exactly once across the fleet.
+
+A classic consistent-hash ring does the mapping: each shard contributes
+``replicas`` points (BLAKE2b of ``"shard:replica"``) on a 64-bit circle;
+a key routes to the first point clockwise of its own hash.  Properties
+the cluster relies on:
+
+* **determinism** — routing is a pure function of (key, shard set), so
+  dispatcher restarts and tests agree on placement;
+* **stability** — removing one shard remaps only the keys that lived on
+  it (~1/N of traffic); every other structure keeps its warm shard.
+  (The dispatcher respawns crashed shards in place, so this matters for
+  *resizes*, not crashes — a respawned shard keeps its ring position and
+  is re-warmed from the dispatcher's structure index.)
+
+Keys are strings; the dispatcher uses the request's
+:class:`~repro.serve.fingerprint.StructureKey` rendering when available
+(so value churn stays on the structure's shard) and the value-inclusive
+digest otherwise.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring coordinate for ``label``."""
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over integer shard ids."""
+
+    def __init__(self, shards: Sequence[int], replicas: int = 64) -> None:
+        if not shards:
+            raise ValueError("ring needs at least one shard")
+        if len(set(shards)) != len(shards):
+            raise ValueError(f"duplicate shard ids in {list(shards)}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[Tuple[int, int]] = []  # (coordinate, shard)
+        self._shards: List[int] = []
+        for shard in shards:
+            self.add_shard(int(shard))
+
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> List[int]:
+        return sorted(self._shards)
+
+    def add_shard(self, shard: int) -> None:
+        if shard in self._shards:
+            raise ValueError(f"shard {shard} is already on the ring")
+        self._shards.append(shard)
+        for replica in range(self.replicas):
+            self._points.append((_point(f"{shard}:{replica}"), shard))
+        self._points.sort()
+
+    def remove_shard(self, shard: int) -> None:
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard} is not on the ring")
+        self._shards.remove(shard)
+        self._points = [p for p in self._points if p[1] != shard]
+
+    # ------------------------------------------------------------------
+    def route(self, key: str) -> int:
+        """The shard owning ``key``: first ring point clockwise of it."""
+        if not self._points:
+            raise ValueError("cannot route on an empty ring")
+        coordinate = _point(key)
+        index = bisect.bisect_right(
+            self._points, (coordinate, float("inf"))
+        )
+        if index == len(self._points):
+            index = 0  # wrap around the circle
+        return self._points[index][1]
+
+    def spread(self, keys: Sequence[str]) -> Dict[int, int]:
+        """Keys per shard (diagnostics: how balanced is this workload?)."""
+        counts: Dict[int, int] = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

@@ -1,0 +1,280 @@
+"""Shared-memory primitives for the sharded serving cluster.
+
+The whole point of :mod:`repro.cluster` is that operand arrays cross the
+process boundary **by reference, never by value**: a request message
+carries a few dozen bytes of metadata (segment name, offset, shape,
+dtype) while the array bytes live in a :class:`multiprocessing.shared_memory`
+segment both sides map.  Three pieces make that workable:
+
+* :class:`SharedArrayRef` — a picklable *descriptor* of one NumPy array
+  inside a segment.  It contains no array payload by construction; the
+  zero-copy guard test pickles request messages and asserts exactly that.
+* :class:`SharedArena` — a bump-and-free-list allocator over one shared
+  segment.  Allocation and free happen **only in the owning process**
+  (the dispatcher), so the allocator needs no cross-process locking;
+  workers are pure readers/writers of slots handed to them.
+* :class:`SegmentCache` — the attach side.  Workers resolve a ref's
+  segment name to a mapped :class:`~multiprocessing.shared_memory.SharedMemory`
+  once and reuse the mapping for every later ref into the same segment.
+
+Ownership is single-sided: the dispatcher creates, allocates and unlinks;
+workers only attach (see :func:`attach_segment` for why the attach must
+leave the shared resource tracker's registration alone).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServeError
+
+#: Allocation granularity.  64 bytes keeps every array cache-line aligned
+#: and SIMD-load friendly regardless of what was freed before it.
+ALIGNMENT = 64
+
+
+class SharedMemoryError(ServeError):
+    """An arena allocation or attach failed."""
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """A picklable pointer to one NumPy array inside a shared segment.
+
+    This is what request messages carry instead of the array itself.
+    ``nbytes`` is the array payload; the descriptor itself pickles to a
+    few dozen bytes no matter how large the array is.
+    """
+
+    segment: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+def _align(nbytes: int) -> int:
+    return -(-max(nbytes, 1) // ALIGNMENT) * ALIGNMENT
+
+
+class SharedArena:
+    """A single-owner allocator over one shared-memory segment.
+
+    The *owner* (the process that created the arena) allocates and frees;
+    attached processes only map slots.  Free blocks are kept as a sorted,
+    coalesced ``(offset, size)`` list — first-fit is plenty for the plan
+    store's population (tens to hundreds of arrays).
+
+    All owner-side operations are thread-safe: the dispatcher allocates
+    from client threads and frees from its collector thread.
+    """
+
+    def __init__(self, capacity: int, name: Optional[str] = None) -> None:
+        if capacity < ALIGNMENT:
+            raise ValueError(
+                f"capacity must be >= {ALIGNMENT} bytes, got {capacity}"
+            )
+        self.capacity = _align(capacity)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self.capacity, name=name
+        )
+        self._lock = threading.Lock()
+        self._free: List[Tuple[int, int]] = [(0, self.capacity)]
+        self._allocated: Dict[int, int] = {}  # offset -> size
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def bytes_allocated(self) -> int:
+        with self._lock:
+            return sum(self._allocated.values())
+
+    @property
+    def bytes_free(self) -> int:
+        with self._lock:
+            return sum(size for _, size in self._free)
+
+    # ------------------------------------------------------------------
+    def alloc(self, shape: Tuple[int, ...], dtype) -> SharedArrayRef:
+        """Reserve an aligned slot for an array; raises when full."""
+        dtype = np.dtype(dtype)
+        count = 1
+        for dim in shape:
+            count *= int(dim)
+        size = _align(count * dtype.itemsize)
+        with self._lock:
+            if self._closed:
+                raise SharedMemoryError("arena is closed")
+            for i, (offset, free_size) in enumerate(self._free):
+                if free_size >= size:
+                    if free_size == size:
+                        del self._free[i]
+                    else:
+                        self._free[i] = (offset + size, free_size - size)
+                    self._allocated[offset] = size
+                    return SharedArrayRef(
+                        segment=self.name,
+                        offset=offset,
+                        shape=tuple(int(d) for d in shape),
+                        dtype=dtype.str,
+                    )
+        raise SharedMemoryError(
+            f"arena {self.name} cannot fit {size} bytes "
+            f"({self.bytes_free} free of {self.capacity})"
+        )
+
+    def free(self, ref: SharedArrayRef) -> None:
+        """Return a slot to the free list, coalescing neighbours."""
+        if ref.segment != self.name:
+            raise SharedMemoryError(
+                f"ref belongs to segment {ref.segment}, not {self.name}"
+            )
+        with self._lock:
+            size = self._allocated.pop(ref.offset, None)
+            if size is None:
+                raise SharedMemoryError(
+                    f"double free at offset {ref.offset} in {self.name}"
+                )
+            self._free.append((ref.offset, size))
+            self._free.sort()
+            merged: List[Tuple[int, int]] = []
+            for offset, block in self._free:
+                if merged and merged[-1][0] + merged[-1][1] == offset:
+                    merged[-1] = (merged[-1][0], merged[-1][1] + block)
+                else:
+                    merged.append((offset, block))
+            self._free = merged
+
+    def place(self, array: np.ndarray) -> SharedArrayRef:
+        """Allocate a slot and copy ``array`` into it (the one cold copy)."""
+        array = np.ascontiguousarray(array)
+        ref = self.alloc(array.shape, array.dtype)
+        self.view(ref)[...] = array
+        return ref
+
+    def view(self, ref: SharedArrayRef) -> np.ndarray:
+        """Owner-side zero-copy view of a slot."""
+        return np.ndarray(
+            ref.shape,
+            dtype=np.dtype(ref.dtype),
+            buffer=self._shm.buf,
+            offset=ref.offset,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self, unlink: bool = True) -> None:
+        """Unmap (and, as owner, destroy) the segment.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._shm.close()
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without adopting ownership of it.
+
+    Python 3.13 grew ``track=False`` for exactly this; earlier versions
+    register every attach with the ``resource_tracker``.  That is benign
+    here — cluster workers are ``multiprocessing``-spawned, so they
+    *share* the dispatcher's tracker process (the fd rides in the spawn
+    preparation data) and the attach-side register is a set no-op on a
+    name the owner already registered.  Crucially we must NOT "helpfully"
+    unregister after attaching: with a shared tracker that would delete
+    the owner's sole registration, so the owner's later ``unlink`` fails
+    to unregister (noisy tracker KeyError) and a dispatcher crash would
+    leak the segment instead of having the tracker reap it.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        return shared_memory.SharedMemory(name=name)
+
+
+class SegmentCache:
+    """The attach side: resolves refs to views, one mapping per segment.
+
+    Workers hold one of these for the life of the process; every
+    :meth:`view` after the first for a given segment is a pure pointer
+    computation, no syscalls.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._lock = threading.Lock()
+
+    def view(self, ref: SharedArrayRef) -> np.ndarray:
+        with self._lock:
+            shm = self._segments.get(ref.segment)
+            if shm is None:
+                try:
+                    shm = attach_segment(ref.segment)
+                except FileNotFoundError:
+                    raise SharedMemoryError(
+                        f"shared segment {ref.segment} does not exist "
+                        f"(was the arena closed?)"
+                    ) from None
+                self._segments[ref.segment] = shm
+        return np.ndarray(
+            ref.shape,
+            dtype=np.dtype(ref.dtype),
+            buffer=shm.buf,
+            offset=ref.offset,
+        )
+
+    def detach(self, segment: str) -> bool:
+        """Drop one segment mapping (after the owner invalidated it)."""
+        with self._lock:
+            shm = self._segments.pop(segment, None)
+        if shm is None:
+            return False
+        _close_quietly(shm)
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+        for shm in segments:
+            _close_quietly(shm)
+
+
+def _close_quietly(shm: shared_memory.SharedMemory) -> None:
+    """Unmap a segment, tolerating still-exported array views.
+
+    A NumPy view created over ``shm.buf`` exports the buffer; releasing
+    the mapping under it raises :class:`BufferError`.  That can happen
+    transiently when a plan that references the segment has not been
+    garbage-collected yet — the mapping is then simply left to die with
+    the process instead of crashing the worker loop.
+    """
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - GC-timing dependent
+        pass

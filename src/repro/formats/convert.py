@@ -347,34 +347,59 @@ def csr_to_sky(
 def sky_to_csr(matrix: SKYMatrix) -> Tuple[CSRMatrix, ConversionCost]:
     """Drop in-profile zeros and merge the upper remainder back in.
 
-    Loop-free: every profile slot's (row, column) is reconstructed with
-    rank-within-row index arithmetic over the skyline pointer, then one
-    boolean mask drops the in-profile zeros.
+    Loop-free *and* sort-free: both sources arrive row-major with sorted
+    columns — profile slots are stored left-to-right per row, and the
+    strict-upper remainder is CSR — and every lower column is ≤ the
+    diagonal while every upper column is > it.  Per-row concatenation of
+    (kept lower, upper) is therefore already canonical CSR order, so the
+    kernel is a counting pass (per-row degrees → pointer) plus two index
+    scatters, with no ``lexsort`` over the merged triplets.
     """
+    n = matrix.n_rows
     first = matrix.first_columns()
     widths = np.diff(matrix.pointers)
-    row_of = np.repeat(np.arange(matrix.n_rows, dtype=INDEX_DTYPE), widths)
+    row_of = np.repeat(np.arange(n, dtype=INDEX_DTYPE), widths)
     # Rank of each profile slot within its row: slot index minus row start.
     rank = np.arange(matrix.profile_size, dtype=INDEX_DTYPE) - np.repeat(
         matrix.pointers[:-1], widths
     )
     col_of = np.repeat(first, widths) + rank
     keep = matrix.profile != 0
-    rows_list = [row_of[keep]]
-    cols_list = [col_of[keep]]
-    vals_list = [matrix.profile[keep]]
+    lower_rows = row_of[keep]
+    lower_deg = np.bincount(lower_rows, minlength=n).astype(INDEX_DTYPE)
     if matrix.upper is not None:
-        upper_rows = np.repeat(
-            np.arange(matrix.n_rows, dtype=INDEX_DTYPE),
-            matrix.upper.row_degrees(),
+        upper_deg = matrix.upper.row_degrees().astype(INDEX_DTYPE)
+        upper_ptr = matrix.upper.ptr
+    else:
+        upper_deg = np.zeros(n, dtype=INDEX_DTYPE)
+        upper_ptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+    ptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+    np.cumsum(lower_deg + upper_deg, out=ptr[1:])
+    nnz = int(ptr[-1])
+    indices = np.empty(nnz, dtype=INDEX_DTYPE)
+    data = np.empty(nnz, dtype=matrix.dtype)
+    # Destination of each kept lower slot: its row's segment start plus
+    # its rank among the row's kept slots.
+    lower_starts = np.zeros(n, dtype=INDEX_DTYPE)
+    np.cumsum(lower_deg[:-1], out=lower_starts[1:])
+    lower_dest = (
+        np.repeat(ptr[:-1], lower_deg)
+        + np.arange(lower_rows.shape[0], dtype=INDEX_DTYPE)
+        - np.repeat(lower_starts, lower_deg)
+    )
+    indices[lower_dest] = col_of[keep]
+    data[lower_dest] = matrix.profile[keep]
+    if matrix.upper is not None:
+        # Upper entries land after their row's lower block, keeping the
+        # remainder's own within-row order.
+        upper_dest = (
+            np.repeat(ptr[:-1] + lower_deg, upper_deg)
+            + np.arange(matrix.upper.nnz, dtype=INDEX_DTYPE)
+            - np.repeat(upper_ptr[:-1], upper_deg)
         )
-        rows_list.append(upper_rows)
-        cols_list.append(matrix.upper.indices)
-        vals_list.append(matrix.upper.data)
-    rows = np.concatenate(rows_list)
-    cols = np.concatenate(cols_list)
-    vals = np.concatenate(vals_list)
-    csr = CSRMatrix.from_triplets(rows, cols, vals, matrix.shape)
+        indices[upper_dest] = matrix.upper.indices
+        data[upper_dest] = matrix.upper.data
+    csr = CSRMatrix._from_validated(ptr, indices, data, matrix.shape)
     cost = ConversionCost(
         FormatName.SKY, FormatName.CSR, csr.nnz,
         touched_slots=matrix.profile_size + 3 * csr.nnz,

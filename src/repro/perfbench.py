@@ -66,12 +66,14 @@ SUITE_SIZES = {
 
 #: The ops the acceptance gate checks: the two conversions whose loop
 #: references blow up (PAPER §7.3's worst offenders — ELL/DIA are the
-#: padded formats), plus the serving layer's value-refresh fast path,
-#: which must stay well ahead of a full retune for the tier-2 plan cache
-#: to pay for itself.
+#: padded formats), the skyline merge-back (sort-free since the per-row
+#: two-stream merge replaced the triplet lexsort), plus the serving
+#: layer's value-refresh fast path, which must stay well ahead of a full
+#: retune for the tier-2 plan cache to pay for itself.
 GATED_OPS = (
     "convert/csr_to_ell",
     "convert/csr_to_dia",
+    "convert/sky_to_csr",
     "plan/value_refresh",
 )
 
@@ -319,6 +321,19 @@ def format_report(report: Dict[str, object]) -> str:
 
 
 def write_report(report: Dict[str, object], out: Path) -> None:
+    """Write the report, keeping any ``serve`` section already at ``out``.
+
+    ``serve-bench --cluster --bench-json`` merges its serving numbers
+    into the same file; a bench-perf rerun must not drop them.
+    """
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text())
+        except (ValueError, OSError):
+            existing = None
+        if isinstance(existing, dict) and "serve" in existing:
+            report = dict(report)
+            report.setdefault("serve", existing["serve"])
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 

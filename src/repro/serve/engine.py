@@ -71,7 +71,8 @@ from repro.errors import (
 from repro.formats.convert import convert
 from repro.formats.csr import CSRMatrix
 from repro.serve.faults import FaultPlan
-from repro.serve.fingerprint import Fingerprint, fingerprint
+from repro.serve.fingerprint import Fingerprint
+from repro.serve.fingerprint import fingerprint as _fingerprint
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.plancache import CachedPlan, PlanCache
 from repro.serve.resilience import (
@@ -538,6 +539,7 @@ class ServingEngine:
         x: np.ndarray,
         timeout: Optional[float] = None,
         deadline: Optional[float] = None,
+        fingerprint: Optional[Fingerprint] = None,
     ) -> "Future[ServeResult]":
         """Enqueue one SpMV; returns a future resolving to a ServeResult.
 
@@ -547,7 +549,10 @@ class ServingEngine:
         config's ``default_deadline``) bounds the request end to end —
         queue wait, plan resolution and execution; an expired request
         fails with :class:`DeadlineExceededError` without burning worker
-        time on plan work.
+        time on plan work.  ``fingerprint`` lets a caller that already
+        hashed the matrix (the cluster dispatcher computes it once at
+        publish time) skip re-hashing; it must be the digest of exactly
+        this matrix — a wrong value silently serves the wrong plan.
         """
         if not self.running:
             raise ServeError("engine is not running (call start())")
@@ -564,7 +569,7 @@ class ServingEngine:
         effective_deadline = (
             deadline if deadline is not None else self.config.default_deadline
         )
-        key = fingerprint(matrix)
+        key = fingerprint if fingerprint is not None else _fingerprint(matrix)
         future: "Future[ServeResult]" = Future()
         request = _Request(
             key,
@@ -608,10 +613,12 @@ class ServingEngine:
         x: np.ndarray,
         timeout: Optional[float] = None,
         deadline: Optional[float] = None,
+        fingerprint: Optional[Fingerprint] = None,
     ) -> ServeResult:
         """Synchronous convenience wrapper over :meth:`submit`."""
         return self.submit(
-            matrix, x, timeout=timeout, deadline=deadline
+            matrix, x, timeout=timeout, deadline=deadline,
+            fingerprint=fingerprint,
         ).result()
 
     def spmv_many(
@@ -648,7 +655,7 @@ class ServingEngine:
 
     def invalidate(self, matrix: CSRMatrix) -> bool:
         """Drop the cached plan for ``matrix`` (call after mutating it)."""
-        invalidated = self.cache.invalidate(fingerprint(matrix))
+        invalidated = self.cache.invalidate(_fingerprint(matrix))
         if invalidated:
             self.metrics.counter("plans_invalidated").inc()
             self._update_gauges()

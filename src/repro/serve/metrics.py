@@ -8,13 +8,32 @@ depth, per-stage latency.  The registry is deliberately dependency-free —
 repo's other ``describe()`` methods.
 
 All instruments are thread-safe; workers update them concurrently.
+
+Fork-safety and multi-process aggregation
+-----------------------------------------
+A registry is **process-local**: its locks and values live in one
+interpreter, and nothing here shares state across processes.  Two rules
+keep multi-process serving (``repro.cluster``) honest:
+
+* Worker processes must be started with the ``spawn`` start method, never
+  ``fork``.  A forked child inherits a bit-for-bit copy of the parent's
+  registry — counts that the parent already reported — so the child's
+  later snapshots would double-count the pre-fork history (and a lock
+  held mid-``inc`` at fork time deadlocks the child).  ``spawn`` gives
+  every worker a registry that provably starts at zero.
+* Workers ship *cumulative* snapshots (never deltas); the aggregator
+  keeps the **latest** snapshot per worker incarnation and merges those
+  with :func:`merge_snapshots`.  Last-write-wins over cumulative values
+  is idempotent — a repeated or replayed heartbeat cannot double-count,
+  and a crashed worker's final snapshot keeps contributing after its
+  replacement starts from zero under a new incarnation key.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 #: Default histogram bucket upper bounds, in seconds.  Log-spaced from 10µs
 #: to 10s — wide enough for both the simulated backend (sub-ms) and real
@@ -133,9 +152,10 @@ class Histogram:
                 lower = upper
             return self._max
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, object]:
         with self._lock:
             count, total, top = self._count, self._sum, self._max
+            counts = list(self._counts)
         return {
             "count": count,
             "sum": total,
@@ -143,6 +163,12 @@ class Histogram:
             "max": top,
             "p50": self.quantile(0.5),
             "p99": self.quantile(0.99),
+            # Raw bucket state so snapshots from different processes can
+            # be merged (and quantiles re-estimated) without sharing the
+            # live instrument: bounds plus per-bucket counts, the last
+            # entry being the +inf overflow bucket.
+            "bounds": list(self.buckets),
+            "counts": counts,
         }
 
 
@@ -213,40 +239,128 @@ class MetricsRegistry:
 
     def report(self) -> str:
         """Fixed-width text scoreboard of every instrument."""
-        snap = self.snapshot()
-        lines: List[str] = []
-        if snap["counters"]:
-            lines.append("counters:")
-            for name, value in snap["counters"].items():
-                lines.append(f"  {name:28s} {value:>12d}")
-        if snap["gauges"]:
-            lines.append("gauges:")
-            for name, value in snap["gauges"].items():
-                lines.append(f"  {name:28s} {value:>12g}")
-        latency = {
-            n: h
-            for n, h in snap["histograms"].items()
-            if n.endswith("_seconds")
-        }
-        plain = {
-            n: h for n, h in snap["histograms"].items() if n not in latency
-        }
-        if latency:
-            lines.append("latency (seconds):")
-            for name, h in latency.items():
-                lines.append(
-                    f"  {name:28s} n={h['count']:<8d} "
-                    f"mean={_fmt(h['mean'])} p50={_fmt(h['p50'])} "
-                    f"p99={_fmt(h['p99'])} max={_fmt(h['max'])}"
-                )
-        if plain:
-            lines.append("distributions:")
-            for name, h in plain.items():
-                lines.append(
-                    f"  {name:28s} n={h['count']:<8d} "
-                    f"mean={h['mean']:.2f} max={h['max']:g}"
-                )
-        return "\n".join(lines) if lines else "no metrics recorded"
+        return format_snapshot(self.snapshot())
+
+
+def format_snapshot(snap: Dict[str, Dict]) -> str:
+    """Render one (possibly merged) snapshot as the text scoreboard."""
+    lines: List[str] = []
+    if snap.get("counters"):
+        lines.append("counters:")
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:28s} {int(value):>12d}")
+    if snap.get("gauges"):
+        lines.append("gauges:")
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:28s} {value:>12g}")
+    histograms = snap.get("histograms", {})
+    latency = {n: h for n, h in histograms.items() if n.endswith("_seconds")}
+    plain = {n: h for n, h in histograms.items() if n not in latency}
+    if latency:
+        lines.append("latency (seconds):")
+        for name, h in latency.items():
+            lines.append(
+                f"  {name:28s} n={h['count']:<8d} "
+                f"mean={_fmt(h['mean'])} p50={_fmt(h['p50'])} "
+                f"p99={_fmt(h['p99'])} max={_fmt(h['max'])}"
+            )
+    if plain:
+        lines.append("distributions:")
+        for name, h in plain.items():
+            lines.append(
+                f"  {name:28s} n={h['count']:<8d} "
+                f"mean={h['mean']:.2f} max={h['max']:g}"
+            )
+    return "\n".join(lines) if lines else "no metrics recorded"
+
+
+def _merged_quantile(
+    bounds: List[float], counts: List[int], top: float, q: float
+) -> float:
+    """Re-estimate a quantile from merged bucket counts (same
+    interpolation as :meth:`Histogram.quantile`)."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    seen = 0
+    lower = 0.0
+    for i, bucket_count in enumerate(counts):
+        upper = bounds[i] if i < len(bounds) else top
+        if seen + bucket_count >= target and bucket_count > 0:
+            fraction = (target - seen) / bucket_count
+            return lower + fraction * (upper - lower)
+        seen += bucket_count
+        lower = upper
+    return top
+
+
+def _merge_histograms(per_name: List[Dict]) -> Dict[str, object]:
+    """Merge same-name histogram snapshots; bucket-exact when bounds agree."""
+    count = sum(int(h["count"]) for h in per_name)
+    total = sum(float(h["sum"]) for h in per_name)
+    top = max(float(h["max"]) for h in per_name)
+    merged: Dict[str, object] = {
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else 0.0,
+        "max": top,
+    }
+    bounds_seen = [h.get("bounds") for h in per_name]
+    if all(b is not None for b in bounds_seen) and len(
+        {tuple(b) for b in bounds_seen}
+    ) == 1:
+        bounds = list(bounds_seen[0])
+        counts = [0] * (len(bounds) + 1)
+        for h in per_name:
+            for i, c in enumerate(h["counts"]):
+                counts[i] += int(c)
+        merged["bounds"] = bounds
+        merged["counts"] = counts
+        merged["p50"] = _merged_quantile(bounds, counts, top, 0.5)
+        merged["p99"] = _merged_quantile(bounds, counts, top, 0.99)
+    else:
+        # Pre-bucket snapshots (or mismatched bucketing): quantiles can't
+        # be reconstructed exactly, so report the worst contributor —
+        # pessimistic but never misleadingly optimistic.
+        merged["p50"] = max(float(h.get("p50", 0.0)) for h in per_name)
+        merged["p99"] = max(float(h.get("p99", 0.0)) for h in per_name)
+    return merged
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Dict]]) -> Dict[str, Dict]:
+    """Combine per-process registry snapshots into one aggregate.
+
+    Counters and gauges sum (the gauges the engine exports — queue depth,
+    cache entries, cache bytes — are all fleet-additive); histograms merge
+    bucket-by-bucket when their bounds agree, so merged quantiles use the
+    same interpolation a single registry would.
+
+    The caller is responsible for the *one snapshot per source* contract:
+    feed the latest cumulative snapshot from each worker incarnation,
+    never two snapshots of the same incarnation (see the module docstring
+    on fork-safety — this is why workers ship cumulative values).
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histogram_parts: Dict[str, List[Dict]] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + float(value)
+        for name, h in snap.get("histograms", {}).items():
+            histogram_parts.setdefault(name, []).append(h)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            name: _merge_histograms(parts)
+            for name, parts in sorted(histogram_parts.items())
+        },
+    }
 
 
 def _fmt(seconds: float) -> str:

@@ -1,0 +1,357 @@
+"""Cluster dispatcher + worker tests.
+
+Two layers: ``WorkerRuntime`` is exercised in-process on ``queue.Queue``
+(the loop is process-agnostic by design, and in-process runs report
+coverage); ``ClusterDispatcher`` end-to-end tests run one real 2-shard
+spawn fleet, shared module-wide to pay the interpreter start-up once.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterDispatcher,
+    Heartbeat,
+    PlanHandle,
+    ShardReply,
+    ShardRequest,
+    SharedArena,
+    WarmRequest,
+    WorkerRuntime,
+    WorkerSpec,
+    worker_main,
+)
+from repro.cluster.dispatcher import _revive_error
+from repro.cluster.messages import (
+    CrashRequest,
+    InvalidateReply,
+    InvalidateRequest,
+    ShutdownRequest,
+    WarmReply,
+    WorkerExit,
+)
+from repro.collection import generate_collection
+from repro.errors import (
+    BackpressureError,
+    DeadlineExceededError,
+    ServeError,
+    TransientError,
+)
+from repro.formats.csr import CSRMatrix
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.serve import build_matrix_pool, fingerprint
+from repro.tuner import SMAT
+from repro.types import Precision
+
+
+@pytest.fixture(scope="module")
+def smat() -> SMAT:
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+    return SMAT.train(
+        generate_collection(scale=0.02, size_scale=0.4, seed=77),
+        backend=backend,
+    )
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return build_matrix_pool(6, seed=11, size_scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def operands(pool):
+    rng = np.random.default_rng(42)
+    return [rng.standard_normal(m.n_cols) for m in pool]
+
+
+def publish(arena: SharedArena, matrix: CSRMatrix) -> PlanHandle:
+    """Dispatcher-side publish, inlined for worker-level tests."""
+    return PlanHandle(
+        fingerprint=fingerprint(matrix),
+        ptr=arena.place(matrix.ptr),
+        indices=arena.place(matrix.indices),
+        data=arena.place(matrix.data),
+        shape=(int(matrix.n_rows), int(matrix.n_cols)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# WorkerRuntime, in-process
+# ---------------------------------------------------------------------------
+class TestWorkerRuntime:
+    def run_worker(self, smat, messages, crash_after=None, drain=True):
+        """Feed ``messages`` + shutdown through a runtime on plain queues."""
+        exits = []
+        requests, replies = queue.Queue(), queue.Queue()
+        for message in messages:
+            requests.put(message)
+        requests.put(ShutdownRequest(drain=drain))
+        runtime = WorkerRuntime(
+            shard_id=0,
+            generation=1,
+            spec=WorkerSpec(tuner=smat, crash_after=crash_after),
+            request_queue=requests,
+            reply_queue=replies,
+            exit_fn=exits.append,
+        )
+        runtime.run()
+        if exits:  # a "crashed" runtime never stopped its engine
+            runtime.engine.stop(drain=False)
+        out = []
+        while not replies.empty():
+            out.append(replies.get_nowait())
+        return runtime, out, exits
+
+    def test_serves_request_into_shared_slot(self, smat, pool, operands):
+        matrix, x = pool[0], operands[0]
+        with SharedArena(4 * 1024 * 1024) as arena:
+            handle = publish(arena, matrix)
+            x_ref, y_ref = arena.place(x), arena.alloc(
+                (matrix.n_rows,), matrix.dtype
+            )
+            request = ShardRequest(msg_id=7, plan=handle, x=x_ref, y=y_ref)
+            _, replies, exits = self.run_worker(smat, [request])
+            shard_replies = [r for r in replies if isinstance(r, ShardReply)]
+            assert len(shard_replies) == 1 and not exits
+            reply = shard_replies[0]
+            assert reply.ok and reply.msg_id == 7 and reply.generation == 1
+            assert reply.meta["kernel"]
+            assert np.allclose(arena.view(y_ref), matrix.spmv(x), atol=1e-9)
+
+    def test_ready_heartbeat_and_exit_snapshot(self, smat):
+        _, replies, _ = self.run_worker(smat, [])
+        assert isinstance(replies[0], Heartbeat)  # the ready signal
+        assert replies[0].generation == 1
+        exit_msg = replies[-1]
+        assert isinstance(exit_msg, WorkerExit)
+        assert exit_msg.metrics is not None and exit_msg.cache_stats is not None
+
+    def test_expired_deadline_is_a_failed_reply(self, smat, pool, operands):
+        matrix, x = pool[1], operands[1]
+        with SharedArena(4 * 1024 * 1024) as arena:
+            request = ShardRequest(
+                msg_id=1,
+                plan=publish(arena, matrix),
+                x=arena.place(x),
+                y=arena.alloc((matrix.n_rows,), matrix.dtype),
+                expires_at=time.monotonic() - 1.0,
+            )
+            _, replies, _ = self.run_worker(smat, [request])
+            reply = next(r for r in replies if isinstance(r, ShardReply))
+            assert not reply.ok
+            assert reply.error[0] == "DeadlineExceededError"
+
+    def test_warm_builds_plans(self, smat, pool):
+        with SharedArena(8 * 1024 * 1024) as arena:
+            handles = tuple(publish(arena, m) for m in pool[:3])
+            runtime, replies, _ = self.run_worker(
+                smat, [WarmRequest(handles=handles)]
+            )
+            warm = next(r for r in replies if isinstance(r, WarmReply))
+            assert warm.warmed == 3 and warm.failed == 0
+            assert runtime.engine.cache.stats()["entries"] >= 3
+
+    def test_invalidate_drops_plan_and_acks(self, smat, pool, operands):
+        matrix, x = pool[2], operands[2]
+        with SharedArena(4 * 1024 * 1024) as arena:
+            handle = publish(arena, matrix)
+            request = ShardRequest(
+                msg_id=1,
+                plan=handle,
+                x=arena.place(x),
+                y=arena.alloc((matrix.n_rows,), matrix.dtype),
+            )
+            invalidate = InvalidateRequest(fingerprint=handle.fingerprint)
+            runtime, replies, _ = self.run_worker(smat, [request, invalidate])
+            ack = next(r for r in replies if isinstance(r, InvalidateReply))
+            assert ack.fingerprint == handle.fingerprint
+            assert runtime.engine.cache.stats()["entries"] == 0
+
+    def test_unknown_message_is_an_error_reply(self, smat):
+        _, replies, _ = self.run_worker(smat, ["not a message"])
+        reply = next(r for r in replies if isinstance(r, ShardReply))
+        assert not reply.ok and "unknown message" in reply.error[1]
+
+    def test_crash_after_invokes_exit(self, smat, pool, operands):
+        matrix, x = pool[0], operands[0]
+        with SharedArena(4 * 1024 * 1024) as arena:
+            requests = [
+                ShardRequest(
+                    msg_id=i,
+                    plan=publish(arena, matrix),
+                    x=arena.place(x),
+                    y=arena.alloc((matrix.n_rows,), matrix.dtype),
+                )
+                for i in range(3)
+            ]
+            _, replies, exits = self.run_worker(
+                smat, requests, crash_after=2
+            )
+            assert exits == [13]
+            # Died after the second request: the third never got a reply.
+            assert len([r for r in replies if isinstance(r, ShardReply)]) == 2
+
+    def test_crash_request_invokes_exit(self, smat):
+        _, _, exits = self.run_worker(smat, [CrashRequest()], drain=True)
+        assert exits == [13]
+
+    def test_worker_main_refuses_fork(self, smat, monkeypatch):
+        monkeypatch.setattr(
+            "repro.cluster.worker.multiprocessing.get_start_method",
+            lambda allow_none=True: "fork",
+        )
+        with pytest.raises(ServeError, match="spawn"):
+            worker_main(0, 1, WorkerSpec(tuner=smat), queue.Queue(), queue.Queue())
+
+
+# ---------------------------------------------------------------------------
+# ClusterDispatcher, real spawn fleet (shared across the module)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cluster(smat):
+    spec = WorkerSpec(tuner=smat)
+    with ClusterDispatcher(spec, ClusterConfig(workers=2)) as running:
+        yield running
+
+
+class TestClusterEndToEnd:
+    def test_products_match_reference(self, cluster, pool, operands):
+        for matrix, x in zip(pool, operands):
+            result = cluster.spmv(matrix, x)
+            assert np.allclose(result.y, matrix.spmv(x), atol=1e-9)
+            assert result.shard_id in (0, 1)
+            assert result.total_seconds == result.dispatch_seconds > 0.0
+
+    def test_routing_is_sticky_and_plans_cache(self, cluster, pool, operands):
+        matrix, x = pool[0], operands[0]
+        first = cluster.spmv(matrix, x)
+        again = cluster.spmv(matrix, x)
+        assert again.shard_id == first.shard_id
+        assert again.cache_hit
+
+    def test_value_churn_stays_on_structure_shard(
+        self, cluster, pool, operands
+    ):
+        matrix, x = pool[3], operands[3]
+        base = cluster.spmv(matrix, x)
+        churned = CSRMatrix(
+            matrix.ptr, matrix.indices, matrix.data * 1.5, matrix.shape
+        )
+        refreshed = cluster.spmv(churned, x)
+        # Same structure key -> same shard, served via the tier-2 refresh
+        # fast path of that shard's engine.
+        assert refreshed.shard_id == base.shard_id
+        assert refreshed.refreshed
+        assert np.allclose(refreshed.y, churned.spmv(x), atol=1e-9)
+
+    def test_shard_assignments_partition_structures(
+        self, cluster, pool, operands
+    ):
+        for matrix, x in zip(pool, operands):
+            cluster.spmv(matrix, x)
+        assignments = cluster.shard_assignments()
+        fps = {fingerprint(m) for m in pool}
+        placed = [fp for shard_fps in assignments.values() for fp in shard_fps]
+        assert fps <= set(placed)
+        assert len(placed) == len(set(placed))  # exactly one shard each
+
+    def test_operand_vector_validated(self, cluster, pool):
+        with pytest.raises(ValueError, match="shape"):
+            cluster.spmv(pool[0], np.zeros(pool[0].n_cols + 1))
+
+    def test_expired_deadline_raises(self, cluster, pool, operands):
+        with pytest.raises(DeadlineExceededError):
+            cluster.spmv(pool[1], operands[1], deadline=1e-6)
+
+    def test_backpressure_at_outstanding_cap(self, cluster, pool, operands):
+        matrix, x = pool[0], operands[0]
+        shard_id = cluster.spmv(matrix, x).shard_id
+        shard = cluster._shards[shard_id]
+        cap = cluster.config.max_outstanding
+        fakes = {-(i + 1): object() for i in range(cap)}
+        with cluster._lock:
+            shard.outstanding.update(fakes)
+        try:
+            with pytest.raises(BackpressureError):
+                cluster.spmv(matrix, x)
+        finally:
+            with cluster._lock:
+                for key in fakes:
+                    shard.outstanding.pop(key, None)
+        assert int(
+            cluster.metrics.snapshot()["counters"]["requests_rejected"]
+        ) >= 1
+
+    def test_invalidate_unpublished_returns_false(self, cluster, rng):
+        from tests.conftest import random_csr
+
+        assert cluster.invalidate(random_csr(rng)) is False
+
+    def test_hot_path_pickled_zero_operand_bytes(self, cluster):
+        counters = cluster.metrics.snapshot()["counters"]
+        assert int(counters["operand_bytes_pickled"]) == 0
+        assert int(counters["requests_served"]) > 0
+
+    def test_scoreboard_renders(self, cluster):
+        board = cluster.scoreboard()
+        assert "cluster: 2 shards" in board
+        assert "plan store:" in board
+        assert "operand_bytes_pickled" in board
+
+
+class TestDispatcherUnstarted:
+    def test_submit_before_start_raises(self, smat, pool):
+        dispatcher = ClusterDispatcher(WorkerSpec(tuner=smat))
+        try:
+            with pytest.raises(ServeError, match="not running"):
+                dispatcher.submit(pool[0], np.zeros(pool[0].n_cols))
+        finally:
+            dispatcher.stop()
+
+    def test_arena_growth_and_reuse(self, smat):
+        dispatcher = ClusterDispatcher(
+            WorkerSpec(tuner=smat), ClusterConfig(arena_bytes=4096)
+        )
+        try:
+            big = np.arange(4096, dtype=np.float64)  # > one arena
+            ref = dispatcher._place(big)
+            with dispatcher._lock:
+                view = dispatcher._arenas[ref.segment].view(ref)
+            assert np.array_equal(view, big)
+            dispatcher._free(ref)
+        finally:
+            dispatcher.stop()
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"max_outstanding": 0},
+            {"heartbeat_interval": 0.0},
+            {"heartbeat_interval": 1.0, "heartbeat_timeout": 0.5},
+            {"max_respawns": -1},
+            {"max_redispatches": -1},
+            {"arena_bytes": 16},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterConfig(**kwargs)
+
+    def test_revive_error_maps_types(self):
+        assert isinstance(
+            _revive_error(("DeadlineExceededError", "late")),
+            DeadlineExceededError,
+        )
+        assert isinstance(
+            _revive_error(("InjectedFault", "chaos")), TransientError
+        )
+        assert isinstance(_revive_error(("SomethingNew", "?")), ServeError)

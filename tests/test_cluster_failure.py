@@ -1,0 +1,145 @@
+"""Worker-failure tests: crash detection, respawn, re-warm, zero drops.
+
+The satellite acceptance for the sharded cluster: killing a worker
+mid-replay must lose no request — the dispatcher detects the dead
+process, respawns the shard under a new generation, re-warms its plans
+from the structure index, and re-dispatches the in-flight requests,
+all within the requests' deadline/retry semantics.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterDispatcher, WorkerSpec
+from repro.collection import generate_collection
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.serve import build_matrix_pool, fingerprint
+from repro.tuner import SMAT
+from repro.types import Precision
+
+
+@pytest.fixture(scope="module")
+def smat() -> SMAT:
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+    return SMAT.train(
+        generate_collection(scale=0.02, size_scale=0.4, seed=77),
+        backend=backend,
+    )
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return build_matrix_pool(6, seed=11, size_scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def operands(pool):
+    rng = np.random.default_rng(42)
+    return [rng.standard_normal(m.n_cols) for m in pool]
+
+
+def _victim_shard(cluster) -> int:
+    """The shard owning the most published structures."""
+    assignments = cluster.shard_assignments()
+    return max(assignments, key=lambda shard: len(assignments[shard]))
+
+
+@pytest.mark.timeout(300)
+def test_kill_worker_mid_replay_drops_nothing(smat, pool, operands):
+    config = ClusterConfig(
+        workers=2,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=5.0,
+        default_deadline=120.0,  # deadlines armed, never the failure mode
+    )
+    with ClusterDispatcher(WorkerSpec(tuner=smat), config) as cluster:
+        # Warm phase: every structure served once, plans published.
+        for matrix, x in zip(pool, operands):
+            cluster.spmv(matrix, x)
+        victim = _victim_shard(cluster)
+        assert len(cluster.shard_assignments()[victim]) >= 1
+
+        # Async wave with the victim's requests in flight when it dies.
+        futures = [
+            cluster.submit(pool[i % len(pool)], operands[i % len(pool)])
+            for i in range(40)
+        ]
+        cluster.kill_worker(victim)
+        results = [f.result(timeout=240) for f in futures]
+
+        # Zero dropped: every submit resolved with a correct product.
+        assert len(results) == 40
+        for i, result in enumerate(results):
+            matrix, x = pool[i % len(pool)], operands[i % len(pool)]
+            assert np.allclose(result.y, matrix.spmv(x), atol=1e-9)
+
+        counters = cluster.metrics.snapshot()["counters"]
+        assert int(counters["worker_crashes"]) >= 1
+        assert int(counters["workers_respawned"]) >= 1
+        # Re-warm from the structure index restored the victim's plans.
+        assert int(counters["plans_rewarmed"]) >= 1
+        # Deadline/retry semantics preserved: nothing expired or failed.
+        assert int(counters["requests_failed"]) == 0
+        # And the replacement generation is visibly newer.
+        assert cluster._shards[victim].generation >= 2
+
+        # The respawned shard serves its old structures from cache again.
+        survivor_fp = cluster.shard_assignments()[victim][0]
+        index = next(
+            i for i, m in enumerate(pool) if fingerprint(m) == survivor_fp
+        )
+        after = cluster.spmv(pool[index], operands[index])
+        assert after.shard_id == victim
+        assert np.allclose(
+            after.y, pool[index].spmv(operands[index]), atol=1e-9
+        )
+
+
+@pytest.mark.timeout(300)
+def test_respawn_exhaustion_degrades_locally(smat, pool, operands):
+    config = ClusterConfig(
+        workers=2,
+        max_respawns=0,  # first crash declares the shard dead
+        heartbeat_interval=0.1,
+        heartbeat_timeout=5.0,
+    )
+    with ClusterDispatcher(WorkerSpec(tuner=smat), config) as cluster:
+        for matrix, x in zip(pool, operands):
+            cluster.spmv(matrix, x)
+        victim = _victim_shard(cluster)
+        victim_fp = cluster.shard_assignments()[victim][0]
+        index = next(
+            i for i, m in enumerate(pool) if fingerprint(m) == victim_fp
+        )
+
+        cluster.kill_worker(victim)
+        deadline = time.monotonic() + 60.0
+        while not cluster._shards[victim].dead:
+            assert time.monotonic() < deadline, "shard never declared dead"
+            time.sleep(0.05)
+
+        # The dead shard's traffic is served locally by the degraded CSR
+        # reference plan — correct answers, honestly labelled.
+        result = cluster.spmv(pool[index], operands[index])
+        assert result.degraded_local and result.degraded
+        assert result.shard_id == victim
+        assert np.allclose(
+            result.y, pool[index].spmv(operands[index]), atol=1e-9
+        )
+        assert (
+            int(cluster.metrics.snapshot()["counters"]["degraded_local"]) >= 1
+        )
+
+        # Structures on the surviving shard still serve normally.
+        other = next(s for s in cluster.shard_assignments() if s != victim)
+        for shard_fp in cluster.shard_assignments()[other][:1]:
+            i = next(
+                j for j, m in enumerate(pool) if fingerprint(m) == shard_fp
+            )
+            healthy = cluster.spmv(pool[i], operands[i])
+            assert not healthy.degraded_local
+            assert healthy.shard_id == other

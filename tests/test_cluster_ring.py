@@ -1,0 +1,70 @@
+"""Consistent-hash ring tests: determinism, spread, minimal remap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import HashRing
+
+KEYS = [f"structure-{i}" for i in range(600)]
+
+
+class TestRouting:
+    def test_deterministic_across_instances(self) -> None:
+        a = HashRing([0, 1, 2, 3])
+        b = HashRing([3, 1, 0, 2])  # construction order must not matter
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_every_shard_gets_traffic(self) -> None:
+        ring = HashRing([0, 1, 2, 3])
+        spread = ring.spread(KEYS)
+        assert set(spread) == {0, 1, 2, 3}
+        # 64 virtual points per shard keeps the imbalance bounded; the
+        # exact split is hash-determined, so assert a loose floor.
+        assert min(spread.values()) >= len(KEYS) // 16
+
+    def test_single_shard_takes_everything(self) -> None:
+        ring = HashRing([7])
+        assert ring.spread(KEYS) == {7: len(KEYS)}
+
+    def test_remove_only_remaps_the_lost_shard(self) -> None:
+        ring = HashRing([0, 1, 2, 3])
+        before = {k: ring.route(k) for k in KEYS}
+        ring.remove_shard(2)
+        after = {k: ring.route(k) for k in KEYS}
+        for key in KEYS:
+            if before[key] != 2:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != 2
+
+    def test_add_shard_back_restores_routing(self) -> None:
+        ring = HashRing([0, 1, 2])
+        before = {k: ring.route(k) for k in KEYS}
+        ring.remove_shard(1)
+        ring.add_shard(1)
+        assert {k: ring.route(k) for k in KEYS} == before
+
+
+class TestValidation:
+    def test_empty_ring_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_duplicate_shards_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            HashRing([1, 1])
+
+    def test_add_existing_rejected(self) -> None:
+        ring = HashRing([0])
+        with pytest.raises(ValueError):
+            ring.add_shard(0)
+
+    def test_remove_unknown_rejected(self) -> None:
+        ring = HashRing([0])
+        with pytest.raises(ValueError):
+            ring.remove_shard(5)
+
+    def test_bad_replicas_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            HashRing([0], replicas=0)

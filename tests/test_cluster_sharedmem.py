@@ -1,0 +1,122 @@
+"""SharedArena allocator and SegmentCache tests (repro.cluster)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster.sharedmem import (
+    ALIGNMENT,
+    SegmentCache,
+    SharedArena,
+    SharedArrayRef,
+    SharedMemoryError,
+)
+
+
+class TestSharedArrayRef:
+    def test_nbytes(self) -> None:
+        ref = SharedArrayRef("seg", 0, (3, 4), "<f8")
+        assert ref.nbytes == 3 * 4 * 8
+
+    def test_pickles_small_regardless_of_array_size(self) -> None:
+        # The descriptor is what rides in messages; its pickle must not
+        # scale with the array it points at.
+        huge = SharedArrayRef("seg", 0, (10_000_000,), "<f8")
+        assert len(pickle.dumps(huge)) < 500
+
+
+class TestSharedArena:
+    def test_alloc_is_aligned(self) -> None:
+        with SharedArena(64 * 1024) as arena:
+            refs = [arena.alloc((n,), np.float64) for n in (1, 3, 17, 100)]
+            assert all(ref.offset % ALIGNMENT == 0 for ref in refs)
+
+    def test_place_view_roundtrip(self) -> None:
+        rng = np.random.default_rng(5)
+        with SharedArena(64 * 1024) as arena:
+            array = rng.standard_normal(250)
+            ref = arena.place(array)
+            assert np.array_equal(arena.view(ref), array)
+
+    def test_free_coalesces_neighbours(self) -> None:
+        with SharedArena(4096) as arena:
+            a = arena.alloc((256,), np.float64)  # 2048 B
+            b = arena.alloc((128,), np.float64)  # 1024 B
+            c = arena.alloc((128,), np.float64)  # 1024 B, arena now full
+            with pytest.raises(SharedMemoryError):
+                arena.alloc((1,), np.float64)
+            arena.free(a)
+            arena.free(c)
+            arena.free(b)  # the middle block bridges a and c
+            # Only a fully coalesced free list can satisfy this.
+            full = arena.alloc((512,), np.float64)
+            assert full.offset == 0
+
+    def test_double_free_raises(self) -> None:
+        with SharedArena(4096) as arena:
+            ref = arena.alloc((8,), np.float64)
+            arena.free(ref)
+            with pytest.raises(SharedMemoryError, match="double free"):
+                arena.free(ref)
+
+    def test_foreign_ref_raises(self) -> None:
+        with SharedArena(4096) as arena:
+            foreign = SharedArrayRef("not-this-segment", 0, (8,), "<f8")
+            with pytest.raises(SharedMemoryError, match="belongs to"):
+                arena.free(foreign)
+
+    def test_accounting(self) -> None:
+        with SharedArena(8192) as arena:
+            assert arena.bytes_free == arena.capacity
+            ref = arena.alloc((100,), np.float64)
+            assert arena.bytes_allocated == 832  # 800 B aligned up
+            arena.free(ref)
+            assert arena.bytes_allocated == 0
+            assert arena.bytes_free == arena.capacity
+
+    def test_alloc_after_close_raises(self) -> None:
+        arena = SharedArena(4096)
+        arena.close()
+        arena.close()  # idempotent
+        with pytest.raises(SharedMemoryError, match="closed"):
+            arena.alloc((8,), np.float64)
+
+    def test_tiny_capacity_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            SharedArena(1)
+
+
+class TestSegmentCache:
+    def test_view_sees_owner_writes(self) -> None:
+        cache = SegmentCache()
+        with SharedArena(16 * 1024) as arena:
+            array = np.arange(64, dtype=np.float64)
+            ref = arena.place(array)
+            try:
+                view = cache.view(ref)
+                assert np.array_equal(view, array)
+                # Writes through the attached view land in the segment.
+                view[0] = -1.0
+                assert arena.view(ref)[0] == -1.0
+            finally:
+                del view
+                cache.close()
+
+    def test_detach(self) -> None:
+        cache = SegmentCache()
+        with SharedArena(16 * 1024) as arena:
+            ref = arena.place(np.ones(8))
+            view = cache.view(ref)
+            del view
+            assert cache.detach(ref.segment) is True
+            assert cache.detach(ref.segment) is False
+            cache.close()
+
+    def test_missing_segment_raises(self) -> None:
+        cache = SegmentCache()
+        ghost = SharedArrayRef("smat-test-no-such-segment", 0, (4,), "<f8")
+        with pytest.raises(SharedMemoryError, match="does not exist"):
+            cache.view(ghost)

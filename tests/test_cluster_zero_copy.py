@@ -1,0 +1,116 @@
+"""Zero-copy invariant guard: no operand array ever rides in a message.
+
+Two layers of enforcement are tested: the static one (pickling any
+request/reply shape yields descriptor-sized blobs with zero ndarray
+payload) and the dynamic one (the dispatcher's ``operand_bytes_pickled``
+counter, charged on every enqueue, stays at zero over a real multi-
+process workload).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterDispatcher,
+    PlanHandle,
+    ShardReply,
+    ShardRequest,
+    SharedArena,
+    WarmRequest,
+    WorkerSpec,
+    ndarray_payload_bytes,
+)
+from repro.collection import banded, generate_collection
+from repro.formats.csr import CSRMatrix
+from repro.machine import INTEL_XEON_X5680, SimulatedBackend
+from repro.serve import build_matrix_pool, fingerprint
+from repro.tuner import SMAT
+from repro.types import Precision
+
+
+@pytest.fixture(scope="module")
+def smat() -> SMAT:
+    backend = SimulatedBackend(INTEL_XEON_X5680, Precision.DOUBLE)
+    return SMAT.train(
+        generate_collection(scale=0.02, size_scale=0.4, seed=77),
+        backend=backend,
+    )
+
+
+def _request_for(arena: SharedArena, matrix) -> ShardRequest:
+    handle = PlanHandle(
+        fingerprint=fingerprint(matrix),
+        ptr=arena.place(matrix.ptr),
+        indices=arena.place(matrix.indices),
+        data=arena.place(matrix.data),
+        shape=(int(matrix.n_rows), int(matrix.n_cols)),
+    )
+    return ShardRequest(
+        msg_id=1,
+        plan=handle,
+        x=arena.place(np.ones(matrix.n_cols)),
+        y=arena.alloc((matrix.n_rows,), matrix.dtype),
+    )
+
+
+class TestMessageShapes:
+    def test_request_carries_no_ndarray_payload(self) -> None:
+        matrix = banded.banded_matrix(5000, 7, seed=3)  # ~280 KiB operand
+        with SharedArena(8 * 1024 * 1024) as arena:
+            request = _request_for(arena, matrix)
+            assert ndarray_payload_bytes(request) == 0
+            # The wire form stays descriptor-sized no matter the matrix.
+            wire = pickle.dumps(request)
+            assert len(wire) < 4096
+            assert ndarray_payload_bytes(pickle.loads(wire)) == 0
+
+    def test_warm_request_scales_with_structures_not_bytes(self) -> None:
+        matrix = banded.banded_matrix(5000, 7, seed=3)
+        with SharedArena(8 * 1024 * 1024) as arena:
+            request = _request_for(arena, matrix)
+            warm = WarmRequest(handles=(request.plan,))
+            assert ndarray_payload_bytes(warm) == 0
+            assert len(pickle.dumps(warm)) < 4096
+
+    def test_walker_detects_smuggled_arrays(self) -> None:
+        # The guard must actually see an array that sneaks into a message
+        # (e.g. a future regression putting y into the reply meta).
+        smuggled = ShardReply(
+            msg_id=1,
+            shard_id=0,
+            generation=1,
+            ok=True,
+            meta={"y": np.ones(100)},
+        )
+        assert ndarray_payload_bytes(smuggled) == 800
+        nested = {"deep": [({"arr": np.zeros((4, 4))},)]}
+        assert ndarray_payload_bytes(nested) == 128
+
+
+@pytest.mark.timeout(300)
+def test_cluster_workload_pickles_zero_operand_bytes(smat) -> None:
+    pool = build_matrix_pool(4, seed=19, size_scale=0.3)
+    rng = np.random.default_rng(6)
+    operands = [rng.standard_normal(m.n_cols) for m in pool]
+    with ClusterDispatcher(
+        WorkerSpec(tuner=smat), ClusterConfig(workers=2)
+    ) as cluster:
+        for matrix, x in zip(pool, operands):  # cold builds
+            assert np.allclose(
+                cluster.spmv(matrix, x).y, matrix.spmv(x), atol=1e-9
+            )
+        for matrix, x in zip(pool, operands):  # cache hits
+            cluster.spmv(matrix, x)
+        churned = CSRMatrix(  # tier-2 refresh traffic
+            pool[0].ptr, pool[0].indices, pool[0].data * 2.0, pool[0].shape
+        )
+        cluster.spmv(churned, operands[0])
+        counters = cluster.metrics.snapshot()["counters"]
+    assert int(counters["operand_bytes_pickled"]) == 0
+    assert int(counters["requests_served"]) == 2 * len(pool) + 1
+    assert int(counters["plans_published"]) == len(pool) + 1
