@@ -121,11 +121,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "re-dispatch")
     serve.add_argument("--bench-json", type=Path, default=None,
                        metavar="PATH", dest="bench_json",
-                       help="needs --cluster: also replay a --workers 1 "
-                            "baseline and merge a serve/sharded section "
-                            "(throughput vs 1 worker, zero-copy counter, "
-                            "repair stats) into the BENCH_perf.json-style "
-                            "report at PATH")
+                       help="needs --cluster or --fan-in: merge a "
+                            "serve/sharded (cluster: throughput vs a "
+                            "--workers 1 baseline, zero-copy counter, "
+                            "repair stats) or serve/fan_in (batched vs "
+                            "unbatched throughput, SpMM counters) section "
+                            "into the BENCH_perf.json-style report at PATH")
+    serve.add_argument("--fan-in", type=int, default=None,
+                       metavar="N", dest="fan_in",
+                       help="fan-in mode: submit same-matrix bursts of N "
+                            "requests each (--requests total, round-robin "
+                            "over the pool) and replay them twice — through "
+                            "a batching engine (SpMM fast path) and an "
+                            "unbatched one — reporting the batched-vs-"
+                            "unbatched throughput")
+    serve.add_argument("--batch-window", type=float, default=0.005,
+                       metavar="S", dest="batch_window",
+                       help="needs --fan-in: seconds a dequeued request "
+                            "waits for same-fingerprint company before the "
+                            "batch executes (default 0.005)")
+    serve.add_argument("--max-batch-rhs", type=int, default=None,
+                       metavar="K", dest="max_batch_rhs",
+                       help="needs --fan-in: RHS-vector cap per coalesced "
+                            "SpMM (default: the --fan-in burst size)")
     serve.add_argument("--cache-entries", type=int, default=64,
                        help="plan-cache entry cap (default 64)")
     serve.add_argument("--cache-bytes", type=int, default=None,
@@ -382,10 +400,32 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     from repro.tuner import SMAT, OnlineSmat
 
-    for flag, value in (("--crash-after", args.crash_after),
-                        ("--bench-json", args.bench_json)):
-        if value is not None and not args.cluster:
-            print(f"error: {flag} needs --cluster", file=sys.stderr)
+    if args.crash_after is not None and not args.cluster:
+        print("error: --crash-after needs --cluster", file=sys.stderr)
+        return 1
+    if args.bench_json is not None and not (args.cluster or args.fan_in):
+        print("error: --bench-json needs --cluster or --fan-in",
+              file=sys.stderr)
+        return 1
+    if args.fan_in is not None:
+        if args.fan_in < 1:
+            print(f"error: --fan-in ({args.fan_in}) must be >= 1",
+                  file=sys.stderr)
+            return 1
+        for flag, on in (("--cluster", args.cluster),
+                         ("--online", args.online),
+                         ("--value-churn", args.value_churn is not None)):
+            if on:
+                print(f"error: --fan-in cannot be combined with {flag}",
+                      file=sys.stderr)
+                return 1
+        if args.max_batch_rhs is not None and args.max_batch_rhs < 1:
+            print(f"error: --max-batch-rhs ({args.max_batch_rhs}) must "
+                  f"be >= 1", file=sys.stderr)
+            return 1
+        if args.batch_window < 0:
+            print(f"error: --batch-window ({args.batch_window}) must "
+                  f"be >= 0", file=sys.stderr)
             return 1
     if args.cluster and args.online:
         print(
@@ -408,7 +448,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    if args.value_churn is None and args.requests < args.matrices:
+    if (
+        args.value_churn is None
+        and args.fan_in is None
+        and args.requests < args.matrices
+    ):
         print(
             f"error: --requests ({args.requests}) must be >= --matrices "
             f"({args.matrices}) so every matrix is requested at least once",
@@ -436,6 +480,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         tuner = OnlineSmat(tuner)
 
     pool = build_matrix_pool(args.matrices, seed=args.seed)
+    if args.fan_in is not None:
+        return _serve_bench_fan_in(args, tuner, pool, faults)
     if args.value_churn is not None:
         pool = value_churn_pool(pool, args.value_churn, seed=args.seed)
         schedule = churn_schedule(
@@ -530,12 +576,153 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_bench_fan_in(args, tuner, pool, faults) -> int:
+    """The --fan-in arm of serve-bench: batched vs unbatched bursts.
+
+    The same seeded burst workload is replayed twice through identically
+    configured engines except for the batching knobs, so the throughput
+    ratio isolates exactly what the SpMM fast path buys.
+    """
+    from repro.serve import ServeConfig, ServingEngine, replay_fan_in
+
+    bursts = max(1, args.requests // args.fan_in)
+    max_rhs = (
+        args.max_batch_rhs if args.max_batch_rhs is not None else args.fan_in
+    )
+
+    def config(batched: bool) -> ServeConfig:
+        return ServeConfig(
+            workers=args.workers,
+            cache_entries=args.cache_entries,
+            cache_bytes=args.cache_bytes,
+            default_deadline=args.deadline,
+            max_retries=args.max_retries,
+            breaker_threshold=args.breaker_threshold,
+            structure_cache=not args.no_structure_cache,
+            batch_window=args.batch_window if batched else 0.0,
+            max_batch_rhs=max_rhs if batched else 1,
+        )
+
+    def run(batched: bool, tracer=None):
+        engine = ServingEngine(tuner, config(batched), faults=faults)
+        if tracer is not None:
+            from repro import obs
+
+            tracer.sink = obs.metrics_sink(engine.metrics)
+        with _maybe_installed(tracer):
+            with engine:
+                report = replay_fan_in(
+                    engine, pool, bursts, args.fan_in, seed=args.seed
+                )
+                counters = engine.metrics.snapshot()["counters"]
+        return report, counters
+
+    total = bursts * args.fan_in
+    print(f"replaying {bursts} bursts x {args.fan_in} fan-in = {total} "
+          f"requests over {len(pool)} matrices, unbatched "
+          f"(max_batch_rhs 1)...")
+    unbatched, _ = run(batched=False)
+    print(f"unbatched  : {unbatched.requests} requests in "
+          f"{unbatched.wall_seconds:.2f}s "
+          f"({unbatched.throughput_rps:.0f} req/s)")
+
+    tracer = None
+    if args.trace is not None:
+        from repro import obs
+
+        tracer = obs.Tracer()
+    print(f"replaying the same bursts batched (window "
+          f"{args.batch_window}s, max_batch_rhs {max_rhs})...")
+    batched, counters = run(batched=True, tracer=tracer)
+    if tracer is not None:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.report import overhead_report
+
+        roots = tracer.roots()
+        events = write_chrome_trace(roots, args.trace)
+        print()
+        print(overhead_report(roots).describe())
+        print(f"wrote {events} trace events -> {args.trace}")
+
+    batches = int(counters.get("spmm_batches_total", 0))
+    batched_reqs = int(counters.get("spmm_requests_batched", 0))
+    dropped = total - batched.requests - len(batched.errors)
+    speedup = (
+        batched.throughput_rps / unbatched.throughput_rps
+        if unbatched.throughput_rps > 0
+        else 0.0
+    )
+
+    print()
+    print(f"batched    : {batched.requests} requests in "
+          f"{batched.wall_seconds:.2f}s "
+          f"({batched.throughput_rps:.0f} req/s)")
+    print(f"verified   : {batched.requests - batched.mismatches}/"
+          f"{batched.requests} products match the reference kernel")
+    print(f"batching   : {batches} SpMM batches covering {batched_reqs} "
+          f"requests "
+          f"(mean width {batched_reqs / batches if batches else 0.0:.1f})")
+    print(f"speedup    : {speedup:.2f}x throughput vs unbatched")
+
+    if args.bench_json is not None:
+        section = {
+            "fan_in": args.fan_in,
+            "bursts": bursts,
+            "requests": total,
+            "matrices": len(pool),
+            "workers": args.workers,
+            "batch_window": args.batch_window,
+            "max_batch_rhs": max_rhs,
+            "mismatches": batched.mismatches,
+            "failed_requests": len(batched.errors),
+            "dropped_requests": dropped,
+            "spmm_batches_total": batches,
+            "spmm_requests_batched": batched_reqs,
+            "batched_throughput_rps": batched.throughput_rps,
+            "unbatched_throughput_rps": unbatched.throughput_rps,
+            "speedup_vs_unbatched": speedup,
+        }
+        _merge_bench_json(args.bench_json, "fan_in", section)
+        print(f"wrote serve/fan_in section -> {args.bench_json}")
+
+    if batched.mismatches:
+        print(f"error: {batched.mismatches} product mismatches",
+              file=sys.stderr)
+        return 1
+    if dropped:
+        print(f"error: {dropped} requests dropped without a reply",
+              file=sys.stderr)
+        return 1
+    if max_rhs > 1 and batches == 0:
+        print("error: batching enabled but no SpMM batch was executed "
+              "(spmm_batches_total == 0)", file=sys.stderr)
+        return 1
+    if batched.errors or unbatched.errors:
+        errs = batched.errors or unbatched.errors
+        print(f"{'note' if faults else 'error'}: {len(errs)} requests "
+              f"failed ({errs[0]!r})", file=sys.stderr)
+        if not faults:
+            return 1
+    return 0
+
+
 def _serve_bench_cluster(args, tuner, pool, schedule) -> int:
     """The --cluster arm of serve-bench: replay against repro.cluster."""
     import os
 
     from repro.cluster import ClusterConfig, ClusterDispatcher, WorkerSpec
     from repro.serve import ServeConfig, replay
+
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < 2 and args.workers > 1:
+        # Shard processes time-slice one core: throughput numbers only
+        # measure correctness parity, never a parallel speedup.
+        print(
+            f"warning: host has {cpu_count} cpu; {args.workers} shard "
+            f"processes will time-slice it, so throughput figures are "
+            f"parity-only (no parallel speedup is measurable)",
+            file=sys.stderr,
+        )
 
     spec = WorkerSpec(
         tuner=tuner,
@@ -666,7 +853,8 @@ def _serve_bench_cluster(args, tuner, pool, schedule) -> int:
                 "crash_after": args.crash_after,
                 "deadline": args.deadline,
             },
-            "host_cpu_count": os.cpu_count() or 1,
+            "cpu_count": cpu_count,
+            "parity_only": cpu_count < 2,
         }
         if baseline is not None:
             section["baseline_1_worker"] = {
@@ -680,7 +868,7 @@ def _serve_bench_cluster(args, tuner, pool, schedule) -> int:
             )
         elif args.workers == 1:
             section["speedup_vs_1_worker"] = 1.0
-        _merge_bench_json(args.bench_json, section)
+        _merge_bench_json(args.bench_json, "sharded", section)
         print(f"wrote serve/sharded section -> {args.bench_json}")
 
     if report.mismatches:
@@ -707,9 +895,10 @@ def _serve_bench_cluster(args, tuner, pool, schedule) -> int:
     return 0
 
 
-def _merge_bench_json(path: Path, section: dict) -> None:
-    """Set ``serve.sharded`` in the JSON report at ``path``, creating or
-    preserving whatever else (the bench-perf ops) is already there."""
+def _merge_bench_json(path: Path, name: str, section: dict) -> None:
+    """Set ``serve.<name>`` in the JSON report at ``path``, creating or
+    preserving whatever else (the bench-perf ops, other serve sections)
+    is already there."""
     import json
 
     data: dict = {}
@@ -723,7 +912,7 @@ def _merge_bench_json(path: Path, section: dict) -> None:
     serve = data.setdefault("serve", {})
     if not isinstance(serve, dict):
         serve = data["serve"] = {}
-    serve["sharded"] = section
+    serve[name] = section
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
@@ -827,8 +1016,13 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
             for failure in failures:
                 print(f"error: {failure}", file=sys.stderr)
             return 1
+        spmm_gates = ", ".join(
+            f"{name} >= {floor:.1f}x"
+            for name, floor in perfbench.SPMM_GATES.items()
+        )
         print(f"speedup gate passed (>= {args.assert_speedup:.1f}x on "
-              + ", ".join(perfbench.GATED_OPS) + ")")
+              + ", ".join(perfbench.GATED_OPS)
+              + f"; {spmm_gates} vs sequential SpMV)")
     return 0
 
 

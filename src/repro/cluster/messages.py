@@ -61,6 +61,25 @@ class ShardRequest:
 
 
 @dataclass(frozen=True)
+class BatchShardRequest:
+    """A same-fingerprint burst dispatched as one message.
+
+    Every member is a complete :class:`ShardRequest` (own msg_id, own
+    x/y slots, own expiry), so redispatch-after-crash and slot release
+    work per member exactly as for singles; the batching only tells the
+    worker "these arrived together — stack them into one SpMM if you
+    can".  The worker replies per member.  Still descriptor-only: the
+    dense RHS block is assembled worker-side from the shared x slots.
+    """
+
+    requests: Tuple[ShardRequest, ...]
+
+    @property
+    def fingerprint(self) -> Fingerprint:
+        return self.requests[0].plan.fingerprint
+
+
+@dataclass(frozen=True)
 class WarmRequest:
     """Respawn re-warm: rebuild plans for these structures, no request."""
 

@@ -157,6 +157,39 @@ class SparseMatrix(abc.ABC):
             )
         return x.astype(self._dtype, copy=False)
 
+    def check_operand_block(self, X: np.ndarray) -> np.ndarray:
+        """Validate and canonicalise a multi-RHS SpMM input block.
+
+        ``X`` stacks the RHS vectors column-wise: shape ``(n_cols, k)``
+        for a batch of k products.
+        """
+        X = np.asarray(X)
+        if X.ndim != 2:
+            raise FormatError(
+                f"X must be a 2-D RHS block, got shape {X.shape}"
+            )
+        if X.shape[0] != self.n_cols:
+            raise FormatError(
+                f"dimension mismatch: matrix is {self.shape}, X has "
+                f"{X.shape[0]} rows"
+            )
+        if X.shape[1] < 1:
+            raise FormatError("X must have at least one RHS column")
+        return X.astype(self._dtype, copy=False)
+
+    def spmm(self, X: np.ndarray) -> np.ndarray:
+        """Reference ``Y = A @ X``: one reference SpMV per RHS column.
+
+        Formats with a native multi-RHS kernel are served through
+        :mod:`repro.kernels.spmm`; this default keeps every format
+        correct under batching regardless.
+        """
+        X = self.check_operand_block(X)
+        Y = np.empty((self.n_rows, X.shape[1]), dtype=self._dtype)
+        for j in range(X.shape[1]):
+            Y[:, j] = self.spmv(X[:, j])
+        return Y
+
     def flop_count(self) -> int:
         """Floating point operations of one SpMV (2 per stored non-zero).
 

@@ -363,3 +363,24 @@ def extract_structure_features_loop(matrix: CSRMatrix) -> dict:
         "er_dia": float(er_dia),
         "er_ell": float(er_ell),
     }
+
+
+def csr_spmm_loop(matrix: CSRMatrix, X: np.ndarray) -> np.ndarray:
+    """Scalar triple loop ``Y = A @ X`` (the SpMM oracle).
+
+    One multiply-accumulate per stored non-zero per RHS column, in row
+    order — the reference the vectorized multi-RHS kernels in
+    :mod:`repro.kernels.spmm` are benchmarked and differentially tested
+    against.  Does not tick any event meters.
+    """
+    X = matrix.check_operand_block(X)
+    k = X.shape[1]
+    Y = np.zeros((matrix.n_rows, k), dtype=matrix.dtype)
+    for i in range(matrix.n_rows):
+        start, end = int(matrix.ptr[i]), int(matrix.ptr[i + 1])
+        for jj in range(start, end):
+            j = int(matrix.indices[jj])
+            a = matrix.data[jj]
+            for c in range(k):
+                Y[i, c] += a * X[j, c]
+    return Y

@@ -14,12 +14,20 @@ from repro.kernels import csr_kernels  # noqa: F401
 from repro.kernels import dia_kernels  # noqa: F401
 from repro.kernels import ell_kernels  # noqa: F401
 from repro.kernels import parallel  # noqa: F401
+from repro.kernels import spmm  # noqa: F401
 from repro.kernels.base import (
     Kernel,
     find_kernel,
     kernels_for,
     register_kernel,
     total_kernel_count,
+)
+from repro.kernels.spmm import (
+    register_spmm,
+    spmm_fallback,
+    spmm_formats,
+    spmm_kernel_for,
+    supports_spmm,
 )
 from repro.kernels.strategies import (
     BASELINE,
@@ -38,6 +46,11 @@ __all__ = [
     "find_kernel",
     "kernels_for",
     "register_kernel",
+    "register_spmm",
+    "spmm_fallback",
+    "spmm_formats",
+    "spmm_kernel_for",
     "strategy_set",
+    "supports_spmm",
     "total_kernel_count",
 ]

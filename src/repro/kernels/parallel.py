@@ -42,6 +42,10 @@ MAX_WORKERS = 16
 #: the THREAD kernel degrades to the plain vectorized one.
 MIN_PARALLEL_NNZ = 100_000
 
+#: SpMM fan-out threshold on ``nnz * batch_width``: the per-element work
+#: grows with the batch, so the parallel cliff sits lower than SpMV's.
+MIN_PARALLEL_SPMM_ELEMS = 400_000
+
 _executor: Optional[ThreadPoolExecutor] = None
 _executor_lock = threading.Lock()
 
@@ -177,3 +181,75 @@ def csr_spmv_thread(
 def csr_vectorized_thread(matrix: CSRMatrix, x: np.ndarray) -> np.ndarray:
     """Concurrent nnz-balanced chunked segment reduction (Strategy.THREAD)."""
     return csr_spmv_thread(matrix, x)
+
+
+def csr_spmm_thread(
+    matrix: CSRMatrix,
+    X: np.ndarray,
+    workers: Optional[int] = None,
+) -> np.ndarray:
+    """CSR SpMM over nnz-balanced row chunks on the shared thread pool.
+
+    The multi-RHS analogue of :func:`csr_spmv_thread`: each chunk runs the
+    row-blocked SpMM of :func:`repro.kernels.spmm.csr_spmm` over its own
+    disjoint Y slice.  Chunk spans carry the same explicit
+    ``kernel.thread_fanout`` parent so the overlap is visible in traces.
+    """
+    # Local import: spmm imports this module's chunking helpers at top
+    # level, so the reverse edge must stay function-local.
+    from repro.kernels.spmm import _csr_spmm_rows, csr_spmm
+
+    X = matrix.check_operand_block(X)
+    n_workers = workers if workers is not None else default_workers()
+    if (
+        n_workers <= 1
+        or matrix.nnz * X.shape[1] < MIN_PARALLEL_SPMM_ELEMS
+    ):
+        return csr_spmm(matrix, X)
+    ranges = chunk_ranges(matrix.ptr, n_workers)
+    if len(ranges) <= 1:
+        return csr_spmm(matrix, X)
+
+    Y = np.zeros((matrix.n_rows, X.shape[1]), dtype=matrix.dtype)
+    ptr = matrix.ptr
+
+    tracer = obs.get_tracer()
+    fan_out = (
+        tracer.begin(
+            "kernel.thread_fanout",
+            chunks=len(ranges),
+            workers=n_workers,
+            batch=X.shape[1],
+        )
+        if tracer is not None
+        else None
+    )
+
+    def run_chunk(row_lo: int, row_hi: int) -> None:
+        lo, hi = int(ptr[row_lo]), int(ptr[row_hi])
+        if hi == lo:
+            return
+        chunk_span = (
+            tracer.begin(
+                "kernel.chunk",
+                parent=fan_out,
+                rows=row_hi - row_lo,
+                nnz=hi - lo,
+            )
+            if tracer is not None
+            else None
+        )
+        try:
+            _csr_spmm_rows(matrix, X, Y, row_lo, row_hi)
+        finally:
+            if chunk_span is not None:
+                tracer.end(chunk_span)
+
+    pool = shared_executor()
+    futures = [pool.submit(run_chunk, lo, hi) for lo, hi in ranges]
+    wait(futures)
+    if fan_out is not None and tracer is not None:
+        tracer.end(fan_out)
+    for future in futures:
+        future.result()  # re-raise the first chunk failure, if any
+    return Y

@@ -44,6 +44,7 @@ from repro.formats.convert import (
 from repro.formats.csr import CSRMatrix
 from repro.kernels.base import find_kernel
 from repro.kernels.parallel import csr_spmv_thread, default_workers
+from repro.kernels.spmm import csr_spmm, dia_spmm, ell_spmm
 from repro.kernels.strategies import Strategy, strategy_set
 from repro.types import FormatName
 from repro.util.timing import median_time
@@ -80,6 +81,18 @@ GATED_OPS = (
 #: Each gated op records its speedup under one of these keys; the gate
 #: accepts whichever is present.
 SPEEDUP_KEYS = ("speedup_vs_python_loop", "speedup_vs_retune")
+
+#: RHS block widths timed by the SpMM section.
+SPMM_BATCH_SIZES = (4, 16, 64)
+
+#: Fixed floors for the batched fast path, checked regardless of the
+#: ``--assert-speedup`` value: SpMM ops measure against *sequential
+#: vectorized SpMV* (not a Python loop), so the generic floor does not
+#: apply — at small batch widths the stacking overhead can even lose to
+#: the sequential sweep, which is precisely why serving only batches at
+#: high fan-in.  The one hard promise is that CSR at batch 64 amortises
+#: the operand traffic at least 3x.
+SPMM_GATES = {"spmm/csr_b64": 3.0}
 
 
 def _time(fn: Callable[[], object], repeats: int, warmup: int = 1) -> float:
@@ -220,6 +233,39 @@ def run_suite(
     dia_slow = find_kernel(FormatName.DIA, strategy_set())
     record("spmv/dia", lambda: dia_fast(dia, x), lambda: dia_slow(dia, x))
 
+    # -- SpMM: one multi-RHS pass vs k sequential SpMVs -----------------
+    # The serving layer's batched fast path: the baseline is the *tuned*
+    # vectorized SpMV run column by column, so the speedup isolates the
+    # operand-traffic amortisation the batching buys, not loop overhead.
+    rng = np.random.default_rng(seed)
+    spmm_cases = (
+        ("csr", band, csr_fast, csr_spmm),
+        ("ell", ell, ell_fast, ell_spmm),
+        ("dia", dia, dia_fast, dia_spmm),
+    )
+    for batch in SPMM_BATCH_SIZES:
+        X = rng.standard_normal((band.n_cols, batch))
+        for fmt, matrix, spmv_kernel, spmm_kernel in spmm_cases:
+
+            def sequential(m=matrix, kern=spmv_kernel):
+                Y = np.empty((m.n_rows, batch), dtype=m.dtype)
+                for j in range(batch):
+                    Y[:, j] = kern(m, X[:, j])
+                return Y
+
+            spmm_s = _time(
+                lambda m=matrix, kern=spmm_kernel: kern(m, X), repeats
+            )
+            seq_s = _time(sequential, repeats)
+            ops[f"spmm/{fmt}_b{batch}"] = {
+                "median_s": spmm_s,
+                "sequential_median_s": seq_s,
+                "speedup_vs_sequential_spmv": (
+                    seq_s / spmm_s if spmm_s > 0 else 0.0
+                ),
+                "batch": batch,
+            }
+
     # -- THREAD kernel: real concurrency on a >=2M-nnz matrix -----------
     if suite == "full":
         n_workers = workers if workers is not None else default_workers()
@@ -289,6 +335,17 @@ def check_speedups(
             failures.append(
                 f"{name}: {speedup:.1f}x < required {min_speedup:.1f}x"
             )
+    for name, floor in SPMM_GATES.items():
+        entry = ops.get(name)
+        if entry is None or "speedup_vs_sequential_spmv" not in entry:
+            failures.append(f"{name}: no speedup recorded")
+            continue
+        speedup = float(entry["speedup_vs_sequential_spmv"])
+        if speedup < floor:
+            failures.append(
+                f"{name}: {speedup:.1f}x < required {floor:.1f}x "
+                "(fixed SpMM floor)"
+            )
     return failures
 
 
@@ -311,6 +368,9 @@ def format_report(report: Dict[str, object]) -> str:
         elif "retune_median_s" in entry:
             loop = _fmt_seconds(float(entry["retune_median_s"]))
             speed = f"{float(entry['speedup_vs_retune']):.1f}x"
+        elif "sequential_median_s" in entry:
+            loop = _fmt_seconds(float(entry["sequential_median_s"]))
+            speed = f"{float(entry['speedup_vs_sequential_spmv']):.2f}x"
         elif "single_chunk_median_s" in entry:
             loop = _fmt_seconds(float(entry["single_chunk_median_s"]))
             speed = f"{float(entry['speedup_vs_vectorized']):.2f}x"
@@ -321,19 +381,25 @@ def format_report(report: Dict[str, object]) -> str:
 
 
 def write_report(report: Dict[str, object], out: Path) -> None:
-    """Write the report, keeping any ``serve`` section already at ``out``.
+    """Write the report, keeping any ``serve/*`` sections already at ``out``.
 
-    ``serve-bench --cluster --bench-json`` merges its serving numbers
-    into the same file; a bench-perf rerun must not drop them.
+    ``serve-bench --bench-json`` merges its serving numbers (``sharded``,
+    ``fan_in``, any future section) into the same file; a bench-perf
+    rerun must not drop any of them.  The merge is per key so a report
+    that somehow carries its own ``serve`` entries wins over stale ones.
     """
     if out.exists():
         try:
             existing = json.loads(out.read_text())
         except (ValueError, OSError):
             existing = None
-        if isinstance(existing, dict) and "serve" in existing:
+        if isinstance(existing, dict) and isinstance(
+            existing.get("serve"), dict
+        ):
             report = dict(report)
-            report.setdefault("serve", existing["serve"])
+            serve = dict(existing["serve"])
+            serve.update(report.get("serve") or {})
+            report["serve"] = serve
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 

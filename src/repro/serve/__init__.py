@@ -58,6 +58,7 @@ from repro.serve.workload import (
     churn_schedule,
     popularity_schedule,
     replay,
+    replay_fan_in,
     value_churn_pool,
 )
 
@@ -88,6 +89,7 @@ __all__ = [
     "fingerprint",
     "popularity_schedule",
     "replay",
+    "replay_fan_in",
     "structural_digest",
     "value_churn_pool",
 ]

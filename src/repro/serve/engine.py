@@ -25,7 +25,13 @@ into a persistent service.  The pipeline per request:
    a per-fingerprint circuit breaker stops re-tuning after repeated
    failures (half-open probes restore tuned serving once a build succeeds),
 5. **execute** the chosen kernel — transient failures are retried with
-   bounded exponential backoff — and resolve the caller's future.
+   bounded exponential backoff — and resolve the caller's future.  When
+   ≥ 2 batch members survive their deadline checks and ``max_batch_rhs``
+   allows, their vectors are stacked column-wise and the whole group runs
+   as **one SpMM** (a single pass over the sparse operand); a batched
+   failure falls back to per-request SpMV so deadlines, retries and
+   faults keep per-request semantics.  ``batch_window`` lets a worker
+   linger at dequeue to absorb a same-fingerprint burst first.
 
 Future resolution is always routed through the ``_try_*`` helpers: a
 caller can cancel its future at any instant, and an unguarded
@@ -109,6 +115,15 @@ _REFRESH_COUNTERS = (
     "plan_refresh_failures",
 )
 
+#: Batched-execution instruments: a fan-in workload that never coalesces
+#: into an SpMM (window 0, or max_batch_rhs 1) must read as zero — the
+#: fan-in smoke test gates on ``spmm_batches_total`` moving.
+_SPMM_COUNTERS = (
+    "spmm_batches_total",
+    "spmm_requests_batched",
+    "spmm_fallbacks",
+)
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -120,6 +135,18 @@ class ServeConfig:
     queue_capacity: int = 256
     #: Max requests coalesced into one batch per plan lookup.
     max_batch: int = 32
+    #: Seconds a worker lingers at dequeue collecting more requests with
+    #: the head's fingerprint before processing the batch (0 = dequeue
+    #: immediately, the pre-batching behaviour).  A small window turns
+    #: same-fingerprint fan-in into multi-RHS SpMM batches.
+    batch_window: float = 0.0
+    #: Max same-fingerprint requests stacked into one SpMM RHS block.
+    #: Defaults to 1 (never batch execution; coalescing still amortises
+    #: the plan lookup): a multi-RHS pass reassociates float summation,
+    #: so results can differ from sequential serving in the low-order
+    #: bits.  Opt in where fan-in throughput matters more than run-to-run
+    #: bit identity (exact-arithmetic workloads lose nothing either way).
+    max_batch_rhs: int = 1
     #: Plan-cache entry cap.
     cache_entries: int = 128
     #: Plan-cache byte budget over converted matrices (None = unlimited).
@@ -154,6 +181,14 @@ class ServeConfig:
             )
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.batch_window < 0.0:
+            raise ValueError(
+                f"batch_window must be >= 0, got {self.batch_window}"
+            )
+        if self.max_batch_rhs < 1:
+            raise ValueError(
+                f"max_batch_rhs must be >= 1, got {self.max_batch_rhs}"
+            )
         if self.cache_entries < 1:
             raise ValueError(
                 f"cache_entries must be >= 1, got {self.cache_entries}"
@@ -222,6 +257,10 @@ class ServeResult:
     #: plan with the same sparsity structure had its values refreshed in
     #: place of a full re-tune.
     refreshed: bool = False
+    #: RHS columns of the SpMM this request rode in (1 = served as a
+    #: plain SpMV).  ``execute_seconds`` is the batch's kernel time
+    #: divided evenly across its members.
+    batch_size: int = 1
 
     @property
     def total_seconds(self) -> float:
@@ -379,8 +418,55 @@ class _SubmissionQueue:
             self._items.append(request)
             self._not_empty.notify()
 
-    def take_batch(self, max_batch: int) -> Optional[List[_Request]]:
-        """Next batch of same-fingerprint requests; None when drained+closed."""
+    def put_many(
+        self, requests: Sequence[_Request], timeout: Optional[float]
+    ) -> None:
+        """Enqueue ``requests`` atomically (all visible in one dequeue).
+
+        The batched dispatch path needs this: a worker's ``take_batch``
+        must see the whole same-fingerprint burst at once, even with a
+        zero batch window, so it coalesces into one SpMM instead of
+        trickling through as singles.
+        """
+        n = len(requests)
+        if n == 0:
+            return
+        if n > self._capacity:
+            raise BackpressureError(
+                f"batch of {n} exceeds queue capacity ({self._capacity})"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_full:
+            while (
+                len(self._items) + n > self._capacity and not self._closed
+            ):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        raise BackpressureError(
+                            f"submission queue lacks space for {n} "
+                            f"requests ({self._capacity} capacity) "
+                            f"for {timeout}s"
+                        )
+                self._not_full.wait(remaining)
+            if self._closed:
+                raise ServeError("engine is shutting down")
+            self._items.extend(requests)
+            self._not_empty.notify(n)
+
+    def take_batch(
+        self, max_batch: int, window: float = 0.0
+    ) -> Optional[List[_Request]]:
+        """Next batch of same-fingerprint requests; None when drained+closed.
+
+        With ``window > 0`` the caller lingers after the initial
+        extraction, absorbing same-fingerprint arrivals until the window
+        elapses, the batch fills, or the queue closes.  While lingering,
+        queued *other*-fingerprint requests re-notify the condition so an
+        idle sibling worker picks them up instead of waiting behind this
+        batch's window.
+        """
         with self._not_empty:
             while not self._items and not self._closed:
                 self._not_empty.wait()
@@ -388,20 +474,39 @@ class _SubmissionQueue:
                 return None  # closed and drained
             head = self._items.popleft()
             batch = [head]
-            if len(batch) < max_batch:
-                keep: List[_Request] = []
-                for request in self._items:
-                    if (
-                        request.key == head.key
-                        and len(batch) < max_batch
-                    ):
-                        batch.append(request)
-                    else:
-                        keep.append(request)
-                if len(batch) > 1:
-                    self._items = deque(keep)
+            self._extract_same_key(head.key, batch, max_batch)
+            if window > 0.0:
+                expires = time.monotonic() + window
+                while len(batch) < max_batch and not self._closed:
+                    remaining = expires - time.monotonic()
+                    if remaining <= 0.0:
+                        break
+                    if self._items:
+                        # Pass the baton: someone else should serve the
+                        # other-fingerprint backlog while we linger.
+                        self._not_empty.notify()
+                    self._not_empty.wait(remaining)
+                    self._extract_same_key(head.key, batch, max_batch)
             self._not_full.notify(len(batch))
             return batch
+
+    def _extract_same_key(
+        self, key: Fingerprint, batch: List[_Request], max_batch: int
+    ) -> None:
+        """Move queued requests matching ``key`` into ``batch`` (FIFO-
+        preserving for the rest).  Caller holds the lock."""
+        if len(batch) >= max_batch or not self._items:
+            return
+        keep: List[_Request] = []
+        taken = False
+        for request in self._items:
+            if request.key == key and len(batch) < max_batch:
+                batch.append(request)
+                taken = True
+            else:
+                keep.append(request)
+        if taken:
+            self._items = deque(keep)
 
     def drain(self) -> List[_Request]:
         with self._lock:
@@ -453,6 +558,7 @@ class ServingEngine:
             counters=_REFRESH_COUNTERS,
             histograms=("plan_refresh_seconds",),
         )
+        self.metrics.ensure(counters=_SPMM_COUNTERS)
         self.cache = PlanCache(
             max_entries=config.cache_entries, max_bytes=config.cache_bytes
         )
@@ -607,6 +713,87 @@ class ServingEngine:
         self.metrics.gauge("queue_depth").set(len(self._queue))
         return future
 
+    def submit_batch(
+        self,
+        matrix: CSRMatrix,
+        xs: Sequence[np.ndarray],
+        timeout: Optional[float] = None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+        fingerprint: Optional[Fingerprint] = None,
+    ) -> List["Future[ServeResult]"]:
+        """Enqueue a same-matrix burst atomically; one future per vector.
+
+        The requests land in the submission queue in one step, so a
+        worker's ``take_batch`` sees the whole burst at once and (when
+        ``max_batch_rhs`` allows) executes it as a single SpMM — even
+        with ``batch_window == 0``.  This is the fan-in entry point the
+        cluster worker uses for batched shard dispatches.  ``deadlines``
+        gives each member its own end-to-end budget (None entries fall
+        back to the config default); deadlines, retries and failures stay
+        per-request inside the batch.
+        """
+        if not self.running:
+            raise ServeError("engine is not running (call start())")
+        if deadlines is not None and len(deadlines) != len(xs):
+            raise ValueError(
+                f"deadlines has {len(deadlines)} entries for "
+                f"{len(xs)} vectors"
+            )
+        if not xs:
+            return []
+        key = fingerprint if fingerprint is not None else _fingerprint(matrix)
+        requests: List[_Request] = []
+        tracer = obs.get_tracer()
+        for i, x in enumerate(xs):
+            x = np.asarray(x)
+            if x.ndim != 1 or x.shape[0] != matrix.n_cols:
+                self.metrics.counter("requests_invalid").inc()
+                raise ValueError(
+                    f"operand vector {i} has shape {x.shape}; the matrix "
+                    f"needs a 1-D vector of length {matrix.n_cols}"
+                )
+            effective_deadline = (
+                deadlines[i]
+                if deadlines is not None and deadlines[i] is not None
+                else self.config.default_deadline
+            )
+            request = _Request(
+                key,
+                matrix,
+                x,
+                Future(),
+                Deadline.after(effective_deadline)
+                if effective_deadline is not None
+                else None,
+            )
+            if tracer is not None:
+                request.trace_root = tracer.begin(
+                    "serve.request",
+                    parent=None,
+                    fingerprint=str(key),
+                    rows=int(matrix.n_rows),
+                    cols=int(matrix.n_cols),
+                    nnz=int(matrix.nnz),
+                )
+                request.trace_queue = tracer.begin(
+                    "serve.queue", parent=request.trace_root
+                )
+            requests.append(request)
+        effective = (
+            timeout if timeout is not None else self.config.submit_timeout
+        )
+        try:
+            self._queue.put_many(requests, effective)
+        except BaseException as exc:
+            if isinstance(exc, BackpressureError):
+                self.metrics.counter("requests_rejected").inc(len(requests))
+            for request in requests:
+                self._end_trace(request, error=exc)
+            raise
+        self.metrics.counter("requests_submitted").inc(len(requests))
+        self.metrics.gauge("queue_depth").set(len(self._queue))
+        return [request.future for request in requests]
+
     def spmv(
         self,
         matrix: CSRMatrix,
@@ -666,7 +853,9 @@ class ServingEngine:
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
         while True:
-            batch = self._queue.take_batch(self.config.max_batch)
+            batch = self._queue.take_batch(
+                self.config.max_batch, self.config.batch_window
+            )
             if batch is None:
                 return
             self.metrics.gauge("queue_depth").set(len(self._queue))
@@ -731,50 +920,179 @@ class ServingEngine:
                 self._end_trace(request, error=exc)
                 _try_set_exception(request.future, exc)
             return
+        # Mark each future RUNNING exactly once — set_running_or_notify_
+        # cancel raises on a second call, so the SpMM fallback path below
+        # must never re-mark a request.
+        ready: List[Tuple[int, _Request]] = []
         for i, request in enumerate(live):
             if not _try_mark_running(request.future):
                 self._end_trace(request, cancelled=True)
                 continue  # cancelled while queued
-            if request.deadline is not None and request.deadline.expired():
-                self.metrics.counter("deadline_exceeded").inc()
-                self.metrics.counter("requests_failed").inc()
-                exc = DeadlineExceededError(
-                    f"deadline expired during plan resolution "
-                    f"({request.key})"
-                )
-                self._end_trace(request, error=exc)
-                _try_set_exception(request.future, exc)
-                continue
+            ready.append((i, request))
+        max_rhs = self.config.max_batch_rhs
+        pos = 0
+        while pos < len(ready):
+            group = ready[pos : pos + max_rhs]
+            pos += len(group)
+            if len(group) >= 2:
+                self._execute_spmm_group(resolution, group, dequeued_at)
+            else:
+                index, request = group[0]
+                self._serve_one(resolution, index, request, dequeued_at)
+
+    def _serve_one(
+        self,
+        resolution: _Resolution,
+        index: int,
+        request: _Request,
+        dequeued_at: float,
+    ) -> None:
+        """Serve one already-RUNNING request as a plain SpMV."""
+        if self._fail_if_expired(request):
+            return
+        queued = dequeued_at - request.enqueued_at
+        outcome = self._execute_with_retry(resolution, request)
+        if outcome is None:
+            return  # failed; already metered, resolved and traced
+        y, execute_seconds, retries = outcome
+        self._finish_request(
+            resolution,
+            index,
+            request,
+            queued,
+            y,
+            execute_seconds,
+            retries,
+            batch_size=1,
+        )
+
+    def _execute_spmm_group(
+        self,
+        resolution: _Resolution,
+        group: Sequence[Tuple[int, _Request]],
+        dequeued_at: float,
+    ) -> None:
+        """One multi-RHS pass for a same-fingerprint group.
+
+        Members past their deadline are excluded *before* stacking (and
+        failed per-request); the survivors' vectors are stacked into one
+        dense RHS block and executed under a single ``serve.execute``
+        span carrying a ``batch_size`` attribute.  If the batched pass
+        fails — injected fault or real — the whole group falls back to
+        per-request SpMV so one poisoned request cannot fail its
+        batchmates; retries, deadlines and fault injection then apply
+        individually, exactly as for unbatched requests.
+        """
+        live = [
+            (index, request)
+            for index, request in group
+            if not self._fail_if_expired(request)
+        ]
+        if not live:
+            return
+        if len(live) == 1:
+            self._serve_one(resolution, live[0][0], live[0][1], dequeued_at)
+            return
+        k = len(live)
+        head = live[0][1]
+        tracer = obs.get_tracer()
+        execute_ctx = (
+            tracer.span(
+                "serve.execute",
+                parent=head.trace_root,
+                kernel=resolution.kernel_name,
+                batch_size=k,
+            )
+            if tracer is not None and head.trace_root is not None
+            else obs.NULL_SPAN
+        )
+        try:
+            with execute_ctx:
+                started = time.perf_counter()
+                if self.faults is not None:
+                    self.faults.on_call("spmm")
+                X = np.stack([request.x for _, request in live], axis=1)
+                Y = resolution.plan.spmm(X)
+                elapsed = time.perf_counter() - started
+        except Exception:
+            # Per-request isolation: re-run the members individually so a
+            # poisoned vector (or an injected spmm fault) fails only its
+            # own request.  Futures are already RUNNING — _serve_one does
+            # not re-mark them.
+            self.metrics.counter("spmm_fallbacks").inc()
+            for index, request in live:
+                self._serve_one(resolution, index, request, dequeued_at)
+            return
+        self.metrics.counter("spmm_batches_total").inc()
+        self.metrics.counter("spmm_requests_batched").inc(k)
+        self.metrics.histogram(
+            "spmm_batch_rhs", buckets=(2, 4, 8, 16, 32, 64, 128)
+        ).observe(k)
+        per_request = elapsed / k
+        for offset, (index, request) in enumerate(live):
             queued = dequeued_at - request.enqueued_at
-            outcome = self._execute_with_retry(resolution, request)
-            if outcome is None:
-                continue  # failed; already metered, resolved and traced
-            y, execute_seconds, retries = outcome
-            result = ServeResult(
-                y=y,
-                fingerprint=request.key,
-                format_name=resolution.format_name,
-                kernel_name=resolution.kernel_name,
-                cache_hit=resolution.cache_hit or i > 0,
-                used_fallback=resolution.used_fallback,
-                queued_seconds=queued,
-                plan_seconds=resolution.seconds if i == 0 else 0.0,
-                execute_seconds=execute_seconds,
-                degraded=resolution.degraded,
-                retries=retries,
-                refreshed=resolution.refreshed and i == 0,
-            )
-            self._observe(result)
-            self._end_trace(
+            self._finish_request(
+                resolution,
+                index,
                 request,
-                format=result.format_name.value,
-                kernel=result.kernel_name,
-                cache_hit=result.cache_hit,
-                coalesced=i > 0,
-                degraded=result.degraded,
-                retries=retries,
+                queued,
+                np.ascontiguousarray(Y[:, offset]),
+                per_request,
+                0,
+                batch_size=k,
             )
-            _try_set_result(request.future, result)
+
+    def _fail_if_expired(self, request: _Request) -> bool:
+        """Fail an already-RUNNING request whose deadline has expired."""
+        if request.deadline is None or not request.deadline.expired():
+            return False
+        self.metrics.counter("deadline_exceeded").inc()
+        self.metrics.counter("requests_failed").inc()
+        exc = DeadlineExceededError(
+            f"deadline expired during plan resolution ({request.key})"
+        )
+        self._end_trace(request, error=exc)
+        _try_set_exception(request.future, exc)
+        return True
+
+    def _finish_request(
+        self,
+        resolution: _Resolution,
+        index: int,
+        request: _Request,
+        queued: float,
+        y: np.ndarray,
+        execute_seconds: float,
+        retries: int,
+        batch_size: int,
+    ) -> None:
+        result = ServeResult(
+            y=y,
+            fingerprint=request.key,
+            format_name=resolution.format_name,
+            kernel_name=resolution.kernel_name,
+            cache_hit=resolution.cache_hit or index > 0,
+            used_fallback=resolution.used_fallback,
+            queued_seconds=queued,
+            plan_seconds=resolution.seconds if index == 0 else 0.0,
+            execute_seconds=execute_seconds,
+            degraded=resolution.degraded,
+            retries=retries,
+            refreshed=resolution.refreshed and index == 0,
+            batch_size=batch_size,
+        )
+        self._observe(result)
+        self._end_trace(
+            request,
+            format=result.format_name.value,
+            kernel=result.kernel_name,
+            cache_hit=result.cache_hit,
+            coalesced=index > 0,
+            degraded=result.degraded,
+            retries=retries,
+            batch_size=batch_size,
+        )
+        _try_set_result(request.future, result)
 
     def _execute_with_retry(
         self, resolution: _Resolution, request: _Request

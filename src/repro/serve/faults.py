@@ -2,7 +2,8 @@
 
 A :class:`FaultPlan` wraps the seams where serving can fail — the tuner
 decision (``decide``), the format conversion (``convert``), the tier-2
-value refresh (``refresh``) and the kernel (``execute``) — and injects
+value refresh (``refresh``), the kernel (``execute``) and the batched
+multi-RHS pass (``spmm``) — and injects
 exceptions and latency according to a
 list of :class:`FaultRule` windows.  Determinism is the point: rules are
 indexed by *per-site call counts* and probabilistic rules draw from one
@@ -36,7 +37,7 @@ import numpy as np
 from repro.errors import ServeError, TransientError
 
 #: The engine seams a rule may attach to.
-SITES = ("decide", "convert", "refresh", "execute")
+SITES = ("decide", "convert", "refresh", "execute", "spmm")
 
 #: What an injected fault does at its site.
 KINDS = ("transient", "fatal", "latency")

@@ -58,6 +58,24 @@ class CachedPlan:
         """Run the plan's kernel on one operand vector."""
         return self.decision.kernel(self.decision.matrix, x)
 
+    def spmm(self, X):
+        """Run the plan on a column-stacked RHS block ``(n_cols, k)``.
+
+        Formats with a native multi-RHS kernel make one pass over the
+        converted operand; everything else (HYB/BCSR/...) degrades
+        transparently to column-by-column calls of the plan's own tuned
+        kernel — same results, no amortisation.
+        """
+        from repro.kernels.spmm import spmm_fallback, spmm_kernel_for
+
+        matrix = self.decision.matrix
+        kernel = spmm_kernel_for(matrix.format_name)
+        if kernel is not None:
+            return kernel(matrix, X)
+        return spmm_fallback(
+            matrix, X, spmv=lambda col: self.decision.kernel(matrix, col)
+        )
+
 
 class PlanCache:
     """A thread-safe LRU cache of :class:`CachedPlan` objects."""

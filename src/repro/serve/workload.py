@@ -223,6 +223,70 @@ def replay(
     )
 
 
+def replay_fan_in(
+    engine: ServingEngine,
+    pool: Sequence[CSRMatrix],
+    bursts: int,
+    fan_in: int,
+    seed: int = 99,
+    verify: bool = True,
+) -> ReplayReport:
+    """Drive same-matrix request bursts through ``engine``.
+
+    The fan-in workload: ``bursts`` rounds, each submitting ``fan_in``
+    requests against *one* pool matrix (round-robin over the pool) in a
+    single :meth:`~repro.serve.engine.ServingEngine.submit_batch` call —
+    the shape a cluster worker presents when the dispatcher coalesces a
+    same-fingerprint burst.  Whether the engine actually stacks them into
+    an SpMM depends on its ``max_batch_rhs``; running the same workload
+    against a batched and an unbatched engine isolates exactly the
+    batching speedup.  Operand vectors are drawn from a seeded generator,
+    so two replays with the same seed see identical requests.
+    """
+    if bursts < 1:
+        raise ValueError(f"bursts must be >= 1, got {bursts}")
+    if fan_in < 1:
+        raise ValueError(f"fan_in must be >= 1, got {fan_in}")
+    rng = np.random.default_rng(seed)
+    import time
+
+    results: List[ServeResult] = []
+    mismatches = 0
+    errors: List[BaseException] = []
+    started = time.perf_counter()
+    for burst in range(bursts):
+        matrix = pool[burst % len(pool)]
+        xs = [
+            rng.standard_normal(matrix.n_cols).astype(matrix.dtype)
+            for _ in range(fan_in)
+        ]
+        try:
+            futures = engine.submit_batch(matrix, xs)
+        except BaseException as exc:  # collected, not raised: the
+            errors.append(exc)       # report decides pass/fail
+            continue
+        for x, future in zip(xs, futures):
+            try:
+                result = future.result()
+            except BaseException as exc:
+                errors.append(exc)
+                continue
+            results.append(result)
+            # allclose for the same reason as replay(): the batched
+            # kernel and the reference loop may sum in different orders.
+            if verify and not np.allclose(
+                result.y, matrix.spmv(x), atol=1e-9
+            ):
+                mismatches += 1
+    wall = time.perf_counter() - started
+    return ReplayReport(
+        results=results,
+        mismatches=mismatches,
+        errors=errors,
+        wall_seconds=wall,
+    )
+
+
 def _operands_for(
     pool: Sequence[CSRMatrix], seed: int
 ) -> List[np.ndarray]:

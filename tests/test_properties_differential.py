@@ -31,6 +31,7 @@ from repro.errors import ConversionError
 from repro.formats.convert import convert
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
+from repro.kernels.spmm import spmm_formats, spmm_kernel_for
 from repro.types import FormatName
 
 #: Number of generated matrices in the sweep (the acceptance floor is 200).
@@ -163,6 +164,58 @@ def test_all_formats_agree_on_generated_matrix(seed: int) -> None:
     rng = np.random.default_rng(10_000 + seed)
     csr = with_dyadic_data(_structure_for(seed), rng)
     assert_formats_agree(csr, rng)
+
+
+#: RHS block widths for the SpMM sweep: 1 (the degenerate batch), small
+#: odd widths, and one width past every kernel's internal blocking.
+SPMM_WIDTHS = (1, 2, 3, 5, 8, 13, 64)
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_spmm_matches_sequential_spmv(seed: int) -> None:
+    """Every native SpMM kernel is bitwise equal to column-by-column SpMV.
+
+    Same dyadic-value trick as the SpMV sweep: exact arithmetic makes
+    the batched reduction order irrelevant, so the multi-RHS kernels
+    (including their degree-grouping, heavy-row and blocking paths) must
+    reproduce the sequential result bit for bit — on full blocks, on a
+    batch of one, and on ragged sub-batches whose final slice is
+    narrower than the rest.
+    """
+    rng = np.random.default_rng(20_000 + seed)
+    csr = with_dyadic_data(_structure_for(seed), rng)
+    k = SPMM_WIDTHS[seed % len(SPMM_WIDTHS)]
+    X = np.stack(
+        [dyadic_operand(rng, csr.n_cols) for _ in range(k)], axis=1
+    )
+    y_ref = np.stack(
+        [csr.spmv(X[:, j], reference=True) for j in range(k)], axis=1
+    )
+    for name in spmm_formats():
+        if name is FormatName.CSR:
+            converted = csr
+        else:
+            converted, _ = convert(csr, name, fill_budget=None)
+        kernel = spmm_kernel_for(name)
+        Y = kernel(converted, X)
+        assert Y.shape == (csr.n_rows, k)
+        assert Y.dtype == y_ref.dtype
+        assert np.array_equal(Y, y_ref), (
+            f"{name.value} spmm differs from sequential SpMV"
+        )
+        # Ragged sweep: widths that don't divide k leave a narrower
+        # final batch, the shape a draining serve queue produces.
+        width = max(1, k // 2 + 1)
+        parts = [
+            kernel(converted, X[:, lo : lo + width])
+            for lo in range(0, k, width)
+        ]
+        assert np.array_equal(np.concatenate(parts, axis=1), y_ref), (
+            f"{name.value} spmm differs on ragged sub-batches"
+        )
+    # The plan-facing default (CSR-reference fallback) obeys the same
+    # oracle, so formats without a native kernel degrade correctly.
+    assert np.array_equal(csr.spmm(X), y_ref)
 
 
 # ---------------------------------------------------------------------------
