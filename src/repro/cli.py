@@ -152,6 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="training collection fraction (default 0.05)")
     serve.add_argument("--online", action="store_true",
                        help="serve through OnlineSmat (learn from fallbacks)")
+    serve.add_argument("--online-retrain", action="store_true",
+                       dest="online_retrain",
+                       help="closed-loop mode (implies --online): force "
+                            "execute-and-measure on every cold decision so "
+                            "serve records accumulate fast, retrain every "
+                            "few records, and require the engine to observe "
+                            "a ruleset hot-swap mid-replay (exits non-zero "
+                            "if no retrain or no swap happened)")
+    serve.add_argument("--tune-budget", type=float, default=None,
+                       metavar="UNITS", dest="tune_budget",
+                       help="per-decision overhead budget in CSR-SpMV "
+                            "units; enables the staged decision cascade "
+                            "(cheap bounds -> full extraction -> "
+                            "execute-and-measure -> CSR floor)")
     serve.add_argument("--value-churn", type=int, default=None,
                        metavar="N", dest="value_churn",
                        help="value-churn mode: serve N value updates per "
@@ -400,6 +414,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     from repro.tuner import SMAT, OnlineSmat
 
+    if args.online_retrain:
+        args.online = True
+    if args.tune_budget is not None and args.tune_budget <= 0:
+        print(f"error: --tune-budget ({args.tune_budget}) must be > 0",
+              file=sys.stderr)
+        return 1
     if args.crash_after is not None and not args.cluster:
         print("error: --crash-after needs --cluster", file=sys.stderr)
         return 1
@@ -476,7 +496,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         ),
         backend=backend,
     )
-    if args.online:
+    from dataclasses import replace as _dc_replace
+
+    if args.tune_budget is not None:
+        tuner.config = _dc_replace(
+            tuner.config, tune_budget_units=args.tune_budget
+        )
+    if args.online_retrain:
+        # Force every cold decision through execute-and-measure so the
+        # replay generates labelled records fast, and retrain after a
+        # handful of them — the point is to observe a hot-swap, not to
+        # win the benchmark.
+        tuner.config = _dc_replace(tuner.config, confidence_threshold=1.0)
+        tuner = OnlineSmat(
+            tuner, retrain_every=max(2, args.matrices // 4)
+        )
+    elif args.online:
         tuner = OnlineSmat(tuner)
 
     pool = build_matrix_pool(args.matrices, seed=args.seed)
@@ -557,9 +592,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
           f"value-refreshed "
           f"({int(counters['structure_hits'])} tier-2 structure hits, "
           f"{int(counters['plan_refresh_failures'])} failures)")
+    if args.tune_budget is not None:
+        print(f"cascade    : {int(counters['cascade_cheap_hits'])} cheap, "
+              f"{int(counters['cascade_full_hits'])} full, "
+              f"{int(counters['cascade_measure_decisions'])} measured, "
+              f"{int(counters['cascade_floor_decisions'])} floored "
+              f"(budget {args.tune_budget:g} CSR-SpMV units)")
     if args.online:
         print(f"online     : {tuner.observations} fallback records, "
               f"{tuner.retrain_count} retrains")
+    if args.online_retrain:
+        swaps = int(counters["ruleset_swaps"])
+        print(f"hot-swap   : {swaps} ruleset swaps observed by the "
+              f"engine (model epoch {tuner.model_epoch})")
     if report.mismatches:
         print(f"error: {report.mismatches} product mismatches",
               file=sys.stderr)
@@ -572,6 +617,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"requests failed ({report.errors[0]!r})",
               file=sys.stderr)
         if not faults:
+            return 1
+    if args.online_retrain:
+        # The closed loop only counts as demonstrated if a retrain
+        # actually produced a new ruleset AND the running engine served
+        # at least one decision under it mid-replay.
+        if tuner.retrain_count == 0:
+            print("error: --online-retrain replay finished without a "
+                  "successful retrain (no ruleset was ever produced)",
+                  file=sys.stderr)
+            return 1
+        if int(counters["ruleset_swaps"]) == 0:
+            print("error: --online-retrain replay finished without the "
+                  "engine observing a ruleset hot-swap (retrained model "
+                  "never reached a live decision)",
+                  file=sys.stderr)
             return 1
     return 0
 

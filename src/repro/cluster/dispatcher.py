@@ -56,6 +56,8 @@ from repro.cluster.messages import (
     Heartbeat,
     InvalidateReply,
     InvalidateRequest,
+    ModelUpdate,
+    ModelUpdateReply,
     PlanHandle,
     ShardReply,
     ShardRequest,
@@ -102,6 +104,9 @@ _CLUSTER_COUNTERS = (
     "shard_breaker_opened",
     "shard_breaker_probes",
     "shard_breaker_recovered",
+    "model_pushes",
+    "model_push_acks",
+    "model_push_failures",
 )
 
 
@@ -393,6 +398,10 @@ class ClusterDispatcher:
         self._batch_deadlines: Dict[Tuple[int, Fingerprint], float] = {}
         self._started = False
         self._stopping = False
+        #: Monotonic ruleset-push counter; echoed in ModelUpdateReply.
+        self._model_epoch = 0
+        #: Latest pushed ruleset, replayed to respawned workers.
+        self._last_pushed_model: Optional[object] = None
         self._collector: Optional[threading.Thread] = None
         self._monitor: Optional[threading.Thread] = None
         self._flusher: Optional[threading.Thread] = None
@@ -650,6 +659,40 @@ class ClusterDispatcher:
             return False
         self._send_invalidate(handle)
         return True
+
+    def push_model(self, model) -> int:
+        """Broadcast a retrained ruleset to every live shard.
+
+        The serving loop's close: an :class:`~repro.tuner.OnlineSmat`
+        retrained from serve telemetry (dispatcher-side or offline) is
+        hot-swapped into each worker's engine without a restart.  The
+        model is nested plain dataclasses — no arrays — so the push
+        keeps the zero-copy invariant.  Returns the number of shards the
+        update was sent to; worker acks land on ``model_push_acks`` (or
+        ``model_push_failures``).
+        """
+        with self._lock:
+            if not self._started or self._stopping:
+                raise ServeError("cluster is not running (call start())")
+            self._model_epoch += 1
+            epoch = self._model_epoch
+            self._last_pushed_model = model
+            targets = [
+                shard
+                for shard in self._shards.values()
+                if not shard.dead and shard.request_q is not None
+            ]
+        message = ModelUpdate(model=model, epoch=epoch)
+        sent = 0
+        for shard in targets:
+            self._charge_payload(message)
+            try:
+                shard.request_q.put(message)
+            except (OSError, ValueError):  # queue closed under us
+                continue
+            sent += 1
+        self.metrics.counter("model_pushes").inc(sent)
+        return sent
 
     def shard_assignments(self) -> Dict[int, List[Fingerprint]]:
         """Which structures live on which shard (diagnostics/tests)."""
@@ -927,6 +970,11 @@ class ClusterDispatcher:
                 handle = self._invalidating.get(message.fingerprint)
             if handle is not None:
                 self._reclaim(handle)
+        elif isinstance(message, ModelUpdateReply):
+            if message.ok:
+                self.metrics.counter("model_push_acks").inc()
+            else:
+                self.metrics.counter("model_push_failures").inc()
         else:  # WorkerExit
             self._on_worker_exit(message)
 
@@ -1159,6 +1207,17 @@ class ClusterDispatcher:
                 warm = WarmRequest(handles=handles)
                 self._charge_payload(warm)
                 request_q.put(warm)
+            # A respawned worker starts from the spec's original tuner;
+            # replay the latest pushed ruleset so it doesn't serve stale
+            # rules until the next broadcast.
+            with self._lock:
+                last_model = self._last_pushed_model
+                epoch = self._model_epoch
+            if last_model is not None:
+                update = ModelUpdate(model=last_model, epoch=epoch)
+                self._charge_payload(update)
+                request_q.put(update)
+                self.metrics.counter("model_pushes").inc()
             for pending in pendings:
                 pending.redispatches += 1
                 if pending.redispatches > self.config.max_redispatches:

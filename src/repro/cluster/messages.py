@@ -103,6 +103,33 @@ class ShutdownRequest:
 
 
 @dataclass(frozen=True)
+class ModelUpdate:
+    """Hot-swap the worker engine's tuner ruleset without a restart.
+
+    Carries the retrained :class:`~repro.learning.model.LearningModel`
+    itself — nested plain dataclasses of rules and thresholds with no
+    NumPy arrays, so pickling it keeps the zero-copy operand invariant
+    (``ndarray_payload_bytes`` stays 0).  ``epoch`` is the dispatcher's
+    monotonic push counter, echoed in the reply so acks can be matched
+    to pushes.
+    """
+
+    model: object
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ModelUpdateReply:
+    """The worker swapped (or failed to swap) its ruleset."""
+
+    shard_id: int
+    generation: int
+    epoch: int
+    ok: bool
+    error: Optional[Tuple[str, str]] = None
+
+
+@dataclass(frozen=True)
 class CrashRequest:
     """Test-only: die immediately and uncleanly (``os._exit``)."""
 

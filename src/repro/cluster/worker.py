@@ -45,6 +45,8 @@ from repro.cluster.messages import (
     Heartbeat,
     InvalidateReply,
     InvalidateRequest,
+    ModelUpdate,
+    ModelUpdateReply,
     PlanHandle,
     ShardReply,
     ShardRequest,
@@ -176,6 +178,8 @@ class WorkerRuntime:
             self._warm(message)
         elif isinstance(message, InvalidateRequest):
             self._invalidate(message)
+        elif isinstance(message, ModelUpdate):
+            self._install_model(message)
         elif isinstance(message, CrashRequest):
             self.exit_fn(13)
         else:
@@ -358,6 +362,35 @@ class WorkerRuntime:
                 generation=self.generation,
                 warmed=warmed,
                 failed=failed,
+            )
+        )
+
+    def _install_model(self, message: ModelUpdate) -> None:
+        """Hot-swap the engine tuner's ruleset mid-serving.
+
+        An :class:`~repro.tuner.online.OnlineSmat` tuner takes the swap
+        through ``install_model`` (epoch bump under its lock, so the
+        engine's ``ruleset_swaps`` counter observes it); a plain SMAT
+        gets the single-assignment model swap — decisions in flight see
+        the old or the new model, never a torn one.
+        """
+        try:
+            tuner = self.engine.tuner
+            install = getattr(tuner, "install_model", None)
+            if install is not None:
+                install(message.model)
+            else:
+                tuner.model = message.model
+            ok, error = True, None
+        except Exception as exc:
+            ok, error = False, (type(exc).__name__, str(exc))
+        self.replies.put(
+            ModelUpdateReply(
+                shard_id=self.shard_id,
+                generation=self.generation,
+                epoch=message.epoch,
+                ok=ok,
+                error=error,
             )
         )
 

@@ -1,5 +1,10 @@
 """Sparse-structure feature extraction (Section 4, Table 2)."""
 
+from repro.features.cheap import (
+    CHEAP_CENSUS_COST_SPMV_UNITS,
+    CHEAP_COST_SPMV_UNITS,
+    CheapFeatures,
+)
 from repro.features.extract import (
     TRUE_DIAGONAL_THRESHOLD,
     extract_features,
@@ -11,6 +16,9 @@ from repro.features.parameters import FEATURE_NAMES, FeatureVector
 from repro.features.powerlaw import estimate_power_law_exponent
 
 __all__ = [
+    "CHEAP_CENSUS_COST_SPMV_UNITS",
+    "CHEAP_COST_SPMV_UNITS",
+    "CheapFeatures",
     "FEATURE_NAMES",
     "FeatureVector",
     "LazyFeatures",

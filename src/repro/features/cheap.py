@@ -1,0 +1,280 @@
+"""Stage-0 cheap features: degree statistics and diagonal *bounds*.
+
+The decision cascade (Elafrou et al.'s lightweight-selection argument,
+PAPERS.md) needs a feature tier strictly cheaper than the Table 2
+structure pass: everything here derives from ``indptr`` diffs and two
+O(rows) gathers — no sort, no ``np.unique`` census, no power-law fit.
+
+The trick that keeps the cheap tier *sound* is interval arithmetic.
+Every parameter is reported as a ``[lo, hi]`` bound:
+
+* degree-derived parameters (m, n, nnz, aver_RD, max_RD, var_RD, ER_ELL)
+  are exact — ``lo == hi``;
+* ``Ndiags`` is bounded below by ``max_RD`` (one row's entries occupy
+  distinct diagonals) and above by the occupied band span
+  ``max_offset - min_offset + 1``;
+* ``ER_DIA = nnz / (Ndiags * m)`` inherits the reciprocal bounds;
+* ``NTdiags_ratio`` is ``[0, 1]`` and the power-law ``R`` is unbounded —
+  rules over them simply cannot resolve cheaply.
+
+A rule condition evaluated against bounds returns true/false only when
+*provable*; the cascade escalates on "unknown", so a stage-0 answer is
+always identical to what the full extraction would have produced.
+
+For narrow bands there is a middle gear: when the occupied span fits
+``census_max_diags``, :meth:`CheapFeatures.ensure_census` runs an exact
+diagonal census with ``np.bincount`` over the span — O(nnz) with no sort,
+unlike the general ``np.unique`` census — which makes every step-one
+parameter exact at a fraction of the full pass's cost.  This is what lets
+DIA-friendly banded matrices (whose rules need ``Ndiags``/``ER_DIA``)
+still resolve at stage 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.features.extract import TRUE_DIAGONAL_THRESHOLD
+from repro.features.parameters import FEATURE_NAMES
+from repro.formats.csr import CSRMatrix
+from repro.types import INDEX_DTYPE
+from repro.util.stats import gini_like_variance
+
+#: Cost of the degree/band pass, in units of one CSR SpMV.  It touches
+#: ``indptr`` (O(rows)) plus two O(rows) gathers into ``indices`` —
+#: roughly a tenth of the fused structure pass's traffic.
+CHEAP_COST_SPMV_UNITS = 0.1
+
+#: Cost of the narrow-band exact census: one O(nnz) ``bincount`` pass,
+#: no sort — cheaper than the ``np.unique`` (sort-based) census of the
+#: full structure pass but real work all the same.
+CHEAP_CENSUS_COST_SPMV_UNITS = 0.4
+
+#: Parameters the narrow-band census makes exact.
+CENSUS_PARAMS = frozenset({"ndiags", "ntdiags_ratio", "er_dia"})
+
+_UNBOUNDED = (-np.inf, np.inf)
+
+
+class CheapFeatures:
+    """Interval bounds over the Table 2 parameters from O(rows) work.
+
+    ``get_bound(name)`` returns ``(lo, hi)``; exact values have
+    ``lo == hi``.  Accessing a census parameter while the occupied band
+    span fits ``census_max_diags`` lazily runs the exact bincount census
+    (and tightens those bounds to points).  ``cost_units`` reports the
+    work actually done, in CSR-SpMV units, for the cascade's budget
+    ledger.
+    """
+
+    def __init__(
+        self, matrix: CSRMatrix, census_max_diags: int = 512
+    ) -> None:
+        self._matrix = matrix
+        self.census_max_diags = census_max_diags
+        self._census_ran = False
+        self._bounds: Dict[str, Tuple[float, float]] = {}
+        self._structure: Optional[dict] = None
+        with obs.span(
+            "features.cheap",
+            rows=int(matrix.n_rows),
+            nnz=int(matrix.nnz),
+        ):
+            self._degree_pass()
+
+    # ------------------------------------------------------------------
+    def _degree_pass(self) -> None:
+        matrix = self._matrix
+        m, n = matrix.shape
+        nnz = int(matrix.nnz)
+        degrees = matrix.row_degrees()
+        aver_rd = nnz / m
+        max_rd = int(degrees.max()) if degrees.size else 0
+        var_rd = gini_like_variance(degrees, aver_rd)
+        er_ell = nnz / (max_rd * m) if max_rd else 1.0
+
+        bounds = self._bounds
+        for name, value in (
+            ("m", float(m)),
+            ("n", float(n)),
+            ("nnz", float(nnz)),
+            ("aver_rd", aver_rd),
+            ("max_rd", float(max_rd)),
+            ("var_rd", var_rd),
+            ("er_ell", er_ell),
+        ):
+            bounds[name] = (value, value)
+        bounds["r"] = _UNBOUNDED
+
+        if nnz == 0:
+            # The empty matrix's step-one parameters are all fixed by
+            # convention (see extract_structure_features); report them
+            # exactly so rule walks never escalate over nothing.
+            bounds["ndiags"] = (0.0, 0.0)
+            bounds["ntdiags_ratio"] = (0.0, 0.0)
+            bounds["er_dia"] = (1.0, 1.0)
+            self._band = None
+            return
+
+        # Occupied band span from each non-empty row's first/last column:
+        # two O(rows) gathers, no pass over the full index array.  The
+        # every-row-occupied case (the common one) skips the boolean
+        # masking, which otherwise costs as much as the gathers.
+        ptr = matrix.ptr
+        rows_idx = np.arange(m, dtype=INDEX_DTYPE)
+        if int(degrees.min()) > 0:
+            first = matrix.indices[ptr[:-1]] - rows_idx
+            last = matrix.indices[ptr[1:] - 1] - rows_idx
+        else:
+            nz = degrees > 0
+            rows_idx = rows_idx[nz]
+            first = matrix.indices[ptr[:-1][nz]] - rows_idx
+            last = matrix.indices[ptr[1:][nz] - 1] - rows_idx
+        lo_off = int(first.min())
+        hi_off = int(last.max())
+        span = hi_off - lo_off + 1
+        self._band = (lo_off, span)
+
+        # Within one row, column indices are distinct, so its entries sit
+        # on distinct diagonals: Ndiags >= max_RD.  The occupied span is
+        # the upper bound.
+        nd_lo = float(max(max_rd, 1))
+        nd_hi = float(span)
+        bounds["ndiags"] = (nd_lo, nd_hi)
+        bounds["er_dia"] = (nnz / (nd_hi * m), nnz / (nd_lo * m))
+        bounds["ntdiags_ratio"] = (0.0, 1.0)
+
+        if span == max_rd:
+            # Contiguous dense band.  A max-degree row has max_RD entries
+            # on distinct offsets inside the span-wide window, and the
+            # window is exactly max_RD slots — so every such row occupies
+            # *every* offset in the band.  That pins Ndiags == span (and
+            # ER_DIA) exactly, and counting max-degree rows lower-bounds
+            # each diagonal's occupancy: diagonal k spans a contiguous
+            # range of len_k rows, so at least full_rows - (m - len_k)
+            # of its slots are filled.  No census, still sound.
+            full_rows = int(np.count_nonzero(degrees == max_rd))
+            offsets = np.arange(lo_off, hi_off + 1)
+            lengths = np.maximum(
+                np.minimum(m, n - offsets) - np.maximum(0, -offsets), 1
+            )
+            occ_lo = (full_rows - (m - lengths)) / lengths
+            n_true_lo = int(
+                np.count_nonzero(occ_lo >= TRUE_DIAGONAL_THRESHOLD)
+            )
+            bounds["ndiags"] = (nd_hi, nd_hi)
+            er_dia = nnz / (nd_hi * m)
+            bounds["er_dia"] = (er_dia, er_dia)
+            bounds["ntdiags_ratio"] = (n_true_lo / nd_hi, 1.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def census_ran(self) -> bool:
+        return self._census_ran
+
+    @property
+    def census_feasible(self) -> bool:
+        """True when the occupied band span fits the census budget."""
+        return (
+            self._band is not None
+            and self._band[1] <= self.census_max_diags
+        )
+
+    def ensure_census(self) -> bool:
+        """Run the exact narrow-band census if feasible; True when the
+        census parameters are exact afterwards."""
+        if self._census_ran or self._matrix.nnz == 0:
+            return True
+        if not self.census_feasible:
+            return False
+        assert self._band is not None
+        lo_off, span = self._band
+        matrix = self._matrix
+        m, n = matrix.shape
+        nnz = int(matrix.nnz)
+        with obs.span("features.cheap_census", span=span, nnz=nnz):
+            row_of = np.repeat(
+                np.arange(m, dtype=INDEX_DTYPE), matrix.row_degrees()
+            )
+            diag_of = matrix.indices - row_of
+            counts_all = np.bincount(diag_of - lo_off, minlength=span)
+            present = counts_all > 0
+            offsets = np.nonzero(present)[0] + lo_off
+            counts = counts_all[present]
+            lengths = np.minimum(m, n - offsets) - np.maximum(0, -offsets)
+            occupancy = counts / np.maximum(lengths, 1)
+            n_true = int(
+                np.count_nonzero(occupancy >= TRUE_DIAGONAL_THRESHOLD)
+            )
+            ndiags = int(offsets.shape[0])
+        ntdiags_ratio = (n_true / ndiags) if ndiags else 0.0
+        er_dia = nnz / (ndiags * m) if ndiags else 1.0
+        self._bounds["ndiags"] = (float(ndiags), float(ndiags))
+        self._bounds["ntdiags_ratio"] = (ntdiags_ratio, ntdiags_ratio)
+        self._bounds["er_dia"] = (er_dia, er_dia)
+        self._census_ran = True
+        return True
+
+    # ------------------------------------------------------------------
+    def get_bound(self, name: str) -> Tuple[float, float]:
+        """``(lo, hi)`` for one parameter from the work done so far.
+
+        A pure read — never escalates.  Callers that fail to resolve a
+        rule condition against an interval ask :meth:`tightened_bound`
+        for the exact value instead.
+        """
+        if name not in FEATURE_NAMES:
+            raise KeyError(f"unknown feature parameter: {name}")
+        return self._bounds[name]
+
+    def tightened_bound(self, name: str) -> Tuple[float, float]:
+        """``get_bound`` after spending the narrow-band census (when it
+        is feasible and would actually tighten ``name``)."""
+        bound = self.get_bound(name)
+        if (
+            name in CENSUS_PARAMS
+            and bound[0] != bound[1]
+            and not self._census_ran
+            and self.census_feasible
+        ):
+            self.ensure_census()
+            bound = self._bounds[name]
+        return bound
+
+    @property
+    def cost_units(self) -> float:
+        """Work done so far, in units of one CSR SpMV."""
+        cost = CHEAP_COST_SPMV_UNITS
+        if self._census_ran:
+            cost += CHEAP_CENSUS_COST_SPMV_UNITS
+        return cost
+
+    def structure_snapshot(self) -> Optional[dict]:
+        """The full step-one dict when every structure parameter is
+        exact — because the census ran, the dense-band shortcut pinned
+        all three census parameters, or the matrix is empty.  Used to
+        seed :class:`~repro.features.incremental.LazyFeatures` on
+        escalation so the structure pass is never paid twice.  None when
+        any census bound is still an interval.
+        """
+        b = self._bounds
+        exact = self._census_ran or all(
+            b[name][0] == b[name][1] for name in CENSUS_PARAMS
+        )
+        if self._matrix.nnz != 0 and not exact:
+            return None
+        return {
+            "m": int(b["m"][0]),
+            "n": int(b["n"][0]),
+            "ndiags": int(b["ndiags"][0]),
+            "ntdiags_ratio": float(b["ntdiags_ratio"][0]),
+            "nnz": int(b["nnz"][0]),
+            "aver_rd": float(b["aver_rd"][0]),
+            "max_rd": int(b["max_rd"][0]),
+            "var_rd": float(b["var_rd"][0]),
+            "er_dia": float(b["er_dia"][0]),
+            "er_ell": float(b["er_ell"][0]),
+        }

@@ -38,11 +38,19 @@ class LazyFeatures:
     >>> lazy.get("ndiags")                   # runs step one only
     >>> lazy.get("r")                        # runs step two on demand
     >>> lazy.extraction_cost_spmv_units()    # what the accesses cost
+
+    ``structure`` seeds the step-one dict when a caller already holds
+    exact values (the cascade's narrow-band census produces the full
+    step-one set at bincount prices); a seeded instance never re-runs
+    the structure pass and never charges its cost.
     """
 
-    def __init__(self, matrix: CSRMatrix) -> None:
+    def __init__(
+        self, matrix: CSRMatrix, structure: Optional[dict] = None
+    ) -> None:
         self._matrix = matrix
-        self._structure: Optional[dict] = None
+        self._structure: Optional[dict] = structure
+        self._seeded = structure is not None
         self._r: Optional[float] = None
 
     @property
@@ -82,9 +90,13 @@ class LazyFeatures:
         return FeatureVector(r=r, **self._structure)
 
     def extraction_cost_spmv_units(self) -> float:
-        """Extraction work done so far, in units of one CSR-SpMV."""
+        """Extraction work done so far, in units of one CSR-SpMV.
+
+        A seeded structure dict was computed (and charged) elsewhere, so
+        only a structure pass this instance actually ran counts here.
+        """
         cost = 0.0
-        if self._structure is not None:
+        if self._structure is not None and not self._seeded:
             cost += STRUCTURE_COST_SPMV_UNITS
         if self._r is not None:
             cost += POWERLAW_COST_SPMV_UNITS

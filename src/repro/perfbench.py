@@ -30,7 +30,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.collection import banded, graphs
+from repro.collection import banded, generate_collection, graphs
 from repro.features.extract import extract_structure_features
 from repro.formats import reference
 from repro.formats.convert import (
@@ -46,6 +46,10 @@ from repro.kernels.base import find_kernel
 from repro.kernels.parallel import csr_spmv_thread, default_workers
 from repro.kernels.spmm import csr_spmm, dia_spmm, ell_spmm
 from repro.kernels.strategies import Strategy, strategy_set
+from repro.machine import SimulatedBackend
+from repro.machine import platform as machine_platform
+from repro.tuner.runtime import cascade_select, full_select
+from repro.tuner.smat import SMAT
 from repro.types import FormatName
 from repro.util.timing import median_time
 
@@ -68,19 +72,51 @@ SUITE_SIZES = {
 #: The ops the acceptance gate checks: the two conversions whose loop
 #: references blow up (PAPER §7.3's worst offenders — ELL/DIA are the
 #: padded formats), the skyline merge-back (sort-free since the per-row
-#: two-stream merge replaced the triplet lexsort), plus the serving
-#: layer's value-refresh fast path, which must stay well ahead of a full
-#: retune for the tier-2 plan cache to pay for itself.
+#: two-stream merge replaced the triplet lexsort), the serving layer's
+#: value-refresh fast path, which must stay well ahead of a full retune
+#: for the tier-2 plan cache to pay for itself, and the decision
+#: cascade's selection overhead vs an always-full feature extraction
+#: (which additionally must choose the same formats — see
+#: ``quality_regressions`` in :func:`check_speedups`).
 GATED_OPS = (
     "convert/csr_to_ell",
     "convert/csr_to_dia",
     "convert/sky_to_csr",
     "plan/value_refresh",
+    "tune/cascade_overhead",
 )
 
 #: Each gated op records its speedup under one of these keys; the gate
 #: accepts whichever is present.
-SPEEDUP_KEYS = ("speedup_vs_python_loop", "speedup_vs_retune")
+SPEEDUP_KEYS = (
+    "speedup_vs_python_loop",
+    "speedup_vs_retune",
+    "speedup_vs_full_extraction",
+)
+
+#: The decision-cascade benchmark corpus per suite: ``("band", n,
+#: n_diags)`` builds a *contiguous* dense band (``spread`` pinned so the
+#: occupied span equals max_RD — the shape the stage-0 interval walk
+#: resolves without any census), ``("powerlaw", n, _)`` a power-law
+#: graph whose wide diagonal span forces honest escalation to the full
+#: extraction.  The model is trained once at a fixed seed so the rule
+#: attributes the walk exercises are deterministic.
+CASCADE_CORPUS = {
+    "smoke": (("band", 6_000, 65), ("band", 4_000, 21), ("powerlaw", 1_500, 0)),
+    "quick": (
+        ("band", 20_000, 65),
+        ("band", 15_000, 21),
+        ("band", 30_000, 9),
+        ("powerlaw", 10_000, 0),
+    ),
+}
+CASCADE_CORPUS["full"] = CASCADE_CORPUS["quick"]
+
+#: Collection scale the cascade benchmark's throwaway model trains at:
+#: big enough for the Figure 7 rule groups to form, small enough to keep
+#: even the smoke suite fast.
+CASCADE_TRAIN_SCALE = 0.02
+CASCADE_TRAIN_SEED = 2013
 
 #: RHS block widths timed by the SpMM section.
 SPMM_BATCH_SIZES = (4, 16, 64)
@@ -215,6 +251,61 @@ def run_suite(
         ),
     }
 
+    # -- decision cascade: stage-0 interval walk vs full extraction -----
+    # Selection only (no conversion, no measurement): the cascade's
+    # cheap-feature walk against the same model walked over eagerly
+    # extracted features.  The gate also demands *identical* format
+    # choices — the interval walk is only allowed to be fast because it
+    # escalates whenever the bounds cannot prove the full walk's answer.
+    smat = SMAT.train(
+        generate_collection(
+            seed=CASCADE_TRAIN_SEED,
+            scale=CASCADE_TRAIN_SCALE,
+            size_scale=0.2,
+        ),
+        backend=SimulatedBackend(machine_platform("intel")),
+    )
+    corpus = []
+    for kind, size, diags in CASCADE_CORPUS[suite]:
+        if kind == "band":
+            corpus.append(
+                banded.banded_matrix(
+                    size, diags, seed=seed, spread=(diags - 1) // 2
+                )
+            )
+        else:
+            corpus.append(
+                graphs.power_law_graph(size, exponent=2.2, seed=seed)
+            )
+    selections = [
+        cascade_select(mx, smat.model, smat.config) for mx in corpus
+    ]
+    baseline = [full_select(mx, smat.model) for mx in corpus]
+    cascade_s = _time(
+        lambda: [
+            cascade_select(mx, smat.model, smat.config) for mx in corpus
+        ],
+        repeats,
+    )
+    full_s = _time(
+        lambda: [full_select(mx, smat.model) for mx in corpus], repeats
+    )
+    ops["tune/cascade_overhead"] = {
+        "median_s": cascade_s,
+        "full_median_s": full_s,
+        "speedup_vs_full_extraction": (
+            full_s / cascade_s if cascade_s > 0 else 0.0
+        ),
+        "stage0_rate": (
+            sum(s.stage == "cheap" for s in selections) / len(corpus)
+        ),
+        "quality_regressions": sum(
+            s.format_name != b.format_name
+            for s, b in zip(selections, baseline)
+        ),
+        "corpus": len(corpus),
+    }
+
     # -- per-format SpMV: vectorized kernels vs the *_basic loops -------
     vec = strategy_set(Strategy.VECTORIZE)
     csr_fast = find_kernel(FormatName.CSR, vec)
@@ -335,6 +426,14 @@ def check_speedups(
             failures.append(
                 f"{name}: {speedup:.1f}x < required {min_speedup:.1f}x"
             )
+    cascade = ops.get("tune/cascade_overhead")
+    if cascade is not None and int(cascade.get("quality_regressions", 1)):
+        failures.append(
+            f"tune/cascade_overhead: "
+            f"{int(cascade.get('quality_regressions', 1))} format choices "
+            "differ from full extraction (the cascade may only be fast, "
+            "never wrong)"
+        )
     for name, floor in SPMM_GATES.items():
         entry = ops.get(name)
         if entry is None or "speedup_vs_sequential_spmv" not in entry:
@@ -368,6 +467,9 @@ def format_report(report: Dict[str, object]) -> str:
         elif "retune_median_s" in entry:
             loop = _fmt_seconds(float(entry["retune_median_s"]))
             speed = f"{float(entry['speedup_vs_retune']):.1f}x"
+        elif "full_median_s" in entry:
+            loop = _fmt_seconds(float(entry["full_median_s"]))
+            speed = f"{float(entry['speedup_vs_full_extraction']):.1f}x"
         elif "sequential_median_s" in entry:
             loop = _fmt_seconds(float(entry["sequential_median_s"]))
             speed = f"{float(entry['speedup_vs_sequential_spmv']):.2f}x"

@@ -124,6 +124,33 @@ _SPMM_COUNTERS = (
     "spmm_fallbacks",
 )
 
+#: Decision-cascade + conversion-amortizer + hot-swap instruments.  The
+#: cascade_* counters record which stage produced each cold decision;
+#: conversions_deferred/plans_upgraded track the amortizer's defer →
+#: repay lifecycle; ruleset_swaps counts model epochs observed while
+#: serving (an OnlineSmat retrain hot-swapped under us).
+_CASCADE_COUNTERS = (
+    "cascade_cheap_hits",
+    "cascade_full_hits",
+    "cascade_measure_decisions",
+    "cascade_floor_decisions",
+    "conversions_deferred",
+    "plans_upgraded",
+    "ruleset_swaps",
+)
+
+_CASCADE_STAGE_COUNTER = {
+    "cheap": "cascade_cheap_hits",
+    "full": "cascade_full_hits",
+    "measure": "cascade_measure_decisions",
+    "floor": "cascade_floor_decisions",
+}
+
+#: Nominal cost of converting to a non-CSR format, in CSR-SpMV units —
+#: the amortizer's repayment bar before any decision has priced the real
+#: target (analytic ELL/DIA conversion costs sit near 2 SpMVs).
+_NOMINAL_CONVERSION_UNITS = 2.0
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -171,8 +198,29 @@ class ServeConfig:
     #: re-tuning.  Disable to force every distinct value set through the
     #: full Figure 7 decision (the pre-two-tier behaviour).
     structure_cache: bool = True
+    #: Amortize conversion decisions per structure: a structure's first
+    #: sighting serves a provisional CSR plan (zero tuning overhead) and
+    #: the full decide+convert runs only once the structure's observed
+    #: request rate projects enough reuse over ``amortize_horizon_seconds``
+    #: to repay a conversion (Katagiri's when-does-transformation-pay-off
+    #: question, answered per structure from live traffic).
+    amortize_conversions: bool = False
+    #: Reuse projection window for the amortizer, seconds.
+    amortize_horizon_seconds: float = 10.0
+    #: Projected-uses multiple of the nominal conversion cost required
+    #: before upgrading a provisional plan (1.0 = break even).
+    amortize_payoff: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.amortize_horizon_seconds <= 0.0:
+            raise ValueError(
+                f"amortize_horizon_seconds must be > 0, "
+                f"got {self.amortize_horizon_seconds}"
+            )
+        if self.amortize_payoff <= 0.0:
+            raise ValueError(
+                f"amortize_payoff must be > 0, got {self.amortize_payoff}"
+            )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.queue_capacity < 1:
@@ -559,9 +607,30 @@ class ServingEngine:
             histograms=("plan_refresh_seconds",),
         )
         self.metrics.ensure(counters=_SPMM_COUNTERS)
+        self.metrics.ensure(counters=_CASCADE_COUNTERS)
         self.cache = PlanCache(
             max_entries=config.cache_entries, max_bytes=config.cache_bytes
         )
+        # Deadline threading: an SMAT/OnlineSmat decide() accepts the
+        # request deadline (budgeted cascade); arbitrary tuners may not.
+        # Probe the signature once instead of try/excepting every build.
+        import inspect
+
+        try:
+            self._tuner_takes_deadline = (
+                "deadline" in inspect.signature(tuner.decide).parameters
+            )
+        except (TypeError, ValueError):
+            self._tuner_takes_deadline = False
+        # Conversion amortizer: per-structure request stats feeding the
+        # defer-or-tune verdict, and the last tuner model epoch observed
+        # (for counting live ruleset hot-swaps).
+        self._structure_stats: Dict[Hashable, List[float]] = {}
+        self._amortize_guard = threading.Lock()
+        self._last_model_epoch: Optional[int] = getattr(
+            tuner, "model_epoch", None
+        )
+        self._epoch_guard = threading.Lock()
         self.faults = faults
         self._sleep = faults.sleep if faults is not None else time.sleep
         self._retry = RetryPolicy(
@@ -906,7 +975,9 @@ class ServingEngine:
             # the worker's current span, the tune/convert/feature spans
             # the build emits nest under it automatically.
             with plan_ctx as plan_span:
-                resolution = self._resolve_plan(head.key, head.matrix)
+                resolution = self._resolve_plan(
+                    head.key, head.matrix, head.deadline
+                )
                 if plan_span is not None:
                     plan_span.attrs.update(
                         cache_hit=resolution.cache_hit,
@@ -1190,15 +1261,27 @@ class ServingEngine:
     # Plan resolution
     # ------------------------------------------------------------------
     def _resolve_plan(
-        self, key: Fingerprint, matrix: CSRMatrix
+        self,
+        key: Fingerprint,
+        matrix: CSRMatrix,
+        deadline: Optional[Deadline] = None,
     ) -> _Resolution:
         started = time.perf_counter()
+        # An upgrade is a provisional plan whose structure's traffic now
+        # repays tuning: skip the hit/refresh short-circuits and rebuild.
+        upgrade = False
         plan = self.cache.get(key)
         if plan is not None:
-            self.metrics.counter("cache_hits").inc()
-            return _Resolution(
-                plan, True, time.perf_counter() - started, False
-            )
+            # A provisional (amortizer-deferred) plan is a valid hit
+            # until the structure's traffic projects a conversion payoff;
+            # then it is rebuilt as a tuned plan.
+            if plan.provisional and self._should_upgrade(key):
+                upgrade = True
+            else:
+                self.metrics.counter("cache_hits").inc()
+                return _Resolution(
+                    plan, True, time.perf_counter() - started, False
+                )
 
         breaker = self._breaker_for(key)
         ticket = breaker.acquire()
@@ -1225,15 +1308,28 @@ class ServingEngine:
                 # Double-check: another worker may have built it while we
                 # waited on the single-flight lock.
                 plan = self.cache.get(key, record_stats=False)
-                if plan is not None:
+                if plan is not None and plan.provisional and not upgrade:
+                    # Another worker admitted a provisional plan while we
+                    # waited: treat it as a provisional hit and re-ask the
+                    # amortizer whether this use tips the balance.
+                    upgrade = self._should_upgrade(key)
+                if plan is not None and not (plan.provisional and upgrade):
                     self.metrics.counter("cache_hits").inc()
                     if breaker.record_success():
                         self.metrics.counter("breaker_recovered").inc()
                     return _Resolution(
                         plan, True, time.perf_counter() - started, False
                     )
-                if structure is not None:
+                if structure is not None and not upgrade:
                     donor = self.cache.get_by_structure(structure)
+                    if donor is not None and donor.provisional:
+                        # Value churn over a deferred structure still
+                        # counts toward its conversion payoff; once the
+                        # rate repays, build tuned instead of refreshing
+                        # the CSR placeholder.
+                        if self._should_upgrade(key):
+                            upgrade = True
+                            donor = None
                     if donor is not None:
                         plan = self._refresh_plan(key, matrix, donor)
                         if plan is not None:
@@ -1249,12 +1345,34 @@ class ServingEngine:
                                 refreshed=True,
                             )
                 self.metrics.counter("cache_misses").inc()
+                if (
+                    self.config.amortize_conversions
+                    and not upgrade
+                    and not self._should_upgrade(key)
+                ):
+                    plan = self._provisional_plan(key, matrix)
+                    if plan is not None:
+                        self.metrics.counter("conversions_deferred").inc()
+                        if breaker.record_success():
+                            self.metrics.counter("breaker_recovered").inc()
+                        if self.cache.put(plan):
+                            self.metrics.counter("plans_cached").inc()
+                        else:
+                            self.metrics.counter("plans_uncacheable").inc()
+                        return _Resolution(
+                            plan,
+                            False,
+                            time.perf_counter() - started,
+                            False,
+                        )
                 build_started = time.perf_counter()
                 try:
                     with obs.span(
                         "serve.build", probe=ticket is BuildTicket.PROBE
                     ):
-                        plan = self._build_plan(key, matrix)
+                        plan = self._build_plan(key, matrix, deadline)
+                        if upgrade:
+                            self.metrics.counter("plans_upgraded").inc()
                 except Exception:
                     # Graceful degradation: the build failure is recorded
                     # against the breaker, but this batch is still served
@@ -1319,6 +1437,9 @@ class ServingEngine:
             key=key,
             decision=replace(donor.decision, matrix=refreshed),
             matrix_bytes=refreshed.memory_bytes(),
+            # A provisional donor stays provisional: the refreshed copy is
+            # still the deferred CSR identity, upgradeable later.
+            provisional=donor.provisional,
         )
         self.metrics.counter("structure_hits").inc()
         self.metrics.counter("plans_refreshed").inc()
@@ -1332,12 +1453,24 @@ class ServingEngine:
         self._update_gauges()
         return plan
 
-    def _build_plan(self, key: Fingerprint, matrix: CSRMatrix) -> CachedPlan:
+    def _build_plan(
+        self,
+        key: Fingerprint,
+        matrix: CSRMatrix,
+        deadline: Optional[Deadline] = None,
+    ) -> CachedPlan:
         if self.faults is not None:
             self.faults.on_call("decide")
-        decision: Decision = self.tuner.decide(matrix)
+        self._observe_model_epoch()
+        if self._tuner_takes_deadline:
+            decision: Decision = self.tuner.decide(matrix, deadline=deadline)
+        else:
+            decision = self.tuner.decide(matrix)
         if decision.used_fallback:
             self.metrics.counter("fallback_decisions").inc()
+        stage_counter = _CASCADE_STAGE_COUNTER.get(decision.cascade_stage)
+        if stage_counter is not None:
+            self.metrics.counter(stage_counter).inc()
         if decision.matrix is None:
             if self.faults is not None:
                 self.faults.on_call("convert")
@@ -1350,6 +1483,73 @@ class ServingEngine:
             decision=decision,
             matrix_bytes=decision.matrix.memory_bytes(),
         )
+
+    # ------------------------------------------------------------------
+    # Conversion amortizer + hot-swap observation
+    # ------------------------------------------------------------------
+    def _should_upgrade(self, key: Fingerprint) -> bool:
+        """Record one use of ``key``'s structure and answer whether its
+        projected reuse over the amortize horizon now repays a
+        conversion.  First sighting always defers."""
+        if not self.config.amortize_conversions:
+            return True  # amortizer off: always tune immediately
+        skey: Hashable = (
+            key.structure_key if key.structure_key is not None else key
+        )
+        now = time.monotonic()
+        with self._amortize_guard:
+            stats = self._structure_stats.get(skey)
+            if stats is None:
+                self._structure_stats[skey] = [now, 1.0]
+                return False
+            stats[1] += 1.0
+            elapsed = max(now - stats[0], 1e-6)
+            projected = (
+                stats[1] / elapsed
+            ) * self.config.amortize_horizon_seconds
+            return projected >= (
+                _NOMINAL_CONVERSION_UNITS * self.config.amortize_payoff
+            )
+
+    def _provisional_plan(
+        self, key: Fingerprint, matrix: CSRMatrix
+    ) -> Optional[CachedPlan]:
+        """A zero-tuning CSR identity plan for a first-seen structure.
+
+        Needs the tuner's kernel library for the CSR kernel; a tuner
+        exposing only ``decide()`` cannot defer (returns None → the
+        caller runs a normal build).
+        """
+        kernels = getattr(self.tuner, "kernels", None)
+        if kernels is None:
+            return None
+        decision = Decision(
+            format_name=FormatName.CSR,
+            kernel=kernels.kernel_for(FormatName.CSR),
+            confidence=0.0,
+            matched_rule=None,
+            used_fallback=False,
+            predicted_format=FormatName.CSR,
+            matrix=matrix,
+        )
+        return CachedPlan(
+            key=key,
+            decision=decision,
+            matrix_bytes=matrix.memory_bytes(),
+            provisional=True,
+        )
+
+    def _observe_model_epoch(self) -> None:
+        """Count tuner model hot-swaps (OnlineSmat retrains or cluster
+        model pushes) that happened since the last cold decision."""
+        epoch = getattr(self.tuner, "model_epoch", None)
+        if epoch is None:
+            return
+        with self._epoch_guard:
+            last = self._last_model_epoch
+            if last is not None and epoch > last:
+                self.metrics.counter("ruleset_swaps").inc(epoch - last)
+            self._last_model_epoch = epoch
 
     def _acquire_build_lock(self, key: Hashable) -> threading.Lock:
         with self._build_locks_guard:

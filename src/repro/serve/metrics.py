@@ -9,6 +9,17 @@ repo's other ``describe()`` methods.
 
 All instruments are thread-safe; workers update them concurrently.
 
+Counter families the engine pre-registers (so dashboards and the
+scoreboard always show them, fired or not): resilience
+(``deadline_exceeded``/``breaker_*``/...), tier-2 refresh
+(``structure_hits``/``plans_refreshed``/...), batched execution
+(``spmm_*``), and the decision cascade (``cascade_cheap_hits``/
+``cascade_full_hits``/``cascade_measure_decisions``/
+``cascade_floor_decisions`` for the stage that produced each cold
+decision, ``conversions_deferred``/``plans_upgraded`` for the
+conversion amortizer, ``ruleset_swaps`` for live model hot-swaps
+observed while serving).
+
 Fork-safety and multi-process aggregation
 -----------------------------------------
 A registry is **process-local**: its locks and values live in one

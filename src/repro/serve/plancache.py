@@ -49,6 +49,12 @@ class CachedPlan:
     #: Storage footprint of the converted matrix (padding included).
     matrix_bytes: int
     hits: int = field(default=0)
+    #: True for an amortizer placeholder: the engine deferred tuning and
+    #: cached the CSR identity until the structure's observed request
+    #: rate projects enough reuse to repay a conversion (see
+    #: ``ServeConfig.amortize_conversions``).  Provisional plans serve
+    #: correctly; they are just not (yet) format-optimised.
+    provisional: bool = field(default=False)
 
     def __post_init__(self) -> None:
         if self.decision.matrix is None:

@@ -41,8 +41,27 @@ class SmatConfig:
     always_measure: bool = False
     #: Disable the fallback (always trust the model) — ablation.
     never_measure: bool = False
+    #: Per-decision overhead budget in CSR-SpMV units.  When set, `decide`
+    #: runs the staged cascade (cheap bounds → full extraction →
+    #: execute-and-measure → CSR floor) and refuses to start any stage
+    #: whose projected cost would blow the budget.  None keeps the
+    #: unbudgeted Figure 7 procedure.
+    tune_budget_units: Optional[float] = None
+    #: Band-span ceiling for the cascade's exact narrow-band diagonal
+    #: census (see features.cheap); wider bands keep interval bounds.
+    cheap_census_max_diags: int = 512
 
     def __post_init__(self) -> None:
+        if self.tune_budget_units is not None and self.tune_budget_units <= 0:
+            raise ValueError(
+                f"tune_budget_units must be positive, got "
+                f"{self.tune_budget_units}"
+            )
+        if self.cheap_census_max_diags < 0:
+            raise ValueError(
+                f"cheap_census_max_diags must be >= 0, got "
+                f"{self.cheap_census_max_diags}"
+            )
         if not 0.0 <= self.confidence_threshold <= 1.0:
             raise ValueError(
                 f"confidence_threshold must be in [0, 1], got "

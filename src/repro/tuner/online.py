@@ -18,7 +18,7 @@ from repro.features.extract import extract_features
 from repro.features.parameters import FeatureVector
 from repro.formats.csr import CSRMatrix
 from repro.learning.dataset import TrainingDataset
-from repro.learning.model import train_model
+from repro.learning.model import LearningModel, train_model
 from repro.tuner.runtime import Decision
 from repro.tuner.smat import SMAT
 
@@ -32,6 +32,10 @@ class OnlineSmat:
     records or observe a half-built dataset.  The expensive parts — the
     decision itself and the feature extraction — run outside the lock; only
     the append/retrain critical section serializes.
+
+    Each successful retrain (or externally pushed model, see
+    :meth:`install_model`) bumps ``model_epoch``; serving layers snapshot
+    the epoch to observe hot-swaps without comparing model objects.
     """
 
     def __init__(
@@ -55,13 +59,21 @@ class OnlineSmat:
         self.min_leaf = min_leaf
         self.max_depth = max_depth
         self.retrain_count = 0
+        #: Monotonic model version; bumped on every successful swap.
+        self.model_epoch = 0
+        #: Records appended since the last *successful* retrain.  A plain
+        #: ``len(new_records) % retrain_every`` trigger only fires on exact
+        #: multiples, so a retrain skipped for a single-class dataset
+        #: would silently never be retried until the next boundary; this
+        #: counter re-arms after ``retrain_every`` more records instead.
+        self._records_since_retrain = 0
         #: Guards new_records and the retrain trigger; reentrant so a
         #: caller holding the lock can still read ``observations``.
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
-    def decide(self, matrix: CSRMatrix) -> Decision:
-        decision = self.smat.decide(matrix)
+    def decide(self, matrix: CSRMatrix, deadline=None) -> Decision:
+        decision = self.smat.decide(matrix, deadline=deadline)
         if decision.used_fallback and decision.measurements:
             # The fallback measured the candidates: its winner is a label.
             # The decision already snapshotted every feature on the way to
@@ -78,38 +90,83 @@ class OnlineSmat:
             )
             with self._lock:
                 self.new_records.append(features.with_label(best))
-                if len(self.new_records) % self.retrain_every == 0:
-                    self._retrain()
+                self._records_since_retrain += 1
+                if self._records_since_retrain >= self.retrain_every:
+                    if self._retrain():
+                        self._records_since_retrain = 0
         return decision
 
     def spmv(self, matrix: CSRMatrix, x):
         decision = self.decide(matrix)
-        if decision.matrix is None:  # pragma: no cover - decide sets it
+        if decision.matrix is None:
+            # Decisions deserialized from records (or degraded mid-build)
+            # carry no converted matrix; rebuild it under the *configured*
+            # fill budget — `fill_budget=None` here would happily pay a
+            # pathological DIA/ELL blow-up the tuner itself refuses.
+            from repro.errors import ConversionError
             from repro.formats.convert import convert
+            from repro.types import FormatName
 
-            decision.matrix, _ = convert(
-                matrix, decision.format_name, fill_budget=None
-            )
+            try:
+                decision.matrix, _ = convert(
+                    matrix,
+                    decision.format_name,
+                    fill_budget=self.smat.config.fill_budget,
+                )
+            except ConversionError:
+                # Same degrade path the tuner takes on a blown budget:
+                # run the CSR identity instead of a pathological fill.
+                decision = Decision(
+                    format_name=FormatName.CSR,
+                    kernel=self.smat.kernels.kernel_for(FormatName.CSR),
+                    confidence=decision.confidence,
+                    matched_rule=decision.matched_rule,
+                    used_fallback=decision.used_fallback,
+                    predicted_format=decision.predicted_format,
+                    measurements=decision.measurements,
+                    extraction_units=decision.extraction_units,
+                    conversion_units=decision.conversion_units,
+                    measurement_units=decision.measurement_units,
+                    degraded_to_csr=True,
+                    matrix=matrix,
+                    features=decision.features,
+                    cascade_stage=decision.cascade_stage,
+                )
         return decision.kernel(decision.matrix, x), decision
 
     # ------------------------------------------------------------------
-    def _retrain(self) -> None:
+    def _retrain(self) -> bool:
         """Rebuild the model from all records; caller holds the lock.
 
-        The model swap is a single attribute assignment, so concurrent
-        ``decide`` calls running outside the lock see either the old or
-        the new model, never a partial one.
+        Returns True on a successful swap.  The model swap is a single
+        attribute assignment, so concurrent ``decide`` calls running
+        outside the lock see either the old or the new model, never a
+        partial one; ``model_epoch`` is bumped *after* the swap so an
+        observed epoch change guarantees the new model is visible.
         """
         records = tuple(self.base_records) + tuple(self.new_records)
         if not records:
-            return
+            return False
         dataset = TrainingDataset(records)
         if len(dataset.class_counts()) < 2:
-            return  # nothing to learn from one class
+            return False  # nothing to learn from one class
         self.smat.model = train_model(
             dataset, min_leaf=self.min_leaf, max_depth=self.max_depth
         )
         self.retrain_count += 1
+        self.model_epoch += 1
+        return True
+
+    def install_model(self, model: LearningModel) -> int:
+        """Hot-swap an externally trained model (cluster model push).
+
+        Returns the new epoch.  Does not count as a retrain — the
+        training happened elsewhere.
+        """
+        with self._lock:
+            self.smat.model = model
+            self.model_epoch += 1
+            return self.model_epoch
 
     @property
     def observations(self) -> int:

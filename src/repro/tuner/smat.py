@@ -111,10 +111,20 @@ class SMAT:
     # ------------------------------------------------------------------
     # Online stage
     # ------------------------------------------------------------------
-    def decide(self, matrix: CSRMatrix) -> Decision:
-        """Choose format + kernel for ``matrix`` (Figure 7)."""
+    def decide(self, matrix: CSRMatrix, deadline=None) -> Decision:
+        """Choose format + kernel for ``matrix`` (Figure 7).
+
+        ``deadline`` (anything with ``remaining() -> seconds``) opts the
+        decision into the budgeted cascade; so does setting
+        ``config.tune_budget_units``.
+        """
         return decide(
-            matrix, self.model, self.kernels, self.backend, self.config
+            matrix,
+            self.model,
+            self.kernels,
+            self.backend,
+            self.config,
+            deadline=deadline,
         )
 
     def prepare(self, matrix: CSRMatrix) -> PreparedSpMV:

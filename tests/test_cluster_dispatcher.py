@@ -173,6 +173,28 @@ class TestWorkerRuntime:
             assert ack.fingerprint == handle.fingerprint
             assert runtime.engine.cache.stats()["entries"] == 0
 
+    def test_model_update_swaps_ruleset_and_acks(self, smat):
+        from repro.cluster.messages import (
+            ModelUpdate,
+            ModelUpdateReply,
+            ndarray_payload_bytes,
+        )
+
+        # A private tuner so the swap cannot pollute the shared fixture.
+        tuner = SMAT(smat.model, smat.kernels, smat.backend, smat.config)
+        import copy
+
+        pushed = copy.deepcopy(smat.model)
+        update = ModelUpdate(model=pushed, epoch=5)
+        # The retrained ruleset itself keeps the zero-copy invariant.
+        assert ndarray_payload_bytes(update) == 0
+        runtime, replies, exits = self.run_worker(tuner, [update])
+        acks = [r for r in replies if isinstance(r, ModelUpdateReply)]
+        assert len(acks) == 1 and not exits
+        assert acks[0].ok and acks[0].epoch == 5
+        assert acks[0].error is None
+        assert runtime.engine.tuner.model is pushed
+
     def test_unknown_message_is_an_error_reply(self, smat):
         _, replies, _ = self.run_worker(smat, ["not a message"])
         reply = next(r for r in replies if isinstance(r, ShardReply))
@@ -298,6 +320,29 @@ class TestClusterEndToEnd:
         assert int(counters["operand_bytes_pickled"]) == 0
         assert int(counters["requests_served"]) > 0
 
+    def test_model_push_reaches_every_shard(
+        self, cluster, smat, pool, operands
+    ):
+        sent = cluster.push_model(smat.model)
+        assert sent == 2
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            counters = cluster.metrics.snapshot()["counters"]
+            if int(counters["model_push_acks"]) >= sent:
+                break
+            time.sleep(0.02)
+        counters = cluster.metrics.snapshot()["counters"]
+        assert int(counters["model_push_acks"]) >= sent
+        assert int(counters["model_push_failures"]) == 0
+        assert int(counters["model_pushes"]) >= sent
+        # Serving under the swapped ruleset stays correct, and the push
+        # itself pickled no operand arrays.
+        for matrix, x in zip(pool[:3], operands[:3]):
+            assert np.allclose(
+                cluster.spmv(matrix, x).y, matrix.spmv(x), atol=1e-9
+            )
+        assert int(counters["operand_bytes_pickled"]) == 0
+
     def test_scoreboard_renders(self, cluster):
         board = cluster.scoreboard()
         assert "cluster: 2 shards" in board
@@ -311,6 +356,14 @@ class TestDispatcherUnstarted:
         try:
             with pytest.raises(ServeError, match="not running"):
                 dispatcher.submit(pool[0], np.zeros(pool[0].n_cols))
+        finally:
+            dispatcher.stop()
+
+    def test_push_model_before_start_raises(self, smat):
+        dispatcher = ClusterDispatcher(WorkerSpec(tuner=smat))
+        try:
+            with pytest.raises(ServeError):
+                dispatcher.push_model(smat.model)
         finally:
             dispatcher.stop()
 

@@ -127,10 +127,10 @@ class TestSafeFutureResolution:
         with ServingEngine(smat, ServeConfig(workers=1)) as engine:
             original = engine._resolve_plan
 
-            def failing(k, m):
+            def failing(k, m, deadline=None):
                 if k == key:
                     raise RuntimeError("forced plan-resolution failure")
-                return original(k, m)
+                return original(k, m, deadline)
 
             engine._resolve_plan = failing
             racy: Future = LyingFuture()
