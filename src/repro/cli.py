@@ -190,10 +190,17 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SPEC",
                        help="inject deterministic faults for chaos replay; "
                             "SPEC is 'SITE[,key=value...]' with SITE in "
-                            "{decide,convert,refresh,execute}, e.g. "
+                            "{decide,convert,refresh,execute,spmm,"
+                            "codegen.compile}, e.g. "
                             "'decide,rate=0.5,stop=20' or "
                             "'execute,kind=latency,latency=0.002'; "
                             "repeatable")
+    serve.add_argument("--kernel-backend", default="generic",
+                       choices=["generic", "codegen"],
+                       help="kernel backend for plan builds (default "
+                            "generic); codegen compiles a per-matrix "
+                            "specialized kernel into each plan when it "
+                            "beats the registry kernel")
     serve.add_argument("--fault-seed", type=int, default=0,
                        help="seed for probabilistic fault rules (default 0)")
     serve.add_argument("--trace", type=Path, default=None, metavar="OUT",
@@ -246,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "beat the loop reference by at least Xx")
     bench.add_argument("--workers", type=int, default=None,
                        help="THREAD-kernel worker count (default: cpu count)")
+    bench.add_argument("--kernel-backend", default="codegen",
+                       choices=["generic", "codegen"],
+                       help="measure the codegen/ section (default codegen; "
+                            "generic records the section as skipped)")
     bench.add_argument("--seed", type=int, default=2013)
 
     return parser
@@ -502,6 +513,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         tuner.config = _dc_replace(
             tuner.config, tune_budget_units=args.tune_budget
         )
+    if args.kernel_backend != "generic":
+        # Let the tuner specialize during decide() (budget-charged); the
+        # engine's own backend pass is then a no-op that just counts.
+        tuner.config = _dc_replace(
+            tuner.config, kernel_backend=args.kernel_backend
+        )
     if args.online_retrain:
         # Force every cold decision through execute-and-measure so the
         # replay generates labelled records fast, and retrain after a
@@ -536,6 +553,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         breaker_threshold=args.breaker_threshold,
         structure_cache=not args.no_structure_cache,
+        kernel_backend=args.kernel_backend,
     )
     if args.value_churn is not None:
         print(
@@ -598,6 +616,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"{int(counters['cascade_measure_decisions'])} measured, "
               f"{int(counters['cascade_floor_decisions'])} floored "
               f"(budget {args.tune_budget:g} CSR-SpMV units)")
+    if args.kernel_backend != "generic":
+        from repro.kernels import codegen_stats
+
+        stats = codegen_stats()
+        print(f"codegen    : {int(counters['codegen_kernels'])} plans on "
+              f"generated kernels, "
+              f"{int(counters['codegen_kept_generic'])} kept generic, "
+              f"{int(counters['codegen_fallbacks'])} compile fallbacks "
+              f"({stats['compiles']} compiles, {stats['cache_hits']} "
+              f"cache hits)")
     if args.online:
         print(f"online     : {tuner.observations} fallback records, "
               f"{tuner.retrain_count} retrains")
@@ -661,6 +689,7 @@ def _serve_bench_fan_in(args, tuner, pool, faults) -> int:
             structure_cache=not args.no_structure_cache,
             batch_window=args.batch_window if batched else 0.0,
             max_batch_rhs=max_rhs if batched else 1,
+            kernel_backend=args.kernel_backend,
         )
 
     def run(batched: bool, tracer=None):
@@ -793,6 +822,9 @@ def _serve_bench_cluster(args, tuner, pool, schedule) -> int:
             max_retries=args.max_retries,
             breaker_threshold=args.breaker_threshold,
             structure_cache=not args.no_structure_cache,
+            # A plain string: codegen artifacts are regenerated worker-side
+            # from structure, keeping the spec pickle descriptor-only.
+            kernel_backend=args.kernel_backend,
         ),
         fault_specs=tuple(args.faults or ()),
         fault_seed=args.fault_seed,
@@ -1066,6 +1098,7 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         workers=args.workers,
         seed=args.seed,
+        kernel_backend=args.kernel_backend,
     )
     print(perfbench.format_report(report))
     perfbench.write_report(report, args.out)
@@ -1082,7 +1115,9 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
         )
         print(f"speedup gate passed (>= {args.assert_speedup:.1f}x on "
               + ", ".join(perfbench.GATED_OPS)
-              + f"; {spmm_gates} vs sequential SpMV)")
+              + f"; {spmm_gates} vs sequential SpMV; codegen >= "
+              + f"{perfbench.CODEGEN_SPEEDUP_FLOOR:.1f}x on >= "
+              + f"{perfbench.CODEGEN_MIN_FAMILIES} families)")
     return 0
 
 

@@ -33,6 +33,17 @@ class KernelError(SmatError):
     """No kernel implementation matches the requested format/strategy set."""
 
 
+class CodegenError(KernelError):
+    """A specialized kernel could not be generated for a matrix.
+
+    Raised by the ``codegen`` kernel backend when a matrix falls outside a
+    template's envelope (too many diagonals to unroll, too many distinct
+    row degrees to bucket, an unsupported format) or when the emitted
+    source fails to compile.  Callers treat it as "keep the generic
+    kernel", never as a serving failure.
+    """
+
+
 class LearningError(SmatError):
     """The learning subsystem received unusable training data.
 

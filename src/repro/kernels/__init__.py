@@ -15,12 +15,27 @@ from repro.kernels import dia_kernels  # noqa: F401
 from repro.kernels import ell_kernels  # noqa: F401
 from repro.kernels import parallel  # noqa: F401
 from repro.kernels import spmm  # noqa: F401
+from repro.kernels.backends import (
+    DEFAULT_BACKEND,
+    GenericBackend,
+    KernelBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.kernels.base import (
     Kernel,
     find_kernel,
     kernels_for,
     register_kernel,
     total_kernel_count,
+)
+from repro.kernels.codegen import (
+    CodegenBackend,
+    GeneratedKernel,
+    codegen_stats,
+    generate_kernel,
+    reset_codegen_stats,
 )
 from repro.kernels.spmm import (
     register_spmm,
@@ -39,13 +54,24 @@ from repro.kernels.strategies import (
 
 __all__ = [
     "BASELINE",
+    "CodegenBackend",
+    "DEFAULT_BACKEND",
+    "GeneratedKernel",
+    "GenericBackend",
     "Kernel",
+    "KernelBackend",
     "Strategy",
     "StrategySet",
+    "backend_names",
+    "codegen_stats",
     "describe",
     "find_kernel",
+    "generate_kernel",
+    "get_backend",
     "kernels_for",
+    "register_backend",
     "register_kernel",
+    "reset_codegen_stats",
     "register_spmm",
     "spmm_fallback",
     "spmm_formats",

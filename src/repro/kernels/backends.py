@@ -1,0 +1,110 @@
+"""Pluggable kernel backends.
+
+A *backend* decides which callable actually executes a plan's SpMV.  The
+tuner's rule walk still picks the storage format and a registered
+:class:`~repro.kernels.base.Kernel`; the backend then gets one chance to
+*specialize* that choice for the concrete matrix:
+
+* ``generic`` — the existing registry kernels, unchanged.  Specialization
+  is the identity and costs nothing.
+* ``codegen`` (:mod:`repro.kernels.codegen`) — emits per-matrix source
+  with the structural constants folded in, compiles it once, and returns
+  the compiled kernel only if it both matches the generic kernel's output
+  and beats it on the actual matrix.
+
+Backends are registered by name; :func:`get_backend` is how the tuner
+runtime (``SmatConfig.kernel_backend``) and the serving engine
+(``ServeConfig.kernel_backend``) resolve the configured name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import KernelError
+from repro.formats.base import SparseMatrix
+from repro.kernels.base import Kernel
+
+#: Name of the backend every config defaults to.
+DEFAULT_BACKEND = "generic"
+
+
+class KernelBackend:
+    """Interface every kernel backend implements."""
+
+    #: Registry key; also the value accepted by ``--kernel-backend``.
+    name: str = "?"
+
+    def specialize(self, matrix: SparseMatrix, base: Kernel) -> Kernel:
+        """Return the kernel that should execute ``matrix``.
+
+        ``base`` is the registry kernel the tuner picked.  Implementations
+        must return ``base`` itself whenever they cannot produce something
+        strictly better — callers rely on ``result is base`` to detect
+        "kept the generic kernel".  Unrecoverable generation problems may
+        raise :class:`~repro.errors.CodegenError`; callers treat that the
+        same as keeping ``base``.
+        """
+        raise NotImplementedError
+
+    def overhead_units(self, matrix: SparseMatrix) -> float:
+        """Projected specialization cost in CSR-SpMV units.
+
+        The tuner's budgeted cascade charges this against the per-request
+        budget before invoking :meth:`specialize`.
+        """
+        return 0.0
+
+
+class GenericBackend(KernelBackend):
+    """The registry kernels as-is — specialization is the identity."""
+
+    name = "generic"
+
+    def specialize(self, matrix: SparseMatrix, base: Kernel) -> Kernel:
+        return base
+
+
+_BACKENDS: Dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Register ``backend`` under ``backend.name`` (duplicates rejected)."""
+    if backend.name in _BACKENDS:
+        raise KernelError(
+            f"duplicate kernel backend registration: {backend.name!r}"
+        )
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def _ensure_builtin_backends() -> None:
+    # The codegen backend registers itself on import; importing it here
+    # keeps `get_backend("codegen")` working even when the caller only
+    # imported this module (engine config validation, CLI choices).
+    if "codegen" not in _BACKENDS:
+        from repro.kernels import codegen  # noqa: F401  (self-registers)
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The backend registered as ``name``.
+
+    Raises :class:`~repro.errors.KernelError` for unknown names.
+    """
+    _ensure_builtin_backends()
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        raise KernelError(
+            f"unknown kernel backend {name!r}; registered backends: "
+            f"{', '.join(sorted(_BACKENDS))}"
+        )
+    return backend
+
+
+def backend_names() -> Tuple[str, ...]:
+    """All registered backend names, sorted (``generic`` guaranteed)."""
+    _ensure_builtin_backends()
+    return tuple(sorted(_BACKENDS))
+
+
+register_backend(GenericBackend())

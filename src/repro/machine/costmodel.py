@@ -37,6 +37,24 @@ from repro.types import FormatName, Precision
 #: Index bytes assumed by the model (the paper's kernels use 32-bit ints).
 MODEL_INDEX_BYTES = 4
 
+#: CSR-SpMV units charged for one codegen emit+compile.  ``compile()`` of
+#: a few-hundred-byte source is microseconds; the charge mostly covers the
+#: emitter's structural scans (degree histograms, segment boundaries).
+CODEGEN_COMPILE_UNITS = 2.0
+
+
+def codegen_overhead_units(probe_repeats: int) -> float:
+    """Budget charge for one beat-or-keep kernel specialization.
+
+    The audit runs one verification call plus ``probe_repeats`` timed
+    calls for each of the two candidate kernels; every call is about one
+    SpMV on the decision's own matrix, i.e. about one CSR-SpMV unit.
+    The tuner's budgeted cascade checks this charge against
+    ``tune_budget_units`` before invoking the backend, the same way it
+    gates conversions and fallback measurements.
+    """
+    return CODEGEN_COMPILE_UNITS + 2.0 * (1 + probe_repeats)
+
 #: Fraction of X-gather traffic that misses cache for each format when the
 #: X vector does not fit in the LLC.  CSR's row-major gathers are the most
 #: random; ELL's column-major sweep revisits the same X window per slot.

@@ -121,6 +121,35 @@ CASCADE_TRAIN_SEED = 2013
 #: RHS block widths timed by the SpMM section.
 SPMM_BATCH_SIZES = (4, 16, 64)
 
+#: The structured corpus families the ``codegen`` kernel backend is
+#: benchmarked on: generated (structure-folded) kernels vs the generic
+#: vectorized registry kernels, on the same converted matrix.  The gate
+#: demands at least :data:`CODEGEN_MIN_FAMILIES` of them clear
+#: :data:`CODEGEN_SPEEDUP_FLOOR` — DIA's literal-bound slice AXPYs and
+#: BCSR's unrolled block shape win big, HYB's fused split loop wins
+#: modestly, while BDIA's constant-folded unroll hovers near parity and
+#: is recorded but not counted on.  Any numeric mismatch between the
+#: generated and generic kernels fails the gate outright, on every suite.
+CODEGEN_OPS = (
+    "codegen/dia_banded",
+    "codegen/bdia_banded",
+    "codegen/bcsr_blocked",
+    "codegen/hyb_powerlaw",
+)
+CODEGEN_SPEEDUP_FLOOR = 1.3
+CODEGEN_MIN_FAMILIES = 3
+
+#: Each codegen op interleaves this many (generated, generic) timing
+#: trials and keeps each side's best median — see the loop in
+#: :func:`run_suite` for why a single median is too noisy to gate on.
+CODEGEN_TIMING_TRIALS = 5
+
+#: The codegen speedup floor only applies at these suite scales; the
+#: smoke suite's sub-millisecond matrices sit below the scale where a
+#: specialized kernel can amortize its dispatch, so smoke runs check
+#: correctness (zero mismatches) but not the floor.
+CODEGEN_GATED_SUITES = ("quick", "full")
+
 #: Fixed floors for the batched fast path, checked regardless of the
 #: ``--assert-speedup`` value: SpMM ops measure against *sequential
 #: vectorized SpMV* (not a Python loop), so the generic floor does not
@@ -141,6 +170,7 @@ def run_suite(
     loop_repeats: int = 1,
     workers: Optional[int] = None,
     seed: int = 2013,
+    kernel_backend: str = "codegen",
 ) -> Dict[str, object]:
     """Run one benchmark suite; returns the JSON-serializable report."""
     if suite not in SUITE_SIZES:
@@ -324,6 +354,59 @@ def run_suite(
     dia_slow = find_kernel(FormatName.DIA, strategy_set())
     record("spmv/dia", lambda: dia_fast(dia, x), lambda: dia_slow(dia, x))
 
+    # -- codegen backend: generated kernels vs the generic registry -----
+    # Each family converts the suite matrix to its format, generates the
+    # specialized kernel (structure folded as literals), and times it
+    # against the generic vectorized kernel on the same operand.  The
+    # ``mismatches`` count is a correctness tripwire on top of the
+    # 200-seed differential sweep in tests/test_codegen_differential.py.
+    if kernel_backend == "generic":
+        for name in CODEGEN_OPS:
+            ops[name] = {"skipped": "kernel backend 'generic' selected"}
+    else:
+        from repro.formats.convert import convert
+        from repro.kernels.codegen import generate_kernel
+
+        vec = strategy_set(Strategy.VECTORIZE)
+        codegen_cases = (
+            ("codegen/dia_banded", band, FormatName.DIA),
+            ("codegen/bdia_banded", band, FormatName.BDIA),
+            ("codegen/bcsr_blocked", band, FormatName.BCSR),
+            ("codegen/hyb_powerlaw", power, FormatName.HYB),
+        )
+        for name, source_matrix, fmt in codegen_cases:
+            converted, _ = convert(source_matrix, fmt, fill_budget=None)
+            generic = find_kernel(fmt, vec)
+            generated = generate_kernel(converted)
+            xc = np.ones(converted.n_cols, dtype=converted.dtype)
+            y_generic = generic(converted, xc)
+            y_generated = generated(converted, xc)
+            mismatches = int(np.sum(
+                ~np.isclose(y_generated, y_generic, rtol=1e-9, atol=1e-12)
+            ))
+            # Interleaved best-of-trials: a single median per kernel is
+            # noisy on shared runners, and the floor check compares two
+            # absolute timings.  Alternating the two kernels and keeping
+            # each one's best median cancels drift that would otherwise
+            # skew whichever side happened to run during a busy slice.
+            gen_trials, base_trials = [], []
+            for _ in range(CODEGEN_TIMING_TRIALS):
+                gen_trials.append(_time(
+                    lambda k=generated, m=converted: k(m, xc), repeats
+                ))
+                base_trials.append(_time(
+                    lambda k=generic, m=converted: k(m, xc), repeats
+                ))
+            gen_s = min(gen_trials)
+            base_s = min(base_trials)
+            ops[name] = {
+                "median_s": gen_s,
+                "generic_median_s": base_s,
+                "speedup_vs_generic": base_s / gen_s if gen_s > 0 else 0.0,
+                "mismatches": mismatches,
+                "kernel": generated.name,
+            }
+
     # -- SpMM: one multi-RHS pass vs k sequential SpMVs -----------------
     # The serving layer's batched fast path: the baseline is the *tuned*
     # vectorized SpMV run column by column, so the speedup isolates the
@@ -445,6 +528,50 @@ def check_speedups(
                 f"{name}: {speedup:.1f}x < required {floor:.1f}x "
                 "(fixed SpMM floor)"
             )
+    failures.extend(_check_codegen(report))
+    return failures
+
+
+def _check_codegen(report: Dict[str, object]) -> List[str]:
+    """Gate the ``codegen/`` section: correctness always, floor at scale.
+
+    A generated kernel that disagrees with the generic kernel fails on
+    every suite.  The :data:`CODEGEN_SPEEDUP_FLOOR` must be cleared by at
+    least :data:`CODEGEN_MIN_FAMILIES` of the structured families, but
+    only on :data:`CODEGEN_GATED_SUITES` — and only when the section was
+    measured at all (``--kernel-backend generic`` records it skipped).
+    """
+    failures: List[str] = []
+    ops = report["ops"]
+    measured = {
+        name: ops[name]
+        for name in CODEGEN_OPS
+        if name in ops and "skipped" not in ops[name]
+    }
+    if not measured:
+        return failures
+    for name, entry in measured.items():
+        if int(entry.get("mismatches", 0)):
+            failures.append(
+                f"{name}: generated kernel disagrees with the generic "
+                f"kernel on {entry['mismatches']} entries"
+            )
+    if report.get("suite") not in CODEGEN_GATED_SUITES:
+        return failures
+    winners = sum(
+        float(entry.get("speedup_vs_generic", 0.0)) >= CODEGEN_SPEEDUP_FLOOR
+        for entry in measured.values()
+    )
+    if winners < CODEGEN_MIN_FAMILIES:
+        table = ", ".join(
+            f"{name} {float(entry.get('speedup_vs_generic', 0.0)):.2f}x"
+            for name, entry in measured.items()
+        )
+        failures.append(
+            f"codegen: only {winners} families >= "
+            f"{CODEGEN_SPEEDUP_FLOOR:.1f}x over generic "
+            f"(need {CODEGEN_MIN_FAMILIES}): {table}"
+        )
     return failures
 
 
@@ -473,6 +600,9 @@ def format_report(report: Dict[str, object]) -> str:
         elif "sequential_median_s" in entry:
             loop = _fmt_seconds(float(entry["sequential_median_s"]))
             speed = f"{float(entry['speedup_vs_sequential_spmv']):.2f}x"
+        elif "generic_median_s" in entry:
+            loop = _fmt_seconds(float(entry["generic_median_s"]))
+            speed = f"{float(entry['speedup_vs_generic']):.2f}x"
         elif "single_chunk_median_s" in entry:
             loop = _fmt_seconds(float(entry["single_chunk_median_s"]))
             speed = f"{float(entry['speedup_vs_vectorized']):.2f}x"

@@ -76,6 +76,7 @@ from repro.errors import (
 )
 from repro.formats.convert import convert
 from repro.formats.csr import CSRMatrix
+from repro.kernels.backends import get_backend
 from repro.serve.faults import FaultPlan
 from repro.serve.fingerprint import Fingerprint
 from repro.serve.fingerprint import fingerprint as _fingerprint
@@ -146,6 +147,18 @@ _CASCADE_STAGE_COUNTER = {
     "floor": "cascade_floor_decisions",
 }
 
+#: Kernel-backend instruments.  ``codegen_kernels`` counts plans serving a
+#: compiled specialized kernel; ``codegen_kept_generic`` counts builds
+#: where the beat-or-keep audit kept the registry kernel;
+#: ``codegen_fallbacks`` counts specialization *failures* (including
+#: injected ``codegen.compile`` faults) absorbed without degrading the
+#: plan — the chaos test gates on failures never reaching the breaker.
+_CODEGEN_COUNTERS = (
+    "codegen_kernels",
+    "codegen_kept_generic",
+    "codegen_fallbacks",
+)
+
 #: Nominal cost of converting to a non-CSR format, in CSR-SpMV units —
 #: the amortizer's repayment bar before any decision has priced the real
 #: target (analytic ELL/DIA conversion costs sit near 2 SpMVs).
@@ -210,8 +223,23 @@ class ServeConfig:
     #: Projected-uses multiple of the nominal conversion cost required
     #: before upgrading a provisional plan (1.0 = break even).
     amortize_payoff: float = 1.0
+    #: Kernel backend applied to cold plan builds
+    #: (``repro.kernels.backends``).  ``codegen`` compiles a per-matrix
+    #: specialized kernel into the plan when it beats the registry kernel;
+    #: any compile failure silently keeps the generic kernel.  A plain
+    #: string, so shipping it inside a pickled cluster ``WorkerSpec``
+    #: stays descriptor-only — workers regenerate compiled kernels from
+    #: structure on their side, and ``operand_bytes_pickled`` stays 0.
+    kernel_backend: str = "generic"
 
     def __post_init__(self) -> None:
+        from repro.kernels.backends import backend_names
+
+        if self.kernel_backend not in backend_names():
+            raise ValueError(
+                f"kernel_backend must be one of {backend_names()}, "
+                f"got {self.kernel_backend!r}"
+            )
         if self.amortize_horizon_seconds <= 0.0:
             raise ValueError(
                 f"amortize_horizon_seconds must be > 0, "
@@ -422,7 +450,7 @@ class _Resolution:
     def kernel_name(self) -> str:
         if self.degraded:
             return DegradedPlan.KERNEL_NAME
-        return self.plan.decision.kernel.name
+        return self.plan.decision.serving_kernel.name
 
     @property
     def used_fallback(self) -> bool:
@@ -608,6 +636,7 @@ class ServingEngine:
         )
         self.metrics.ensure(counters=_SPMM_COUNTERS)
         self.metrics.ensure(counters=_CASCADE_COUNTERS)
+        self.metrics.ensure(counters=_CODEGEN_COUNTERS)
         self.cache = PlanCache(
             max_entries=config.cache_entries, max_bytes=config.cache_bytes
         )
@@ -1477,12 +1506,43 @@ class ServingEngine:
             decision.matrix, _ = convert(
                 matrix, decision.format_name, fill_budget=None
             )
+        self._specialize_kernel(decision)
         self.metrics.counter("plans_built").inc()
         return CachedPlan(
             key=key,
             decision=decision,
             matrix_bytes=decision.matrix.memory_bytes(),
         )
+
+    def _specialize_kernel(self, decision: Decision) -> None:
+        """Apply ``config.kernel_backend`` to a freshly built decision.
+
+        A tuner configured with the same backend may have specialized
+        already (``decision.compiled_kernel`` set); otherwise the engine
+        runs the backend here so arbitrary tuners get codegen too.  Any
+        failure — including an injected ``codegen.compile`` fault — keeps
+        the generic kernel: the build still succeeds, nothing reaches the
+        breaker.
+        """
+        if self.config.kernel_backend == "generic":
+            return
+        if decision.compiled_kernel is None:
+            try:
+                if self.faults is not None:
+                    self.faults.on_call("codegen.compile")
+                backend = get_backend(self.config.kernel_backend)
+                specialized = backend.specialize(
+                    decision.matrix, decision.kernel
+                )
+            except Exception:
+                self.metrics.counter("codegen_fallbacks").inc()
+                return
+            if specialized is not decision.kernel:
+                decision.compiled_kernel = specialized
+        if decision.compiled_kernel is not None:
+            self.metrics.counter("codegen_kernels").inc()
+        else:
+            self.metrics.counter("codegen_kept_generic").inc()
 
     # ------------------------------------------------------------------
     # Conversion amortizer + hot-swap observation

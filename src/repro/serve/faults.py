@@ -36,8 +36,11 @@ import numpy as np
 
 from repro.errors import ServeError, TransientError
 
-#: The engine seams a rule may attach to.
-SITES = ("decide", "convert", "refresh", "execute", "spmm")
+#: The engine seams a rule may attach to.  ``codegen.compile`` fires on
+#: the engine's kernel-specialization step during a cold plan build; the
+#: engine absorbs the failure and serves the generic kernel (the one seam
+#: whose faults must never degrade a request or feed the breaker).
+SITES = ("decide", "convert", "refresh", "execute", "spmm", "codegen.compile")
 
 #: What an injected fault does at its site.
 KINDS = ("transient", "fatal", "latency")

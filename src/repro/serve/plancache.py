@@ -60,9 +60,18 @@ class CachedPlan:
         if self.decision.matrix is None:
             raise ValueError("a CachedPlan needs the converted matrix")
 
+    @property
+    def kernel(self):
+        """The callable products run: the decision's compiled codegen
+        artifact when one is attached, else its registry kernel.  The
+        compiled kernel folds only *structure*, so it stays valid across
+        ``refresh_values`` — tier-2 refreshed plans inherit it for free.
+        """
+        return self.decision.serving_kernel
+
     def execute(self, x):
         """Run the plan's kernel on one operand vector."""
-        return self.decision.kernel(self.decision.matrix, x)
+        return self.kernel(self.decision.matrix, x)
 
     def spmm(self, X):
         """Run the plan on a column-stacked RHS block ``(n_cols, k)``.
@@ -70,7 +79,8 @@ class CachedPlan:
         Formats with a native multi-RHS kernel make one pass over the
         converted operand; everything else (HYB/BCSR/...) degrades
         transparently to column-by-column calls of the plan's own tuned
-        kernel — same results, no amortisation.
+        kernel — same results, no amortisation.  The fallback reuses the
+        compiled codegen kernel when the plan carries one.
         """
         from repro.kernels.spmm import spmm_fallback, spmm_kernel_for
 
@@ -78,8 +88,9 @@ class CachedPlan:
         kernel = spmm_kernel_for(matrix.format_name)
         if kernel is not None:
             return kernel(matrix, X)
+        plan_kernel = self.kernel
         return spmm_fallback(
-            matrix, X, spmv=lambda col: self.decision.kernel(matrix, col)
+            matrix, X, spmv=lambda col: plan_kernel(matrix, col)
         )
 
 

@@ -50,8 +50,21 @@ class SmatConfig:
     #: Band-span ceiling for the cascade's exact narrow-band diagonal
     #: census (see features.cheap); wider bands keep interval bounds.
     cheap_census_max_diags: int = 512
+    #: Kernel backend resolved after the format decision
+    #: (``repro.kernels.backends``).  ``codegen`` lets the tuner attach a
+    #: per-matrix compiled kernel to the decision when it beats the
+    #: registry kernel; the budgeted cascade charges the specialization
+    #: probes against ``tune_budget_units`` first.
+    kernel_backend: str = "generic"
 
     def __post_init__(self) -> None:
+        from repro.kernels.backends import backend_names
+
+        if self.kernel_backend not in backend_names():
+            raise ValueError(
+                f"kernel_backend must be one of {backend_names()}, got "
+                f"{self.kernel_backend!r}"
+            )
         if self.tune_budget_units is not None and self.tune_budget_units <= 0:
             raise ValueError(
                 f"tune_budget_units must be positive, got "

@@ -72,6 +72,9 @@ class Decision:
     extraction_units: float = 0.0
     conversion_units: float = 0.0
     measurement_units: float = 0.0
+    #: Charge for kernel-backend specialization (codegen emit/compile plus
+    #: the beat-or-keep audit probes); 0.0 under the generic backend.
+    codegen_units: float = 0.0
     #: True when a model hit predicted a format whose conversion blew the
     #: zero-fill budget and the decision fell back to running CSR; the
     #: wasted attempt is charged in ``conversion_units``.  The budgeted
@@ -89,6 +92,13 @@ class Decision:
     #: records — reuse them instead of re-running extraction.  Like
     #: ``matrix``, this is runtime state and is not serialized.
     features: Optional[FeatureVector] = None
+    #: Backend-specialized kernel (a compiled codegen artifact) that beat
+    #: ``kernel`` on this matrix; ``None`` keeps the registry kernel.
+    #: Runtime state like ``matrix`` — never serialized, rebuilt locally
+    #: from structure wherever the decision is replayed (cluster workers
+    #: re-warm through their own engine, so only the backend *name* ever
+    #: crosses a process boundary).
+    compiled_kernel: Optional[Kernel] = None
 
     @property
     def overhead_units(self) -> float:
@@ -97,7 +107,13 @@ class Decision:
             self.extraction_units
             + self.conversion_units
             + self.measurement_units
+            + self.codegen_units
         )
+
+    @property
+    def serving_kernel(self) -> Kernel:
+        """The kernel products should run: compiled if attached, else generic."""
+        return self.compiled_kernel or self.kernel
 
     # ------------------------------------------------------------------
     # Serialization — decisions are loggable/inspectable records.  The
@@ -127,6 +143,7 @@ class Decision:
             "extraction_units": self.extraction_units,
             "conversion_units": self.conversion_units,
             "measurement_units": self.measurement_units,
+            "codegen_units": self.codegen_units,
             "degraded_to_csr": self.degraded_to_csr,
             "cascade_stage": self.cascade_stage,
         }
@@ -165,6 +182,8 @@ class Decision:
             extraction_units=float(payload["extraction_units"]),  # type: ignore[arg-type]
             conversion_units=float(payload["conversion_units"]),  # type: ignore[arg-type]
             measurement_units=float(payload["measurement_units"]),  # type: ignore[arg-type]
+            # Absent pre-backend; those decisions never specialized.
+            codegen_units=float(payload.get("codegen_units", 0.0)),  # type: ignore[arg-type]
             # Absent in records written before the degrade path was
             # surfaced; those decisions never degraded.
             degraded_to_csr=bool(payload.get("degraded_to_csr", False)),
@@ -303,6 +322,7 @@ def decide(
             )
         else:
             decision = _decide(matrix, model, kernels, backend, config)
+        _apply_kernel_backend(decision, config, budgeted=cascading)
         if span is not None:
             span.attrs.update(
                 format=decision.format_name.value,
@@ -317,6 +337,42 @@ def decide(
                     spent_units=round(decision.overhead_units, 3),
                 )
         return decision
+
+
+def _apply_kernel_backend(
+    decision: Decision, config: SmatConfig, budgeted: bool
+) -> None:
+    """Let the configured kernel backend specialize the decision's kernel.
+
+    Runs after the format decision: the backend sees the converted matrix
+    and the registry kernel the rule walk picked, and may attach a
+    compiled replacement (``decision.compiled_kernel``).  Under the
+    budgeted cascade the specialization probes are charged against
+    ``tune_budget_units`` like any other stage — no budget left means the
+    decision silently keeps the generic kernel.  ``CodegenError`` (or any
+    backend failure) also keeps the generic kernel; specialization can
+    never fail a decision.
+    """
+    if config.kernel_backend == "generic" or decision.matrix is None:
+        return
+    from repro.errors import KernelError
+    from repro.kernels.backends import get_backend
+
+    try:
+        backend = get_backend(config.kernel_backend)
+    except KernelError:
+        return
+    cost = backend.overhead_units(decision.matrix)
+    if budgeted and config.tune_budget_units is not None:
+        if decision.overhead_units + cost > config.tune_budget_units:
+            return
+    try:
+        specialized = backend.specialize(decision.matrix, decision.kernel)
+    except Exception:
+        return
+    decision.codegen_units = cost
+    if specialized is not decision.kernel:
+        decision.compiled_kernel = specialized
 
 
 def _decide(
