@@ -177,6 +177,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the tier-2 structure index (every "
                             "value update pays a full plan build; the "
                             "baseline for --value-churn comparisons)")
+    serve.add_argument("--structure-churn", type=int, default=None,
+                       metavar="N", dest="structure_churn",
+                       help="structure-churn mode: stream one evolving "
+                            "power-law graph through the engine for N "
+                            "steps, each serving a burst of SpMVs and then "
+                            "applying an edge insert/delete delta via the "
+                            "plan-migration path (patch / refresh / retune; "
+                            "--requests sets the total serve count, spread "
+                            "over the steps)")
+    serve.add_argument("--churn-nodes", type=int, default=600,
+                       metavar="M", dest="churn_nodes",
+                       help="needs --structure-churn: node count of the "
+                            "evolving graph (default 600)")
+    serve.add_argument("--churn-fraction", type=float, default=0.02,
+                       metavar="F", dest="churn_fraction",
+                       help="needs --structure-churn: per-step edge churn "
+                            "as a fraction of current nnz (default 0.02; "
+                            "small fractions exercise the in-place patch "
+                            "policy, large ones force retunes)")
     serve.add_argument("--deadline", type=float, default=None,
                        help="end-to-end per-request deadline in seconds "
                             "(queue wait + plan build + execute)")
@@ -434,10 +453,35 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.crash_after is not None and not args.cluster:
         print("error: --crash-after needs --cluster", file=sys.stderr)
         return 1
-    if args.bench_json is not None and not (args.cluster or args.fan_in):
-        print("error: --bench-json needs --cluster or --fan-in",
+    if args.bench_json is not None and not (
+        args.cluster or args.fan_in or args.structure_churn
+    ):
+        print("error: --bench-json needs --cluster, --fan-in or "
+              "--structure-churn",
               file=sys.stderr)
         return 1
+    if args.structure_churn is not None:
+        if args.structure_churn < 2:
+            print(f"error: --structure-churn ({args.structure_churn}) must "
+                  f"be >= 2 (at least one delta between serve rounds)",
+                  file=sys.stderr)
+            return 1
+        if not 0.0 < args.churn_fraction <= 1.0:
+            print(f"error: --churn-fraction ({args.churn_fraction}) must "
+                  f"be in (0, 1]", file=sys.stderr)
+            return 1
+        if args.churn_nodes < 16:
+            print(f"error: --churn-nodes ({args.churn_nodes}) must be "
+                  f">= 16", file=sys.stderr)
+            return 1
+        for flag, on in (("--cluster", args.cluster),
+                         ("--fan-in", args.fan_in is not None),
+                         ("--value-churn", args.value_churn is not None),
+                         ("--online", args.online)):
+            if on:
+                print(f"error: --structure-churn cannot be combined with "
+                      f"{flag}", file=sys.stderr)
+                return 1
     if args.fan_in is not None:
         if args.fan_in < 1:
             print(f"error: --fan-in ({args.fan_in}) must be >= 1",
@@ -531,6 +575,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     elif args.online:
         tuner = OnlineSmat(tuner)
 
+    if args.structure_churn is not None:
+        return _serve_bench_structure_churn(args, tuner, faults)
     pool = build_matrix_pool(args.matrices, seed=args.seed)
     if args.fan_in is not None:
         return _serve_bench_fan_in(args, tuner, pool, faults)
@@ -661,6 +707,122 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                   "never reached a live decision)",
                   file=sys.stderr)
             return 1
+    return 0
+
+
+def _serve_bench_structure_churn(args, tuner, faults) -> int:
+    """The --structure-churn arm of serve-bench: an evolving graph.
+
+    One power-law graph streams through the engine while its edge set
+    churns; every delta runs the plan-migration path (patch / refresh /
+    retune) and every served product is verified against the current
+    structure's reference kernel.  Exits non-zero unless at least one
+    delta avoided a full retune — the scenario exists to prove the
+    delta path works, so a replay that silently retuned everything is
+    a failure, not a slow success.
+    """
+    from repro.serve import ServeConfig, ServingEngine, replay_structure_churn
+
+    steps = args.structure_churn
+    serves_per_step = max(1, args.requests // steps)
+    config = ServeConfig(
+        workers=args.workers,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes,
+        default_deadline=args.deadline,
+        max_retries=args.max_retries,
+        breaker_threshold=args.breaker_threshold,
+        structure_cache=not args.no_structure_cache,
+        kernel_backend=args.kernel_backend,
+    )
+    print(
+        f"replaying structure churn: {args.churn_nodes}-node power-law "
+        f"graph, {steps} steps x {serves_per_step} serves, "
+        f"{args.churn_fraction:.1%} edge churn per step"
+        + (f", {len(faults.rules)} fault rules" if faults else "")
+        + "..."
+    )
+    tracer = None
+    engine = ServingEngine(tuner, config, faults=faults)
+    if args.trace is not None:
+        from repro import obs
+
+        tracer = obs.Tracer(sink=obs.metrics_sink(engine.metrics))
+    with _maybe_installed(tracer):
+        with engine:
+            report = replay_structure_churn(
+                engine,
+                nodes=args.churn_nodes,
+                steps=steps,
+                serves_per_step=serves_per_step,
+                delta_fraction=args.churn_fraction,
+                seed=args.seed,
+            )
+            scoreboard = engine.scoreboard()
+            counters = engine.metrics.snapshot()["counters"]
+    if tracer is not None:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.report import overhead_report
+
+        roots = tracer.roots()
+        events = write_chrome_trace(roots, args.trace)
+        print()
+        print(overhead_report(roots).describe())
+        print(f"wrote {events} trace events -> {args.trace}")
+
+    policies = report.policy_counts
+    print()
+    print(scoreboard)
+    print()
+    print(f"served     : {report.requests} requests "
+          f"in {report.wall_seconds:.2f}s "
+          f"({report.throughput_rps:.0f} req/s)")
+    print(f"verified   : {report.requests - report.mismatches}/"
+          f"{report.requests} products match the current structure")
+    print(f"deltas     : {int(counters['deltas_applied'])} applied — "
+          f"{policies['patch']} patched in place, "
+          f"{policies['refresh']} operand-refreshed, "
+          f"{policies['retune']} retuned")
+    print(f"cache      : {int(counters['plans_invalidated'])} stale plans "
+          f"invalidated, {int(counters['plans_cached'])} cached")
+
+    if args.bench_json is not None:
+        section = {
+            "nodes": args.churn_nodes,
+            "steps": steps,
+            "serves_per_step": serves_per_step,
+            "churn_fraction": args.churn_fraction,
+            "requests": report.requests,
+            "mismatches": report.mismatches,
+            "failed_requests": len(report.errors),
+            "deltas_applied": int(counters["deltas_applied"]),
+            "delta_patches": policies["patch"],
+            "delta_refreshes": policies["refresh"],
+            "delta_retunes": policies["retune"],
+            "plans_invalidated": int(counters["plans_invalidated"]),
+            "throughput_rps": report.throughput_rps,
+        }
+        _merge_bench_json(args.bench_json, "structure_churn", section)
+        print(f"wrote serve/structure_churn section -> {args.bench_json}")
+
+    if report.mismatches:
+        print(f"error: {report.mismatches} product mismatches",
+              file=sys.stderr)
+        return 1
+    if report.errors:
+        print(f"{'note' if faults else 'error'}: {len(report.errors)} "
+              f"requests failed ({report.errors[0]!r})", file=sys.stderr)
+        if not faults:
+            return 1
+    if not report.deltas:
+        print("error: structure-churn replay applied zero deltas",
+              file=sys.stderr)
+        return 1
+    if report.delta_hits == 0:
+        print("error: every delta fell back to a full retune — the "
+              "patch/refresh migration path never succeeded",
+              file=sys.stderr)
+        return 1
     return 0
 
 

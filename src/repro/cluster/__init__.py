@@ -26,10 +26,13 @@ worker processes behind a :class:`ClusterDispatcher`:
 
 from repro.cluster.dispatcher import (
     ClusterConfig,
+    ClusterDeltaResult,
     ClusterDispatcher,
     ClusterResult,
 )
 from repro.cluster.messages import (
+    DeltaShardReply,
+    DeltaShardRequest,
     Heartbeat,
     PlanHandle,
     ShardReply,
@@ -53,8 +56,11 @@ from repro.cluster.worker import (
 
 __all__ = [
     "ClusterConfig",
+    "ClusterDeltaResult",
     "ClusterDispatcher",
     "ClusterResult",
+    "DeltaShardReply",
+    "DeltaShardRequest",
     "HashRing",
     "Heartbeat",
     "PlanHandle",

@@ -53,6 +53,8 @@ import numpy as np
 from repro import obs
 from repro.cluster.messages import (
     BatchShardRequest,
+    DeltaShardReply,
+    DeltaShardRequest,
     Heartbeat,
     InvalidateReply,
     InvalidateRequest,
@@ -76,6 +78,7 @@ from repro.errors import (
     TransientError,
 )
 from repro.formats.csr import CSRMatrix
+from repro.formats.delta import StructureDelta, apply_delta
 from repro.serve.fingerprint import Fingerprint, fingerprint
 from repro.serve.metrics import MetricsRegistry, format_snapshot, merge_snapshots
 from repro.serve.resilience import BuildTicket, CircuitBreaker, DegradedPlan
@@ -107,6 +110,10 @@ _CLUSTER_COUNTERS = (
     "model_pushes",
     "model_push_acks",
     "model_push_failures",
+    "deltas_dispatched",
+    "delta_migrations",
+    "delta_rehomes",
+    "delta_failures",
 )
 
 
@@ -236,6 +243,27 @@ class ClusterResult:
     @property
     def total_seconds(self) -> float:
         return self.dispatch_seconds
+
+
+@dataclass
+class ClusterDeltaResult:
+    """Outcome of one dispatcher-level structure-delta migration.
+
+    ``matrix`` is the post-delta CSR the caller must submit with from now
+    on.  ``policy`` is the worker engine's migration choice ("patch",
+    "refresh", "retune"), or "rehome" when the post-delta structure key
+    routes to a *different* shard — the old shard's plan is invalidated
+    and the new shard cold-builds on first request, so no migration
+    message is sent at all.
+    """
+
+    matrix: CSRMatrix
+    fingerprint: Fingerprint
+    old_fingerprint: Fingerprint
+    policy: str
+    shard_id: int
+    target_shard_id: int
+    seconds: float
 
 
 class _Pending:
@@ -396,6 +424,8 @@ class ClusterDispatcher:
         # members are re-dispatched as singles by the outstanding loop.
         self._batch_buffers: Dict[Tuple[int, Fingerprint], List[_Pending]] = {}
         self._batch_deadlines: Dict[Tuple[int, Fingerprint], float] = {}
+        # In-flight structure-delta migrations awaiting their reply.
+        self._delta_waiters: Dict[int, "Future[DeltaShardReply]"] = {}
         self._started = False
         self._stopping = False
         #: Monotonic ruleset-push counter; echoed in ModelUpdateReply.
@@ -694,6 +724,119 @@ class ClusterDispatcher:
         self.metrics.counter("model_pushes").inc(sent)
         return sent
 
+    def apply_structure_delta(
+        self,
+        matrix: CSRMatrix,
+        delta: StructureDelta,
+        timeout: float = 30.0,
+    ) -> ClusterDeltaResult:
+        """Mutate a served structure cluster-wide, descriptor-only.
+
+        The dispatcher owns the authoritative CSR, so the edge edits are
+        applied here once; the post-delta structure key then decides the
+        path.  Same shard → the delta arrays are placed into shared
+        memory and a :class:`DeltaShardRequest` asks the owning worker to
+        migrate its plan in place (patch / refresh / retune — its engine
+        retires the old fingerprint from both cache tiers).  Different
+        shard, dead shard, or never-published structure → no migration
+        message is sent: the old operand is invalidated and the new
+        shard cold-builds on first submit (policy ``"rehome"``).  Either
+        way the pre-delta published operand is retired, so no request
+        can ever route to a stale plan.
+        """
+        with self._lock:
+            if not self._started or self._stopping:
+                raise ServeError("cluster is not running (call start())")
+        started = time.perf_counter()
+        old_fp = fingerprint(matrix)
+        new_csr, _effect = apply_delta(matrix, delta)
+        new_fp = fingerprint(new_csr)
+        old_shard_id = self._ring.route(str(old_fp.structure_key))
+        target_shard_id = self._ring.route(str(new_fp.structure_key))
+        self.metrics.counter("deltas_dispatched").inc()
+        shard = self._shards[old_shard_id]
+        with self._lock:
+            old_handle = self._published.get(old_fp)
+            migratable = (
+                old_handle is not None
+                and target_shard_id == old_shard_id
+                and not shard.dead
+                and shard.request_q is not None
+            )
+
+        def _retire_old() -> None:
+            with self._lock:
+                handle = self._published.pop(old_fp, None)
+            if handle is not None:
+                self._send_invalidate(handle)
+
+        if not migratable:
+            _retire_old()
+            self.metrics.counter("delta_rehomes").inc()
+            return ClusterDeltaResult(
+                matrix=new_csr,
+                fingerprint=new_fp,
+                old_fingerprint=old_fp,
+                policy="rehome",
+                shard_id=old_shard_id,
+                target_shard_id=target_shard_id,
+                seconds=time.perf_counter() - started,
+            )
+
+        new_handle = self._publish(new_fp, new_csr, target_shard_id)
+        delta_refs = tuple(
+            self._place(array)
+            for array in (
+                delta.insert_rows,
+                delta.insert_cols,
+                delta.insert_vals,
+                delta.delete_rows,
+                delta.delete_cols,
+            )
+        )
+        msg_id = next(self._msg_ids)
+        waiter: "Future[DeltaShardReply]" = Future()
+        with self._lock:
+            self._delta_waiters[msg_id] = waiter
+        message = DeltaShardRequest(
+            msg_id=msg_id,
+            old=old_handle,
+            new=new_handle,
+            insert_rows=delta_refs[0],
+            insert_cols=delta_refs[1],
+            insert_vals=delta_refs[2],
+            delete_rows=delta_refs[3],
+            delete_cols=delta_refs[4],
+        )
+        self._charge_payload(message)
+        try:
+            shard.request_q.put(message)
+            reply = waiter.result(timeout=timeout)
+        except BaseException:
+            with self._lock:
+                self._delta_waiters.pop(msg_id, None)
+            self.metrics.counter("delta_failures").inc()
+            for ref in delta_refs:
+                self._free(ref)
+            raise
+        for ref in delta_refs:
+            self._free(ref)
+        _retire_old()
+        if not reply.ok:
+            self.metrics.counter("delta_failures").inc()
+            assert reply.error is not None
+            raise _revive_error(reply.error)
+        self.metrics.counter("delta_migrations").inc()
+        return ClusterDeltaResult(
+            matrix=new_csr,
+            fingerprint=new_fp,
+            old_fingerprint=old_fp,
+            policy=reply.policy or "retune",
+            shard_id=old_shard_id,
+            target_shard_id=target_shard_id,
+            seconds=time.perf_counter() - started,
+        )
+
     def shard_assignments(self) -> Dict[int, List[Fingerprint]]:
         """Which structures live on which shard (diagnostics/tests)."""
         with self._lock:
@@ -975,6 +1118,11 @@ class ClusterDispatcher:
                 self.metrics.counter("model_push_acks").inc()
             else:
                 self.metrics.counter("model_push_failures").inc()
+        elif isinstance(message, DeltaShardReply):
+            with self._lock:
+                waiter = self._delta_waiters.pop(message.msg_id, None)
+            if waiter is not None:
+                waiter.set_result(message)
         else:  # WorkerExit
             self._on_worker_exit(message)
 

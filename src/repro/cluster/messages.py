@@ -96,6 +96,47 @@ class InvalidateRequest:
 
 
 @dataclass(frozen=True)
+class DeltaShardRequest:
+    """Migrate a shard's plan across a structure delta, descriptor-only.
+
+    ``old`` and ``new`` are the published pre- and post-delta operands
+    (the dispatcher owns the authoritative CSR, so it applies the edge
+    edits once, publishes the result, and ships *descriptors*); the five
+    delta arrays ride as :class:`SharedArrayRef` like every other array
+    in the protocol, so a million-edge delta still pickles to a few
+    hundred bytes.  The worker replays the delta through its engine's
+    :meth:`~repro.serve.ServingEngine.apply_structure_delta`, which
+    retires the old fingerprint from both cache tiers and migrates the
+    resident plan by the patch / refresh / retune policy.
+    """
+
+    msg_id: int
+    old: PlanHandle
+    new: PlanHandle
+    insert_rows: SharedArrayRef
+    insert_cols: SharedArrayRef
+    insert_vals: SharedArrayRef
+    delete_rows: SharedArrayRef
+    delete_cols: SharedArrayRef
+
+
+@dataclass(frozen=True)
+class DeltaShardReply:
+    """How the worker migrated its plan (policy + timings, no arrays)."""
+
+    msg_id: int
+    shard_id: int
+    generation: int
+    ok: bool
+    error: Optional[Tuple[str, str]] = None
+    #: "patch" | "refresh" | "retune" when ok.
+    policy: Optional[str] = None
+    old_format: Optional[str] = None
+    new_format: Optional[str] = None
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
 class ShutdownRequest:
     """Stop the worker; with ``drain`` it serves its backlog first."""
 

@@ -42,6 +42,8 @@ import numpy as np
 from repro.cluster.messages import (
     BatchShardRequest,
     CrashRequest,
+    DeltaShardReply,
+    DeltaShardRequest,
     Heartbeat,
     InvalidateReply,
     InvalidateRequest,
@@ -58,6 +60,7 @@ from repro.cluster.messages import (
 from repro.cluster.sharedmem import SegmentCache
 from repro.errors import DeadlineExceededError, ServeError
 from repro.formats.csr import CSRMatrix
+from repro.formats.delta import StructureDelta
 from repro.serve.engine import ServeConfig, ServeResult, ServingEngine
 from repro.serve.faults import FaultPlan
 
@@ -174,6 +177,8 @@ class WorkerRuntime:
             self._serve(message)
         elif isinstance(message, BatchShardRequest):
             self._serve_batch(message)
+        elif isinstance(message, DeltaShardRequest):
+            self._apply_delta(message)
         elif isinstance(message, WarmRequest):
             self._warm(message)
         elif isinstance(message, InvalidateRequest):
@@ -327,6 +332,59 @@ class WorkerRuntime:
                 )
             self.served += 1
             self.replies.put(reply)
+
+    def _apply_delta(self, message: DeltaShardRequest) -> None:
+        """Migrate this shard's plan across a structure delta.
+
+        The delta arrays are mapped out of shared memory and replayed
+        through the engine's migration path against the *old* published
+        operand; the engine retires the pre-delta fingerprint from both
+        cache tiers and patches / refreshes / retunes the plan under the
+        post-delta key (which must match the dispatcher-published ``new``
+        handle — the digest is content-addressed, so a disagreement means
+        a corrupted delta and fails the request rather than caching under
+        a wrong key).
+        """
+        try:
+            old_matrix = self._matrix_for(message.old)
+            delta = StructureDelta(
+                insert_rows=np.array(self.segments.view(message.insert_rows)),
+                insert_cols=np.array(self.segments.view(message.insert_cols)),
+                insert_vals=np.array(self.segments.view(message.insert_vals)),
+                delete_rows=np.array(self.segments.view(message.delete_rows)),
+                delete_cols=np.array(self.segments.view(message.delete_cols)),
+            )
+            outcome = self.engine.apply_structure_delta(old_matrix, delta)
+            if outcome.fingerprint != message.new.fingerprint:
+                raise ServeError(
+                    f"delta digest mismatch: worker computed "
+                    f"{outcome.fingerprint}, dispatcher published "
+                    f"{message.new.fingerprint}"
+                )
+            reply = DeltaShardReply(
+                msg_id=message.msg_id,
+                shard_id=self.shard_id,
+                generation=self.generation,
+                ok=True,
+                policy=outcome.policy,
+                old_format=(
+                    outcome.old_format.value
+                    if outcome.old_format is not None
+                    else None
+                ),
+                new_format=outcome.new_format.value,
+                seconds=outcome.seconds,
+            )
+        except BaseException as exc:
+            reply = DeltaShardReply(
+                msg_id=message.msg_id,
+                shard_id=self.shard_id,
+                generation=self.generation,
+                ok=False,
+                error=(type(exc).__name__, str(exc)),
+            )
+        self.served += 1
+        self.replies.put(reply)
 
     def _warm(self, message: WarmRequest) -> None:
         """Rebuild plans after a respawn: one probe SpMV per structure.

@@ -1,23 +1,41 @@
-"""Two-step lazy feature extraction (Section 6, "Feature Extraction").
+"""Incremental feature maintenance (Section 6 + the structure-churn path).
 
-The runtime procedure checks the DIA and ELL rule groups first; those rules
-only reference step-one parameters, so the expensive power-law fit runs only
-when the decision actually reaches the COO rules.  ``LazyFeatures`` tracks
-which steps have run and how much work they cost, feeding the Table 3
-overhead accounting.
+Two layers live here:
+
+* :class:`LazyFeatures` — the two-step lazy extraction of Section 6: the
+  runtime procedure checks the DIA and ELL rule groups first; those rules
+  only reference step-one parameters, so the expensive power-law fit runs
+  only when the decision actually reaches the COO rules.
+
+* :class:`DeltaFeatures` — maintenance of the full Table 2 vector under
+  structure churn.  Attaching does one ordinary extraction-priced scan;
+  after that, each :class:`repro.formats.delta.DeltaEffect` updates the
+  degree distribution and diagonal census in O(delta) work, and
+  :meth:`DeltaFeatures.structure_snapshot` /
+  :meth:`DeltaFeatures.powerlaw` reproduce
+  :func:`repro.features.extract.extract_structure_features` and
+  :func:`repro.features.extract.extract_powerlaw_feature` *exactly* —
+  same formulas on the same integers, so parity is bitwise, not
+  approximate (asserted in ``tests/test_delta_features.py``).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Callable, Dict, Optional
+
+import numpy as np
 
 from repro.features.extract import (
+    TRUE_DIAGONAL_THRESHOLD,
     extract_powerlaw_feature,
     extract_structure_features,
 )
 from repro.features.parameters import FEATURE_NAMES, FeatureVector
+from repro.features.powerlaw import estimate_power_law_exponent
 from repro.formats.csr import CSRMatrix
+from repro.formats.delta import DeltaEffect
+from repro.types import INDEX_DTYPE
 
 #: Step-one parameters (everything except the power-law R).
 STRUCTURE_PARAMS = frozenset(name for name in FEATURE_NAMES if name != "r")
@@ -39,19 +57,34 @@ class LazyFeatures:
     >>> lazy.get("r")                        # runs step two on demand
     >>> lazy.extraction_cost_spmv_units()    # what the accesses cost
 
-    ``structure`` seeds the step-one dict when a caller already holds
-    exact values (the cascade's narrow-band census produces the full
-    step-one set at bincount prices); a seeded instance never re-runs
-    the structure pass and never charges its cost.
+    ``structure`` (and ``r``) seed the respective steps when a caller
+    already holds exact values — the cascade's narrow-band census
+    produces the full step-one set at bincount prices, and
+    :meth:`DeltaFeatures.seed_lazy` supplies both steps from O(delta)
+    maintenance.  ``r_source`` seeds step two *by reference*: the
+    callable is consulted only if a rule actually reads ``r`` (a format
+    walk that never tests R should not pay for a degree sort, even a
+    maintained one).  A seeded step never re-runs and never charges its
+    cost: accounting is tied to extractions *this instance performed*,
+    not to which fields happen to be populated.
     """
 
     def __init__(
-        self, matrix: CSRMatrix, structure: Optional[dict] = None
+        self,
+        matrix: CSRMatrix,
+        structure: Optional[dict] = None,
+        r: Optional[float] = None,
+        r_source: Optional[Callable[[], float]] = None,
     ) -> None:
         self._matrix = matrix
         self._structure: Optional[dict] = structure
-        self._seeded = structure is not None
-        self._r: Optional[float] = None
+        self._r: Optional[float] = r
+        self._r_source = r_source
+        # Charged only when the corresponding extraction actually runs
+        # here — seeded values arrive pre-paid, and memoized re-reads
+        # must not charge twice.
+        self._structure_charged = False
+        self._powerlaw_charged = False
 
     @property
     def structure_extracted(self) -> bool:
@@ -65,12 +98,19 @@ class LazyFeatures:
         """Value of one parameter, extracting its step lazily."""
         if name == "r":
             if self._r is None:
-                self._r = extract_powerlaw_feature(self._matrix)
+                if self._r_source is not None:
+                    # Pre-paid by whoever maintains the source (delta
+                    # feature upkeep) — materialise without charging.
+                    self._r = float(self._r_source())
+                else:
+                    self._r = extract_powerlaw_feature(self._matrix)
+                    self._powerlaw_charged = True
             return self._r
         if name not in STRUCTURE_PARAMS:
             raise KeyError(f"unknown feature parameter: {name}")
         if self._structure is None:
             self._structure = extract_structure_features(self._matrix)
+            self._structure_charged = True
         return float(self._structure[name])
 
     def snapshot(self) -> FeatureVector:
@@ -92,12 +132,157 @@ class LazyFeatures:
     def extraction_cost_spmv_units(self) -> float:
         """Extraction work done so far, in units of one CSR-SpMV.
 
-        A seeded structure dict was computed (and charged) elsewhere, so
-        only a structure pass this instance actually ran counts here.
+        Seeded steps were computed (and charged) elsewhere, so only the
+        passes this instance actually ran count — once each, however
+        many times their values are re-read.
         """
         cost = 0.0
-        if self._structure is not None and not self._seeded:
+        if self._structure_charged:
             cost += STRUCTURE_COST_SPMV_UNITS
-        if self._r is not None:
+        if self._powerlaw_charged:
             cost += POWERLAW_COST_SPMV_UNITS
         return cost
+
+
+class DeltaFeatures:
+    """The Table 2 vector maintained under structure churn.
+
+    The constructor pays one full scan (the same price as a cold
+    extraction); every :meth:`apply` thereafter is O(delta): the degree
+    array gets two scatter-adds and the diagonal census a handful of
+    dictionary bumps.  No re-scan of the matrix ever happens, which is
+    the whole point — the serving layer keeps one of these per live
+    structure and re-decides formats from it at delta prices.
+    """
+
+    def __init__(self, matrix: CSRMatrix) -> None:
+        m, n = matrix.shape
+        self._shape = (int(m), int(n))
+        self._degrees = matrix.row_degrees().astype(INDEX_DTYPE, copy=True)
+        self._nnz = int(matrix.nnz)
+        self._diag_counts: Dict[int, int] = {}
+        if matrix.nnz:
+            row_of = np.repeat(
+                np.arange(matrix.n_rows, dtype=INDEX_DTYPE),
+                matrix.row_degrees(),
+            )
+            offsets, counts = np.unique(
+                matrix.indices - row_of, return_counts=True
+            )
+            self._diag_counts = dict(
+                zip(offsets.tolist(), counts.tolist())
+            )
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def shape(self):
+        return self._shape
+
+    def apply(self, effect: DeltaEffect) -> None:
+        """Fold one delta's effect in — O(len(effect)) work."""
+        if tuple(effect.shape) != self._shape:
+            raise ValueError(
+                f"delta effect for shape {effect.shape} applied to "
+                f"features of shape {self._shape}"
+            )
+        if effect.removed_rows.size:
+            np.subtract.at(self._degrees, effect.removed_rows, 1)
+            self._bump(effect.removed_offsets(), -1)
+            self._nnz -= int(effect.removed_rows.shape[0])
+        if effect.added_rows.size:
+            np.add.at(self._degrees, effect.added_rows, 1)
+            self._bump(effect.added_offsets(), +1)
+            self._nnz += int(effect.added_rows.shape[0])
+        if self._degrees.size and int(self._degrees.min()) < 0:
+            raise ValueError("delta effect drove a row degree negative")
+
+    def _bump(self, offsets: np.ndarray, sign: int) -> None:
+        uniq, counts = np.unique(offsets, return_counts=True)
+        for off, cnt in zip(uniq.tolist(), counts.tolist()):
+            total = self._diag_counts.get(off, 0) + sign * cnt
+            if total > 0:
+                self._diag_counts[off] = total
+            elif total == 0:
+                self._diag_counts.pop(off, None)
+            else:
+                raise ValueError(
+                    f"diagonal census for offset {off} went negative"
+                )
+
+    def structure_snapshot(self) -> dict:
+        """The step-one dict, formula-for-formula identical to
+        :func:`repro.features.extract._structure_features`."""
+        from repro.util.stats import gini_like_variance
+
+        m, n = self._shape
+        nnz = self._nnz
+        degrees = self._degrees
+
+        aver_rd = nnz / m
+        max_rd = int(degrees.max()) if degrees.size else 0
+        var_rd = gini_like_variance(degrees, aver_rd)
+
+        ndiags, n_true = self._diagonal_census()
+        ntdiags_ratio = (n_true / ndiags) if ndiags else 0.0
+
+        er_dia = nnz / (ndiags * m) if ndiags else 1.0
+        er_ell = nnz / (max_rd * m) if max_rd else 1.0
+
+        return {
+            "m": int(m),
+            "n": int(n),
+            "ndiags": int(ndiags),
+            "ntdiags_ratio": float(ntdiags_ratio),
+            "nnz": int(nnz),
+            "aver_rd": float(aver_rd),
+            "max_rd": int(max_rd),
+            "var_rd": float(var_rd),
+            "er_dia": float(er_dia),
+            "er_ell": float(er_ell),
+        }
+
+    def _diagonal_census(self) -> tuple:
+        if not self._diag_counts:
+            return 0, 0
+        m, n = self._shape
+        offsets = np.fromiter(
+            sorted(self._diag_counts), dtype=np.int64,
+            count=len(self._diag_counts),
+        )
+        counts = np.fromiter(
+            (self._diag_counts[int(k)] for k in offsets), dtype=np.int64,
+            count=offsets.shape[0],
+        )
+        lengths = np.minimum(m, n - offsets) - np.maximum(0, -offsets)
+        occupancy = counts / np.maximum(lengths, 1)
+        n_true = int(
+            np.count_nonzero(occupancy >= TRUE_DIAGONAL_THRESHOLD)
+        )
+        return int(offsets.shape[0]), n_true
+
+    def powerlaw(self) -> float:
+        """The step-two R from the maintained degree array — the same
+        estimator :func:`extract_powerlaw_feature` runs on a fresh scan."""
+        return estimate_power_law_exponent(self._degrees)
+
+    def snapshot(self) -> FeatureVector:
+        """The complete maintained vector."""
+        return FeatureVector(r=self.powerlaw(), **self.structure_snapshot())
+
+    def seed_lazy(self, matrix: CSRMatrix) -> LazyFeatures:
+        """A fully-seeded :class:`LazyFeatures` over ``matrix``.
+
+        Both steps arrive pre-paid from delta maintenance, so the
+        instance charges zero extraction units no matter which
+        parameters the rule walk reads.  Step two is seeded by
+        reference: the maintained degree array is only sorted for the
+        R estimate if a rule actually tests ``r``.
+        """
+        return LazyFeatures(
+            matrix,
+            structure=self.structure_snapshot(),
+            r_source=self.powerlaw,
+        )

@@ -62,6 +62,27 @@ class DIAMatrix(SparseMatrix):
         self.data = data
 
     @classmethod
+    def _from_validated(
+        cls,
+        offsets: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> "DIAMatrix":
+        """Internal: adopt an already-canonical diagonal store unchecked.
+
+        Only the delta-patch path uses this — ``offsets`` is a copy of an
+        existing validated operand's (already sorted, already in range)
+        and ``data`` differs from its store at the touched coordinates
+        only, so re-running the constructor's checks would be pure
+        overhead on what is meant to be an O(delta) operation.
+        """
+        out = cls.__new__(cls)
+        SparseMatrix.__init__(out, shape, data.dtype)
+        out.offsets = offsets
+        out.data = data
+        return out
+
+    @classmethod
     def from_dense(cls, dense: np.ndarray) -> "DIAMatrix":
         dense = np.asarray(dense)
         if dense.ndim != 2:

@@ -60,6 +60,29 @@ class ELLMatrix(SparseMatrix):
         self._nnz = int(nnz)
 
     @classmethod
+    def _from_validated(
+        cls,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+        nnz: int,
+    ) -> "ELLMatrix":
+        """Internal: adopt already-canonical packed arrays unchecked.
+
+        Only the delta-patch path uses this — the arrays are copies of an
+        existing validated operand with a handful of rows re-scattered
+        from a validated CSR, so the constructor's full min/max range
+        sweep would be pure overhead on what is meant to be an O(delta)
+        operation.
+        """
+        out = cls.__new__(cls)
+        SparseMatrix.__init__(out, shape, data.dtype)
+        out.indices = indices
+        out.data = data
+        out._nnz = int(nnz)
+        return out
+
+    @classmethod
     def from_dense(cls, dense: np.ndarray) -> "ELLMatrix":
         dense = np.asarray(dense)
         if dense.ndim != 2:

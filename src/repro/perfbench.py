@@ -31,8 +31,18 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.collection import banded, generate_collection, graphs
-from repro.features.extract import extract_structure_features
+from repro.features.extract import (
+    extract_powerlaw_feature,
+    extract_structure_features,
+)
+from repro.features.incremental import DeltaFeatures
 from repro.formats import reference
+from repro.formats.delta import (
+    DeltaEffect,
+    StructureDelta,
+    apply_delta,
+    patch_operand,
+)
 from repro.formats.convert import (
     csr_to_bcsr,
     csr_to_dia,
@@ -48,9 +58,9 @@ from repro.kernels.spmm import csr_spmm, dia_spmm, ell_spmm
 from repro.kernels.strategies import Strategy, strategy_set
 from repro.machine import SimulatedBackend
 from repro.machine import platform as machine_platform
-from repro.tuner.runtime import cascade_select, full_select
+from repro.tuner.runtime import _model_walk, cascade_select, full_select
 from repro.tuner.smat import SMAT
-from repro.types import FormatName
+from repro.types import INDEX_DTYPE, FormatName
 from repro.util.timing import median_time
 
 #: Minimum workers (and host cores) for the THREAD-kernel comparison; the
@@ -74,15 +84,19 @@ SUITE_SIZES = {
 #: padded formats), the skyline merge-back (sort-free since the per-row
 #: two-stream merge replaced the triplet lexsort), the serving layer's
 #: value-refresh fast path, which must stay well ahead of a full retune
-#: for the tier-2 plan cache to pay for itself, and the decision
-#: cascade's selection overhead vs an always-full feature extraction
-#: (which additionally must choose the same formats — see
-#: ``quality_regressions`` in :func:`check_speedups`).
+#: for the tier-2 plan cache to pay for itself, the structure-churn
+#: delta path (incremental features + in-place operand patch vs a cold
+#: retune, which additionally must be bitwise-equal and re-decide the
+#: same format — see ``mismatches``/``format_regressions`` in
+#: :func:`check_speedups`), and the decision cascade's selection
+#: overhead vs an always-full feature extraction (which additionally
+#: must choose the same formats — see ``quality_regressions``).
 GATED_OPS = (
     "convert/csr_to_ell",
     "convert/csr_to_dia",
     "convert/sky_to_csr",
     "plan/value_refresh",
+    "plan/delta_update",
     "tune/cascade_overhead",
 )
 
@@ -93,6 +107,18 @@ SPEEDUP_KEYS = (
     "speedup_vs_retune",
     "speedup_vs_full_extraction",
 )
+
+#: (n, n_diags) of the structure-delta benchmark matrix per suite.  The
+#: shared smoke banded matrix is small enough that fixed per-call NumPy
+#: overhead, not asymptotic work, dominates the O(delta) patch side —
+#: the delta case gets its own floor size so the smoke gate measures
+#: the algorithm rather than interpreter constants.  Quick/full reuse
+#: the shared matrix.
+DELTA_SIZES = {
+    "smoke": (6_000, 5),
+    "quick": (25_000, 9),
+    "full": (25_000, 9),
+}
 
 #: The decision-cascade benchmark corpus per suite: ``("band", n,
 #: n_diags)`` builds a *contiguous* dense band (``spread`` pinned so the
@@ -162,6 +188,49 @@ SPMM_GATES = {"spmm/csr_b64": 3.0}
 
 def _time(fn: Callable[[], object], repeats: int, warmup: int = 1) -> float:
     return median_time(fn, repeats=max(1, repeats), warmup=warmup)
+
+
+def _churn_delta(
+    matrix: CSRMatrix, rng: np.random.Generator, edits: int
+) -> StructureDelta:
+    """A degree-preserving edit batch for the delta-update benchmark.
+
+    Each chosen row drops one stored entry and gains one just outside
+    its occupied span (bandwidth drift — the shape of mesh-refinement
+    churn), so row degrees — hence the ELL width — are unchanged and
+    :func:`patch_operand` takes the in-place path rather than the
+    rebuild fallback.  ``edits`` counts total coordinates touched
+    (one delete plus one insert per row).
+    """
+    pairs = min(max(1, edits // 2), matrix.n_rows)
+    rows = rng.choice(matrix.n_rows, size=pairs, replace=False)
+    del_rows: List[int] = []
+    del_cols: List[int] = []
+    ins_rows: List[int] = []
+    ins_cols: List[int] = []
+    for row in rows.tolist():
+        start, end = int(matrix.ptr[row]), int(matrix.ptr[row + 1])
+        if end <= start:
+            continue
+        lo = int(matrix.indices[start])
+        hi = int(matrix.indices[end - 1])
+        if hi + 1 < matrix.n_cols:
+            free = hi + 1
+        elif lo > 0:
+            free = lo - 1
+        else:
+            continue
+        del_rows.append(row)
+        del_cols.append(lo)
+        ins_rows.append(row)
+        ins_cols.append(free)
+    return StructureDelta(
+        insert_rows=np.asarray(ins_rows, dtype=INDEX_DTYPE),
+        insert_cols=np.asarray(ins_cols, dtype=INDEX_DTYPE),
+        insert_vals=rng.standard_normal(len(ins_rows)),
+        delete_rows=np.asarray(del_rows, dtype=INDEX_DTYPE),
+        delete_cols=np.asarray(del_cols, dtype=INDEX_DTYPE),
+    )
 
 
 def run_suite(
@@ -336,6 +405,94 @@ def run_suite(
         "corpus": len(corpus),
     }
 
+    # -- structure delta: incremental migration vs a cold retune --------
+    # The serving engine's structure-churn patch path *after* the CSR
+    # splice (which every policy pays identically): maintain the Table 2
+    # features from the O(delta) effect, re-decide the format on the
+    # maintained features, and patch the converted operand's touched
+    # rows in place.  The retune side is what the same post-splice step
+    # costs without the delta machinery — full feature extraction, the
+    # power-law fit, and a from-scratch reconversion.  The edit batch is
+    # degree-preserving so the ELL width survives and the in-place patch
+    # (not the rebuild fallback) is what gets timed; the timed loop
+    # alternates the delta with its inverse, so every pass does exactly
+    # one honest forward migration and the features never drift.
+    churn_base = (
+        band
+        if (n, n_diags) == DELTA_SIZES[suite]
+        else banded.banded_matrix(*DELTA_SIZES[suite], seed=seed)
+    )
+    delta = _churn_delta(
+        churn_base,
+        np.random.default_rng(seed + 17),
+        max(8, churn_base.nnz // 1024),
+    )
+    ell_donor, _ = csr_to_ell(churn_base, fill_budget=None)
+    delta_feats = DeltaFeatures(churn_base)
+    delta_csr, delta_effect = apply_delta(churn_base, delta)
+    inverse_effect = DeltaEffect(
+        shape=delta_effect.shape,
+        added_rows=delta_effect.removed_rows,
+        added_cols=delta_effect.removed_cols,
+        removed_rows=delta_effect.added_rows,
+        removed_cols=delta_effect.added_cols,
+        updated_rows=delta_effect.updated_rows,
+        updated_cols=delta_effect.updated_cols,
+    )
+    patched = patch_operand(ell_donor, delta_csr, delta_effect)
+    rebuilt, _ = csr_to_ell(delta_csr, fill_budget=None)
+    mismatches = sum(
+        not np.array_equal(
+            getattr(patched.matrix, attr), getattr(rebuilt, attr)
+        )
+        for attr in ("indices", "data")
+    )
+    delta_feats.apply(delta_effect)
+    maintained_fmt, _, _ = _model_walk(
+        smat.model, delta_feats.seed_lazy(delta_csr)
+    )
+    format_regressions = int(
+        maintained_fmt != full_select(delta_csr, smat.model).format_name
+    )
+    delta_feats.apply(inverse_effect)
+
+    migrations = (
+        (delta_effect, delta_csr, ell_donor),
+        (inverse_effect, churn_base, patched.matrix),
+    )
+    flip = [0]
+
+    def _delta_path():
+        effect, target_csr, donor = migrations[flip[0]]
+        flip[0] ^= 1
+        delta_feats.apply(effect)
+        _model_walk(smat.model, delta_feats.seed_lazy(target_csr))
+        return patch_operand(donor, target_csr, effect)
+
+    delta_s = _time(_delta_path, repeats, warmup=2)
+    delta_retune_s = _time(
+        lambda: (
+            extract_structure_features(delta_csr),
+            extract_powerlaw_feature(delta_csr),
+            csr_to_ell(delta_csr, fill_budget=None),
+        ),
+        repeats,
+    )
+    ops["plan/delta_update"] = {
+        "median_s": delta_s,
+        "retune_median_s": delta_retune_s,
+        "speedup_vs_retune": (
+            delta_retune_s / delta_s if delta_s > 0 else 0.0
+        ),
+        "edits": int(delta.size),
+        "delta_ratio": float(
+            delta_effect.structural_size / max(churn_base.nnz, 1)
+        ),
+        "policy": patched.mode,
+        "mismatches": int(mismatches),
+        "format_regressions": format_regressions,
+    }
+
     # -- per-format SpMV: vectorized kernels vs the *_basic loops -------
     vec = strategy_set(Strategy.VECTORIZE)
     csr_fast = find_kernel(FormatName.CSR, vec)
@@ -508,6 +665,27 @@ def check_speedups(
         if speedup < min_speedup:
             failures.append(
                 f"{name}: {speedup:.1f}x < required {min_speedup:.1f}x"
+            )
+    delta = ops.get("plan/delta_update")
+    if delta is not None:
+        if int(delta.get("mismatches", 1)):
+            failures.append(
+                f"plan/delta_update: patched operand differs from the "
+                f"from-scratch reconversion in "
+                f"{int(delta.get('mismatches', 1))} arrays (the patch "
+                "must be bitwise-equal)"
+            )
+        if int(delta.get("format_regressions", 1)):
+            failures.append(
+                "plan/delta_update: maintained features re-decide a "
+                "different format than a full extraction of the mutated "
+                "matrix"
+            )
+        if delta.get("policy") != "patched":
+            failures.append(
+                f"plan/delta_update: operand took the "
+                f"'{delta.get('policy')}' path — the benchmark delta "
+                "must exercise the in-place patch"
             )
     cascade = ops.get("tune/cascade_overhead")
     if cascade is not None and int(cascade.get("quality_regressions", 1)):

@@ -22,6 +22,7 @@ is testable through deterministic fault injection
 """
 
 from repro.serve.engine import (
+    DeltaOutcome,
     ServeConfig,
     ServeResult,
     ServingEngine,
@@ -54,11 +55,14 @@ from repro.serve.resilience import (
 )
 from repro.serve.workload import (
     ReplayReport,
+    StructureChurnReport,
     build_matrix_pool,
     churn_schedule,
+    evolving_graph_delta,
     popularity_schedule,
     replay,
     replay_fan_in,
+    replay_structure_churn,
     value_churn_pool,
 )
 
@@ -69,6 +73,7 @@ __all__ = [
     "Counter",
     "Deadline",
     "DegradedPlan",
+    "DeltaOutcome",
     "FaultPlan",
     "FaultRule",
     "Fingerprint",
@@ -83,13 +88,16 @@ __all__ = [
     "ServeConfig",
     "ServeResult",
     "ServingEngine",
+    "StructureChurnReport",
     "StructureKey",
     "build_matrix_pool",
     "churn_schedule",
+    "evolving_graph_delta",
     "fingerprint",
     "popularity_schedule",
     "replay",
     "replay_fan_in",
+    "replay_structure_churn",
     "structural_digest",
     "value_churn_pool",
 ]

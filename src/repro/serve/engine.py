@@ -74,8 +74,15 @@ from repro.errors import (
     DeadlineExceededError,
     ServeError,
 )
+from repro.features.incremental import DeltaFeatures
 from repro.formats.convert import convert
 from repro.formats.csr import CSRMatrix
+from repro.formats.delta import (
+    DeltaEffect,
+    StructureDelta,
+    apply_delta,
+    patch_operand,
+)
 from repro.kernels.backends import get_backend
 from repro.serve.faults import FaultPlan
 from repro.serve.fingerprint import Fingerprint
@@ -90,7 +97,7 @@ from repro.serve.resilience import (
     DegradedPlan,
     RetryPolicy,
 )
-from repro.tuner.runtime import Decision
+from repro.tuner.runtime import Decision, _model_walk, cascade_select
 from repro.types import FormatName
 
 #: Counters pre-registered on every engine so the scoreboard always shows
@@ -157,6 +164,20 @@ _CODEGEN_COUNTERS = (
     "codegen_kernels",
     "codegen_kept_generic",
     "codegen_fallbacks",
+)
+
+#: Structure-churn instruments.  ``deltas_applied`` counts every
+#: :meth:`ServingEngine.apply_structure_delta`; the three policy counters
+#: record how each delta's plan was migrated — ``delta_patches`` (the
+#: converted operand was edited in place), ``delta_refreshes`` (the old
+#: format won the re-decision but its geometry changed, so the operand
+#: was rebuilt without re-tuning) and ``delta_retunes`` (full decision).
+#: The churn smoke test gates on patches+refreshes moving.
+_DELTA_COUNTERS = (
+    "deltas_applied",
+    "delta_patches",
+    "delta_refreshes",
+    "delta_retunes",
 )
 
 #: Nominal cost of converting to a non-CSR format, in CSR-SpMV units —
@@ -231,6 +252,13 @@ class ServeConfig:
     #: stays descriptor-only — workers regenerate compiled kernels from
     #: structure on their side, and ``operand_bytes_pickled`` stays 0.
     kernel_backend: str = "generic"
+    #: Structure-delta migration policy: a delta whose structural edit
+    #: count (entries appearing or vanishing) stays within this fraction
+    #: of the pre-delta nnz may keep the old plan — patched or rebuilt in
+    #: the old format — provided a cascade-bounded re-decision confirms
+    #: that format still wins on the mutated structure.  Larger deltas
+    #: (or a flipped re-decision) always re-tune from scratch.
+    delta_patch_max_ratio: float = 0.25
 
     def __post_init__(self) -> None:
         from repro.kernels.backends import backend_names
@@ -306,6 +334,11 @@ class ServeConfig:
                 f"breaker_probe_interval must be >= 1, "
                 f"got {self.breaker_probe_interval}"
             )
+        if self.delta_patch_max_ratio < 0.0:
+            raise ValueError(
+                f"delta_patch_max_ratio must be >= 0, "
+                f"got {self.delta_patch_max_ratio}"
+            )
 
 
 @dataclass
@@ -341,6 +374,33 @@ class ServeResult:
     @property
     def total_seconds(self) -> float:
         return self.queued_seconds + self.plan_seconds + self.execute_seconds
+
+
+@dataclass(frozen=True)
+class DeltaOutcome:
+    """What :meth:`ServingEngine.apply_structure_delta` hands back.
+
+    ``matrix`` is the post-delta CSR matrix the caller must submit from
+    now on (the pre-delta object — and its fingerprint — is dead: its
+    plan has been invalidated and can never be hit again).  ``policy``
+    records how the plan migrated: ``"patch"`` (operand edited in
+    place), ``"refresh"`` (same format, operand rebuilt without
+    re-tuning) or ``"retune"`` (full decision).
+    """
+
+    matrix: CSRMatrix
+    fingerprint: Fingerprint
+    old_fingerprint: Fingerprint
+    policy: str
+    old_format: Optional[FormatName]
+    new_format: FormatName
+    #: Structural edits (entries appearing/vanishing) over pre-delta nnz.
+    delta_ratio: float
+    #: Which cascade stage confirmed (or flipped) the format, when a
+    #: re-decision ran: ``"delta"`` (maintained-features walk),
+    #: ``"cheap"``/``"full"`` (cascade probe), or None (no re-decision).
+    redecision_stage: Optional[str]
+    seconds: float
 
 
 # ---------------------------------------------------------------------------
@@ -637,6 +697,10 @@ class ServingEngine:
         self.metrics.ensure(counters=_SPMM_COUNTERS)
         self.metrics.ensure(counters=_CASCADE_COUNTERS)
         self.metrics.ensure(counters=_CODEGEN_COUNTERS)
+        self.metrics.ensure(
+            counters=_DELTA_COUNTERS,
+            histograms=("delta_apply_seconds",),
+        )
         self.cache = PlanCache(
             max_entries=config.cache_entries, max_bytes=config.cache_bytes
         )
@@ -947,6 +1011,150 @@ class ServingEngine:
         return invalidated
 
     # ------------------------------------------------------------------
+    # Structure churn
+    # ------------------------------------------------------------------
+    def apply_structure_delta(
+        self,
+        matrix: CSRMatrix,
+        delta: StructureDelta,
+        features: Optional[DeltaFeatures] = None,
+    ) -> DeltaOutcome:
+        """Mutate a served structure and migrate its plan.
+
+        The pre-delta fingerprint (value *and* structure key) is retired
+        unconditionally — both cache tiers mint fresh keys for the
+        post-delta matrix, so a mutated structure can never hit its
+        stale plan.  The resident plan then migrates by policy:
+
+        * **patch** — the delta is small (``structural edits / nnz ≤
+          config.delta_patch_max_ratio``) and a cascade-bounded
+          re-decision (the maintained-feature walk when ``features`` is
+          supplied, the cheap interval walk otherwise) proves the old
+          format still wins → the converted operand is edited in place
+          where the format's geometry is unchanged;
+        * **refresh** — same proof, but the geometry moved (ELL width,
+          DIA offset set) or the format has no in-place patcher → the
+          operand is rebuilt from the new CSR without re-tuning;
+        * **retune** — big delta, flipped decision, no resident plan, or
+          a failed patch → the full Figure 7 decision runs.
+
+        Returns the post-delta matrix (the caller must submit with it
+        from now on) plus what happened.  ``features``, when given, is
+        advanced in place so the caller's maintenance stays attached.
+        """
+        started = time.perf_counter()
+        old_key = _fingerprint(matrix)
+        with obs.span("serve.delta", fingerprint=str(old_key)):
+            new_csr, effect = apply_delta(matrix, delta)
+            if features is not None:
+                features.apply(effect)
+            new_key = _fingerprint(new_csr)
+            old_plan = self.cache.get(old_key, record_stats=False)
+            if self.cache.invalidate(old_key):
+                self.metrics.counter("plans_invalidated").inc()
+            self.metrics.counter("deltas_applied").inc()
+            ratio = effect.structural_size / max(matrix.nnz, 1)
+            old_format = (
+                old_plan.decision.format_name if old_plan is not None else None
+            )
+            plan = None
+            policy = "retune"
+            stage: Optional[str] = None
+            if (
+                old_plan is not None
+                and not old_plan.provisional
+                and ratio <= self.config.delta_patch_max_ratio
+            ):
+                redecision = self._delta_redecision(new_csr, features)
+                if redecision is not None:
+                    fmt, stage = redecision
+                    if fmt is old_plan.decision.format_name:
+                        try:
+                            result = patch_operand(
+                                old_plan.decision.matrix, new_csr, effect
+                            )
+                        except Exception:
+                            result = None  # patch failed → full retune
+                        if result is not None:
+                            policy = (
+                                "patch"
+                                if result.mode == "patched"
+                                else "refresh"
+                            )
+                            plan = CachedPlan(
+                                key=new_key,
+                                decision=replace(
+                                    old_plan.decision, matrix=result.matrix
+                                ),
+                                matrix_bytes=result.matrix.memory_bytes(),
+                            )
+            if plan is None:
+                policy = "retune"
+                plan = self._build_plan(new_key, new_csr)
+            self.metrics.counter(
+                {
+                    "patch": "delta_patches",
+                    "refresh": "delta_refreshes",
+                    "retune": "delta_retunes",
+                }[policy]
+            ).inc()
+            if self.cache.put(plan):
+                self.metrics.counter("plans_cached").inc()
+            else:
+                self.metrics.counter("plans_uncacheable").inc()
+            seconds = time.perf_counter() - started
+            self.metrics.histogram("delta_apply_seconds").observe(seconds)
+            self._update_gauges()
+            return DeltaOutcome(
+                matrix=new_csr,
+                fingerprint=new_key,
+                old_fingerprint=old_key,
+                policy=policy,
+                old_format=old_format,
+                new_format=plan.decision.format_name,
+                delta_ratio=float(ratio),
+                redecision_stage=stage,
+                seconds=seconds,
+            )
+
+    def _delta_redecision(
+        self, new_csr: CSRMatrix, features: Optional[DeltaFeatures]
+    ) -> Optional[Tuple[FormatName, str]]:
+        """Cheapest available proof of the post-delta format choice.
+
+        With maintained features the rule walk runs on a fully-seeded
+        :class:`LazyFeatures` — zero extraction units.  Without them the
+        PR-8 cascade walks cheap interval bounds, escalating only when
+        unresolved.  A tuner exposing no rule model cannot prove
+        anything → None, which the caller treats as "retune".
+        """
+        model = getattr(self.tuner, "model", None)
+        if model is None:
+            model = getattr(
+                getattr(self.tuner, "smat", None), "model", None
+            )
+        if model is None:
+            return None
+        try:
+            if features is not None:
+                fmt, _confidence, _rule = _model_walk(
+                    model, features.seed_lazy(new_csr)
+                )
+                return fmt, "delta"
+            config = getattr(self.tuner, "config", None)
+            if config is None:
+                config = getattr(
+                    getattr(self.tuner, "smat", None), "config", None
+                )
+            if config is not None:
+                selection = cascade_select(new_csr, model, config)
+            else:
+                selection = cascade_select(new_csr, model)
+            return selection.format_name, selection.stage
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -1093,6 +1301,28 @@ class ServingEngine:
         if len(live) == 1:
             self._serve_one(resolution, live[0][0], live[0][1], dequeued_at)
             return
+        # The injected-fault hook can sleep (latency faults), so it runs
+        # before the deadline sweep below: a member whose budget expires
+        # while the hook stalls must resolve DeadlineExceededError, not
+        # be served late in the stacked pass.
+        if self.faults is not None:
+            try:
+                self.faults.on_call("spmm")
+            except Exception:
+                self.metrics.counter("spmm_fallbacks").inc()
+                for index, request in live:
+                    self._serve_one(resolution, index, request, dequeued_at)
+                return
+        live = [
+            (index, request)
+            for index, request in live
+            if not self._fail_if_expired(request)
+        ]
+        if not live:
+            return
+        if len(live) == 1:
+            self._serve_one(resolution, live[0][0], live[0][1], dequeued_at)
+            return
         k = len(live)
         head = live[0][1]
         tracer = obs.get_tracer()
@@ -1109,8 +1339,6 @@ class ServingEngine:
         try:
             with execute_ctx:
                 started = time.perf_counter()
-                if self.faults is not None:
-                    self.faults.on_call("spmm")
                 X = np.stack([request.x for _, request in live], axis=1)
                 Y = resolution.plan.spmm(X)
                 elapsed = time.perf_counter() - started

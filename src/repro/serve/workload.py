@@ -13,14 +13,17 @@ CSR kernel.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.collection import banded, graphs, grids, random_sparse
+from repro.features.incremental import DeltaFeatures
 from repro.formats.csr import CSRMatrix
-from repro.serve.engine import ServeResult, ServingEngine
+from repro.formats.delta import StructureDelta
+from repro.serve.engine import DeltaOutcome, ServeResult, ServingEngine
+from repro.types import INDEX_DTYPE
 
 
 def build_matrix_pool(
@@ -284,6 +287,165 @@ def replay_fan_in(
         mismatches=mismatches,
         errors=errors,
         wall_seconds=wall,
+    )
+
+
+@dataclass
+class StructureChurnReport(ReplayReport):
+    """A :class:`ReplayReport` plus the delta-migration ledger."""
+
+    deltas: List[DeltaOutcome] = field(default_factory=list)
+
+    @property
+    def policy_counts(self) -> Dict[str, int]:
+        counts = {"patch": 0, "refresh": 0, "retune": 0}
+        for outcome in self.deltas:
+            counts[outcome.policy] = counts.get(outcome.policy, 0) + 1
+        return counts
+
+    @property
+    def delta_hits(self) -> int:
+        """Deltas that avoided a full retune (patched or refreshed)."""
+        counts = self.policy_counts
+        return counts["patch"] + counts["refresh"]
+
+
+def evolving_graph_delta(
+    matrix: CSRMatrix,
+    rng: np.random.Generator,
+    inserts: int,
+    deletes: int,
+) -> StructureDelta:
+    """One edge insert/delete step of an evolving power-law graph.
+
+    Deleted edges are drawn uniformly from the current edge set;
+    inserted edges keep the degree skew by drawing target columns with
+    probability density ∝ sqrt-inverted rank (``floor(u² · n)`` for
+    uniform ``u`` — cheap preferential attachment), filtered against
+    edges that already exist.  The delta is always valid against
+    ``matrix``: deletions target live entries, insertions target holes.
+    """
+    m, n = matrix.shape
+    degrees = matrix.row_degrees()
+    row_of = np.repeat(np.arange(m, dtype=INDEX_DTYPE), degrees)
+    keys = row_of * n + matrix.indices
+
+    deletes = min(int(deletes), matrix.nnz)
+    if deletes > 0:
+        picks = rng.choice(matrix.nnz, size=deletes, replace=False)
+        delete_rows = row_of[picks]
+        delete_cols = matrix.indices[picks].astype(INDEX_DTYPE, copy=False)
+    else:
+        delete_rows = np.zeros(0, dtype=INDEX_DTYPE)
+        delete_cols = np.zeros(0, dtype=INDEX_DTYPE)
+
+    insert_rows: List[int] = []
+    insert_cols: List[int] = []
+    seen = set()
+    attempts = 0
+    while len(insert_rows) < inserts and attempts < inserts * 20:
+        attempts += 1
+        row = int(rng.integers(0, m))
+        col = int(rng.random() ** 2 * n)
+        key = row * n + col
+        if key in seen:
+            continue
+        at = int(np.searchsorted(keys, key))
+        if at < keys.shape[0] and int(keys[at]) == key:
+            continue  # edge already present
+        seen.add(key)
+        insert_rows.append(row)
+        insert_cols.append(col)
+    count = len(insert_rows)
+    return StructureDelta(
+        insert_rows=np.asarray(insert_rows, dtype=INDEX_DTYPE),
+        insert_cols=np.asarray(insert_cols, dtype=INDEX_DTYPE),
+        insert_vals=rng.standard_normal(count).astype(matrix.dtype),
+        delete_rows=delete_rows,
+        delete_cols=delete_cols,
+    )
+
+
+def replay_structure_churn(
+    engine: ServingEngine,
+    nodes: int = 600,
+    steps: int = 20,
+    serves_per_step: int = 8,
+    delta_fraction: float = 0.02,
+    seed: int = 2013,
+    verify: bool = True,
+) -> StructureChurnReport:
+    """Stream an evolving power-law graph through ``engine``.
+
+    The scenario the delta path exists for: one long-lived graph serving
+    SpMV traffic (PageRank/HITS-style) while its edge set churns.  Each
+    of the ``steps`` rounds serves ``serves_per_step`` requests against
+    the current structure, then applies one
+    :func:`evolving_graph_delta` sized at ``delta_fraction`` of the
+    current nnz via :meth:`~repro.serve.ServingEngine
+    .apply_structure_delta`, with a :class:`DeltaFeatures` instance
+    maintained across the whole run so re-decisions stay O(delta).
+    Every served product is verified against the reference CSR kernel
+    of the *current* structure — a stale-plan hit after a delta shows up
+    as a mismatch, not silence.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if serves_per_step < 1:
+        raise ValueError(
+            f"serves_per_step must be >= 1, got {serves_per_step}"
+        )
+    if not 0.0 < delta_fraction <= 1.0:
+        raise ValueError(
+            f"delta_fraction must be in (0, 1], got {delta_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    matrix = graphs.power_law_graph(
+        nodes, exponent=2.2, seed=int(rng.integers(0, 2**31 - 1))
+    )
+    features = DeltaFeatures(matrix)
+    import time
+
+    results: List[ServeResult] = []
+    deltas: List[DeltaOutcome] = []
+    mismatches = 0
+    errors: List[BaseException] = []
+    started = time.perf_counter()
+    for step in range(steps):
+        for _ in range(serves_per_step):
+            x = rng.standard_normal(matrix.n_cols).astype(matrix.dtype)
+            try:
+                result = engine.spmv(matrix, x)
+            except BaseException as exc:  # collected, not raised: the
+                errors.append(exc)       # report decides pass/fail
+                continue
+            results.append(result)
+            if verify and not np.allclose(
+                result.y, matrix.spmv(x), atol=1e-9
+            ):
+                mismatches += 1
+        if step == steps - 1:
+            break  # final round serves only; no trailing unserved delta
+        churn = max(2, int(delta_fraction * matrix.nnz))
+        delta = evolving_graph_delta(
+            matrix, rng, inserts=churn - churn // 2, deletes=churn // 2
+        )
+        try:
+            outcome = engine.apply_structure_delta(
+                matrix, delta, features=features
+            )
+        except BaseException as exc:
+            errors.append(exc)
+            continue
+        deltas.append(outcome)
+        matrix = outcome.matrix
+    wall = time.perf_counter() - started
+    return StructureChurnReport(
+        results=results,
+        mismatches=mismatches,
+        errors=errors,
+        wall_seconds=wall,
+        deltas=deltas,
     )
 
 

@@ -1,0 +1,208 @@
+"""Incremental feature maintenance: exact parity with re-extraction.
+
+:class:`DeltaFeatures` promises the *same* Table 2 vector a cold
+re-extraction of the mutated matrix would produce — not an
+approximation — because format decisions ride on these values.  The
+parity assertions here are exact equality (``==``), never ``allclose``:
+the maintained state holds the identical degree array and diagonal
+census the extractor would rebuild, so every derived float must match
+bit for bit.
+
+Also covers the :class:`LazyFeatures` extraction-cost ledger (the
+cascade's budget currency): each step charges exactly once, however
+often its values are re-read, and seeded steps never charge at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.extract import (
+    extract_features,
+    extract_powerlaw_feature,
+    extract_structure_features,
+)
+from repro.features.incremental import (
+    POWERLAW_COST_SPMV_UNITS,
+    STRUCTURE_COST_SPMV_UNITS,
+    DeltaFeatures,
+    LazyFeatures,
+)
+from repro.formats.delta import DeltaEffect, apply_delta
+from repro.types import INDEX_DTYPE
+
+from tests.test_delta_formats import _random_delta
+from tests.test_properties_differential import (
+    _structure_for,
+    with_dyadic_data,
+)
+
+#: Seeds for the parity sweep (one matrix family mix per seed).
+PARITY_SEEDS = range(0, 48)
+
+
+# ---------------------------------------------------------------------------
+# DeltaFeatures parity
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", PARITY_SEEDS)
+def test_single_delta_parity(seed: int) -> None:
+    rng = np.random.default_rng(20_000 + seed)
+    base = with_dyadic_data(_structure_for(seed), rng)
+    kind = ("insert", "delete", "mixed")[seed % 3]
+    delta = _random_delta(base, rng, kind)
+
+    feats = DeltaFeatures(base)
+    new_csr, effect = apply_delta(base, delta)
+    feats.apply(effect)
+
+    assert feats.snapshot() == extract_features(new_csr)
+
+
+@pytest.mark.parametrize("seed", (7, 21, 33))
+def test_delta_sequence_stays_exact(seed: int) -> None:
+    """No drift over a chain of deltas — the maintained census is exact
+    at every step, not just after one edit."""
+    rng = np.random.default_rng(30_000 + seed)
+    matrix = with_dyadic_data(_structure_for(seed), rng)
+    feats = DeltaFeatures(matrix)
+    for step in range(6):
+        kind = ("insert", "delete", "mixed")[step % 3]
+        delta = _random_delta(matrix, rng, kind)
+        matrix, effect = apply_delta(matrix, delta)
+        feats.apply(effect)
+        assert feats.snapshot() == extract_features(matrix)
+        assert feats.nnz == matrix.nnz
+
+    # The maintained structure dict matches the extractor's key for key.
+    assert feats.structure_snapshot() == extract_structure_features(matrix)
+    assert feats.powerlaw() == extract_powerlaw_feature(matrix)
+
+
+def test_shape_mismatch_rejected() -> None:
+    base = _structure_for(1)
+    feats = DeltaFeatures(base)
+    wrong = DeltaEffect(
+        shape=(base.n_rows + 1, base.n_cols),
+        added_rows=np.zeros(0, dtype=INDEX_DTYPE),
+        added_cols=np.zeros(0, dtype=INDEX_DTYPE),
+        removed_rows=np.zeros(0, dtype=INDEX_DTYPE),
+        removed_cols=np.zeros(0, dtype=INDEX_DTYPE),
+        updated_rows=np.zeros(0, dtype=INDEX_DTYPE),
+        updated_cols=np.zeros(0, dtype=INDEX_DTYPE),
+    )
+    with pytest.raises(ValueError):
+        feats.apply(wrong)
+
+
+def test_phantom_removal_rejected() -> None:
+    """An effect that removes more entries from a row than it holds is
+    corrupt input — the degree array must not silently go negative."""
+    base = _structure_for(2)
+    feats = DeltaFeatures(base)
+    degrees = base.row_degrees()
+    row = int(np.argmin(degrees))
+    count = int(degrees[row]) + 1
+    effect = DeltaEffect(
+        shape=tuple(base.shape),
+        added_rows=np.zeros(0, dtype=INDEX_DTYPE),
+        added_cols=np.zeros(0, dtype=INDEX_DTYPE),
+        removed_rows=np.full(count, row, dtype=INDEX_DTYPE),
+        removed_cols=np.arange(count, dtype=INDEX_DTYPE),
+        updated_rows=np.zeros(0, dtype=INDEX_DTYPE),
+        updated_cols=np.zeros(0, dtype=INDEX_DTYPE),
+    )
+    with pytest.raises(ValueError):
+        feats.apply(effect)
+
+
+def test_seed_lazy_matches_and_charges_nothing() -> None:
+    rng = np.random.default_rng(41)
+    base = with_dyadic_data(_structure_for(10), rng)
+    feats = DeltaFeatures(base)
+    new_csr, effect = apply_delta(
+        base, _random_delta(base, rng, "mixed")
+    )
+    feats.apply(effect)
+
+    lazy = feats.seed_lazy(new_csr)
+    reference = extract_features(new_csr)
+    for name in ("m", "nnz", "aver_rd", "max_rd", "ndiags", "er_ell"):
+        assert lazy.get(name) == getattr(reference, name)
+    assert lazy.get("r") == reference.r
+    # Every read above was pre-paid by delta maintenance.
+    assert lazy.extraction_cost_spmv_units() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# LazyFeatures cost ledger
+# ---------------------------------------------------------------------------
+class TestExtractionCostLedger:
+    def test_powerlaw_charged_exactly_once(self) -> None:
+        matrix = _structure_for(12)
+        lazy = LazyFeatures(matrix)
+        assert lazy.extraction_cost_spmv_units() == 0.0
+        first = lazy.get("r")
+        assert (
+            lazy.extraction_cost_spmv_units() == POWERLAW_COST_SPMV_UNITS
+        )
+        # Re-reads are memoized: same value, no second charge.
+        assert lazy.get("r") == first
+        assert lazy.get("r") == first
+        assert (
+            lazy.extraction_cost_spmv_units() == POWERLAW_COST_SPMV_UNITS
+        )
+
+    def test_both_steps_charge_once_each(self) -> None:
+        matrix = _structure_for(13)
+        lazy = LazyFeatures(matrix)
+        lazy.get("ndiags")
+        lazy.get("max_rd")
+        lazy.get("r")
+        lazy.get("aver_rd")
+        lazy.get("r")
+        assert lazy.extraction_cost_spmv_units() == (
+            STRUCTURE_COST_SPMV_UNITS + POWERLAW_COST_SPMV_UNITS
+        )
+
+    def test_cascade_seeded_structure_never_charges(self) -> None:
+        """A cascade-seeded instance arrives with step one pre-paid;
+        reading any structure parameter — repeatedly — stays free, and
+        only an actual power-law extraction ever charges."""
+        matrix = _structure_for(14)
+        structure = extract_structure_features(matrix)
+        lazy = LazyFeatures(matrix, structure=structure)
+        for _ in range(3):
+            for name in structure:
+                assert lazy.get(name) == float(structure[name])
+        assert lazy.extraction_cost_spmv_units() == 0.0
+        lazy.get("r")
+        assert (
+            lazy.extraction_cost_spmv_units() == POWERLAW_COST_SPMV_UNITS
+        )
+
+    def test_seeded_r_never_charges(self) -> None:
+        matrix = _structure_for(15)
+        lazy = LazyFeatures(matrix, r=2.5)
+        assert lazy.get("r") == 2.5
+        assert lazy.extraction_cost_spmv_units() == 0.0
+
+    def test_r_source_consulted_lazily_and_never_charges(self) -> None:
+        matrix = _structure_for(16)
+        calls = []
+
+        def source() -> float:
+            calls.append(1)
+            return 3.25
+
+        lazy = LazyFeatures(matrix, r_source=source)
+        assert calls == []  # not consulted until a rule reads r
+        assert lazy.get("r") == 3.25
+        assert lazy.get("r") == 3.25
+        assert calls == [1]  # materialised once, then memoized
+        assert lazy.extraction_cost_spmv_units() == 0.0
+
+    def test_unknown_parameter_rejected(self) -> None:
+        lazy = LazyFeatures(_structure_for(17))
+        with pytest.raises(KeyError):
+            lazy.get("sparsity_index")

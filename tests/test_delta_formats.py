@@ -1,0 +1,249 @@
+"""Differential sweep for structure deltas: patched == reconverted.
+
+The serving layer treats a patched operand and a from-scratch
+reconversion as the same object, so this sweep earns that right the
+same way the kernel sweep does — 200 seeded matrices from the full
+family mix, each put through a seeded edit schedule (insert-only,
+delete-only, or ragged mixed, cycling by seed), with the patched
+operand asserted **bitwise** equal to ``convert(new_csr, fmt)`` across
+every registered conversion target: same arrays, same padding zeros,
+same dtypes.
+
+Inserted values are dyadic multiples of 1/8 strictly above 2, while the
+base values live in [-2, 2] — a collision sum can never cancel to an
+exact zero, so the stored-entry census is unambiguous on both sides of
+the comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError, FormatError
+from repro.formats.base import SparseMatrix
+from repro.formats.convert import convert
+from repro.formats.csr import CSRMatrix
+from repro.formats.delta import (
+    StructureDelta,
+    apply_delta,
+    patch_operand,
+    rebuild_operand,
+)
+from repro.types import INDEX_DTYPE, FormatName
+
+from tests.test_properties_differential import (
+    ALL_TARGETS,
+    _structure_for,
+    with_dyadic_data,
+)
+
+#: Acceptance floor: 200 seeded matrices through the full edit mix.
+N_SEEDS = 200
+
+#: Attributes that memoize derived state rather than defining the
+#: operand; a patched instance may legitimately not carry them.
+_CACHE_ATTRS = frozenset({"_refresh_plan"})
+
+
+def _big_dyadic(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Positive multiples of 1/8 in (2, 4]: exactly representable, and
+    no sum with base values in [-2, 2] can reach exactly zero."""
+    return rng.integers(17, 33, size=count) / 8.0
+
+
+def _random_delta(
+    csr: CSRMatrix, rng: np.random.Generator, kind: str
+) -> StructureDelta:
+    """A seeded edit schedule against ``csr`` (coordinates may collide
+    with survivors — duplicate-summing is part of the contract)."""
+    m, n = csr.shape
+    ins_rows = np.zeros(0, dtype=INDEX_DTYPE)
+    ins_cols = np.zeros(0, dtype=INDEX_DTYPE)
+    del_rows = np.zeros(0, dtype=INDEX_DTYPE)
+    del_cols = np.zeros(0, dtype=INDEX_DTYPE)
+    if kind in ("delete", "mixed") and csr.nnz:
+        count = int(rng.integers(1, max(csr.nnz // 2, 2)))
+        picks = rng.choice(csr.nnz, size=min(count, csr.nnz), replace=False)
+        row_of = np.repeat(
+            np.arange(m, dtype=INDEX_DTYPE), csr.row_degrees()
+        )
+        del_rows = row_of[picks]
+        del_cols = csr.indices[picks].astype(INDEX_DTYPE)
+    if kind in ("insert", "mixed"):
+        count = int(rng.integers(1, max(csr.nnz // 2, 2) + 2))
+        ins_rows = rng.integers(0, m, size=count).astype(INDEX_DTYPE)
+        ins_cols = rng.integers(0, n, size=count).astype(INDEX_DTYPE)
+    return StructureDelta(
+        insert_rows=ins_rows,
+        insert_cols=ins_cols,
+        insert_vals=_big_dyadic(rng, ins_rows.shape[0]),
+        delete_rows=del_rows,
+        delete_cols=del_cols,
+    )
+
+
+def _expected_dense(
+    csr: CSRMatrix, delta: StructureDelta
+) -> np.ndarray:
+    """Ground truth via dense arithmetic: delete, then sum insertions."""
+    dense = csr.to_dense()
+    dense[delta.delete_rows, delta.delete_cols] = 0.0
+    np.add.at(
+        dense,
+        (delta.insert_rows, delta.insert_cols),
+        delta.insert_vals,
+    )
+    return dense
+
+
+def _assert_value_equal(x: object, y: object, key: str) -> None:
+    if isinstance(x, np.ndarray):
+        assert isinstance(y, np.ndarray), key
+        assert x.dtype == y.dtype, key
+        assert np.array_equal(x, y), key
+    elif isinstance(x, SparseMatrix):
+        assert_bitwise_equal(x, y)
+    elif isinstance(x, (list, tuple)):
+        assert type(x) is type(y) and len(x) == len(y), key
+        for i, (xi, yi) in enumerate(zip(x, y)):
+            _assert_value_equal(xi, yi, f"{key}[{i}]")
+    elif isinstance(x, dict):
+        assert isinstance(y, dict) and x.keys() == y.keys(), key
+        for k in x:
+            _assert_value_equal(x[k], y[k], f"{key}[{k}]")
+    else:
+        assert x == y, key
+
+
+def assert_bitwise_equal(a: object, b: object) -> None:
+    """Recursive structural identity: same type, same attributes, every
+    array equal in dtype and bit pattern."""
+    assert type(a) is type(b)
+    va = {k: v for k, v in vars(a).items() if k not in _CACHE_ATTRS}
+    vb = {k: v for k, v in vars(b).items() if k not in _CACHE_ATTRS}
+    assert va.keys() == vb.keys()
+    for key in va:
+        _assert_value_equal(va[key], vb[key], key)
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_patched_operands_match_reconversion(seed: int) -> None:
+    rng = np.random.default_rng(10_000 + seed)
+    base = with_dyadic_data(_structure_for(seed), rng)
+    kind = ("insert", "delete", "mixed")[seed % 3]
+    delta = _random_delta(base, rng, kind)
+
+    new_csr, effect = apply_delta(base, delta)
+
+    # The spliced CSR agrees with dense ground truth, is canonical, and
+    # the effect's census is exact.
+    expected = _expected_dense(base, delta)
+    assert np.array_equal(new_csr.to_dense(), expected)
+    assert new_csr.nnz == int(np.count_nonzero(expected))
+    assert (
+        new_csr.nnz
+        == base.nnz
+        + effect.added_rows.shape[0]
+        - effect.removed_rows.shape[0]
+    )
+    assert effect.size == (
+        effect.added_rows.shape[0]
+        + effect.removed_rows.shape[0]
+        + effect.updated_rows.shape[0]
+    )
+
+    # CSR "patch" adopts the spliced arrays directly.
+    patched_csr = patch_operand(base, new_csr, effect)
+    assert patched_csr.matrix is new_csr
+    assert patched_csr.mode == "patched"
+
+    for target in ALL_TARGETS:
+        try:
+            operand, _ = convert(base, target, fill_budget=None)
+        except ConversionError:
+            continue  # base never representable: nothing to patch
+        try:
+            rebuilt = rebuild_operand(new_csr, target)
+        except ConversionError:
+            # The mutated structure is no longer representable (e.g. a
+            # delete-only delta emptied the matrix under BDIA) — the
+            # patch path must refuse identically, not hand back a stale
+            # or half-edited operand.
+            with pytest.raises(ConversionError):
+                patch_operand(operand, new_csr, effect)
+            continue
+        result = patch_operand(operand, new_csr, effect)
+        assert result.mode in ("patched", "rebuilt")
+        assert_bitwise_equal(result.matrix, rebuilt)
+
+
+class TestDeltaValidation:
+    def test_delete_missing_entry_raises(self, rng) -> None:
+        base = with_dyadic_data(_structure_for(3), rng)
+        dense = base.to_dense()
+        holes = np.argwhere(dense == 0.0)
+        if holes.size == 0:
+            pytest.skip("dense base has no missing coordinate")
+        row, col = holes[0]
+        delta = StructureDelta(
+            delete_rows=np.array([row], dtype=INDEX_DTYPE),
+            delete_cols=np.array([col], dtype=INDEX_DTYPE),
+        )
+        with pytest.raises(FormatError):
+            apply_delta(base, delta)
+
+    def test_out_of_range_coordinates_raise(self, rng) -> None:
+        base = with_dyadic_data(_structure_for(4), rng)
+        delta = StructureDelta(
+            insert_rows=np.array([base.n_rows], dtype=INDEX_DTYPE),
+            insert_cols=np.array([0], dtype=INDEX_DTYPE),
+            insert_vals=np.array([1.0]),
+        )
+        with pytest.raises(FormatError):
+            apply_delta(base, delta)
+
+    def test_ragged_lengths_raise(self, rng) -> None:
+        base = with_dyadic_data(_structure_for(5), rng)
+        delta = StructureDelta(
+            insert_rows=np.array([0, 0], dtype=INDEX_DTYPE),
+            insert_cols=np.array([0], dtype=INDEX_DTYPE),
+            insert_vals=np.array([1.0]),
+        )
+        with pytest.raises(FormatError):
+            apply_delta(base, delta)
+
+    def test_delete_then_insert_same_coordinate_holds_inserted_value(
+        self,
+    ) -> None:
+        base = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        delta = StructureDelta(
+            insert_rows=np.array([0], dtype=INDEX_DTYPE),
+            insert_cols=np.array([0], dtype=INDEX_DTYPE),
+            insert_vals=np.array([5.0]),
+            delete_rows=np.array([0], dtype=INDEX_DTYPE),
+            delete_cols=np.array([0], dtype=INDEX_DTYPE),
+        )
+        new_csr, effect = apply_delta(base, delta)
+        assert new_csr.to_dense()[0, 0] == 5.0
+        # Structurally the entry vanished and reappeared.
+        assert effect.removed_rows.shape[0] == 1
+        assert effect.added_rows.shape[0] == 1
+        assert effect.updated_rows.shape[0] == 0
+
+    def test_collision_with_survivor_sums(self) -> None:
+        base = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        delta = StructureDelta(
+            insert_rows=np.array([1], dtype=INDEX_DTYPE),
+            insert_cols=np.array([1], dtype=INDEX_DTYPE),
+            insert_vals=np.array([3.0]),
+        )
+        new_csr, effect = apply_delta(base, delta)
+        assert new_csr.to_dense()[1, 1] == 5.0
+        assert effect.updated_rows.shape[0] == 1
+        assert effect.structural_size == 0
+
+
+def test_format_name_coverage() -> None:
+    """The sweep exercises every registered conversion target."""
+    assert set(ALL_TARGETS) == set(FormatName) - {FormatName.CSR}

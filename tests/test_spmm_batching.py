@@ -195,6 +195,50 @@ class TestEngineBatching:
         assert np.array_equal(ok_a.y, matrix.spmv(xs[0], reference=True))
         assert np.array_equal(ok_b.y, matrix.spmv(xs[2], reference=True))
 
+    def test_member_expiring_during_spmm_stall_gets_deadline_error(
+        self, smat, rng, monkeypatch
+    ) -> None:
+        """Regression: a member whose deadline expires between the batch
+        take and the stack build must resolve DeadlineExceededError, not
+        be served late.  The stall is an injected spmm latency fault on a
+        fake clock: its "sleep" jumps ``time.monotonic`` forward past one
+        member's budget at exactly the window the old code missed (the
+        hook used to fire after the only deadline sweep)."""
+        import time as _time
+
+        from repro.serve.faults import FaultPlan, FaultRule
+
+        real_monotonic = _time.monotonic
+        offset = [0.0]
+        monkeypatch.setattr(
+            _time, "monotonic", lambda: real_monotonic() + offset[0]
+        )
+
+        def jump(seconds: float) -> None:
+            offset[0] += seconds
+
+        faults = FaultPlan(
+            [FaultRule(site="spmm", kind="latency", latency=10.0)],
+            sleep=jump,
+        )
+        matrix, xs = self._dyadic_case(rng, k=3)
+        config = ServeConfig(workers=1, max_batch_rhs=4)
+        with ServingEngine(smat, config, faults=faults) as engine:
+            engine.spmv(matrix, xs[0])  # warm the plan first
+            futures = engine.submit_batch(
+                matrix, xs, deadlines=[None, 5.0, None]
+            )
+            ok_a = futures[0].result()
+            with pytest.raises(DeadlineExceededError):
+                futures[1].result()
+            ok_b = futures[2].result()
+            counters = engine.metrics.snapshot()["counters"]
+        assert np.array_equal(ok_a.y, matrix.spmv(xs[0], reference=True))
+        assert np.array_equal(ok_b.y, matrix.spmv(xs[2], reference=True))
+        assert counters["deadline_exceeded"] == 1
+        # The two survivors still ride one stacked pass.
+        assert counters["spmm_requests_batched"] == 2
+
     def test_spmm_fault_falls_back_to_per_request_spmv(
         self, smat, rng
     ) -> None:
